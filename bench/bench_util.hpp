@@ -1,0 +1,55 @@
+// Shared helpers for the reproduction benches: batch capture, SNR per the
+// paper's recipe, and a tiny PASS/FAIL shape-checker so each bench verifies
+// its table's qualitative claims programmatically.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "sim/chip.hpp"
+#include "stats/snr.hpp"
+
+namespace emts::bench {
+
+inline core::TraceSet capture_set(sim::Chip& chip, sim::Pickup pickup, std::size_t count,
+                                  std::uint64_t first_index, bool encrypting = true) {
+  core::TraceSet set;
+  set.sample_rate = chip.sample_rate();
+  for (std::uint64_t t = 0; t < count; ++t) {
+    set.add(chip.capture(encrypting, first_index + t).of(pickup));
+  }
+  return set;
+}
+
+/// SNR exactly as the paper measures it (Sec. V-A): signal captured while
+/// encrypting, noise captured while the chip idles, RMS ratio in dB.
+inline double measured_snr_db(sim::Chip& chip, sim::Pickup pickup, std::size_t windows = 8,
+                              std::uint64_t base = 100) {
+  std::vector<double> signal;
+  std::vector<double> noise;
+  for (std::uint64_t t = 0; t < windows; ++t) {
+    const auto s = chip.capture(true, base + t).of(pickup);
+    const auto n = chip.capture(false, base + windows + t).of(pickup);
+    signal.insert(signal.end(), s.begin(), s.end());
+    noise.insert(noise.end(), n.begin(), n.end());
+  }
+  return stats::snr_db(signal, noise);
+}
+
+/// Records one shape assertion; prints PASS/FAIL and tracks the exit code.
+class ShapeChecks {
+ public:
+  void expect(bool condition, const std::string& claim) {
+    std::printf("  [%s] %s\n", condition ? "PASS" : "FAIL", claim.c_str());
+    if (!condition) failed_ = true;
+  }
+
+  int exit_code() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_ = false;
+};
+
+}  // namespace emts::bench

@@ -1,0 +1,86 @@
+// Extension bench: the golden-chip question. Side-channel fingerprinting
+// classically worries that process variation between dies shifts the
+// fingerprint and masquerades as tampering. This bench measures it on the
+// silicon model: a detector calibrated on die #1 scores the clean traces of
+// sibling dies (whose stack heights and per-module couplings all vary).
+//
+// Finding: with the default mean-pooling preprocessing the cross-die margins
+// stay as low as the self-calibrated ones — amplitude-scale and per-module
+// coupling variation largely cancel in the features, so a factory golden
+// reference generalizes *within this model*. Real silicon adds timing-level
+// variation (Vth/RC skew reshaping edges) that this substrate does not
+// capture, which is why the framework still defaults to per-die calibration
+// on the trusted bring-up window (Fig. 1); this bench bounds which variation
+// sources the pipeline is already immune to.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/euclidean.hpp"
+#include "io/table.hpp"
+#include "sim/silicon.hpp"
+
+using namespace emts;
+
+namespace {
+
+sim::Chip make_die(std::uint64_t serial) {
+  sim::SiliconOptions options;
+  options.chip_serial = serial;
+  return sim::Chip{sim::make_silicon_config(options)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: process variation and the golden-chip problem ===\n\n");
+
+  // Factory reference: detector calibrated on die #1.
+  sim::Chip die1 = make_die(1);
+  const auto factory_detector = core::EuclideanDetector::calibrate(
+      bench::capture_set(die1, sim::Pickup::kOnChipSensor, 48, 0));
+
+  io::Table table{{"die", "cross-die golden margin", "self-calibrated golden margin",
+                   "self-calibrated T4 margin"}};
+  bench::ShapeChecks checks;
+  double worst_cross = 0.0;
+  double worst_self = 0.0;
+  double min_t4 = 1e18;
+
+  for (std::uint64_t serial = 2; serial <= 5; ++serial) {
+    sim::Chip die = make_die(serial);
+    const auto own_golden = bench::capture_set(die, sim::Pickup::kOnChipSensor, 48, 0);
+    const auto fresh = bench::capture_set(die, sim::Pickup::kOnChipSensor, 16, 9000);
+
+    // Cross-die: factory detector scores this die's clean traces.
+    const double cross_margin =
+        factory_detector.population_distance(fresh) / factory_detector.threshold();
+
+    // Self-calibrated: this die's own trusted bring-up window.
+    const auto own_detector = core::EuclideanDetector::calibrate(own_golden);
+    const double self_margin =
+        own_detector.population_distance(fresh) / own_detector.threshold();
+    die.arm(trojan::TrojanKind::kT4PowerHog);
+    const double t4_margin =
+        own_detector.population_distance(
+            bench::capture_set(die, sim::Pickup::kOnChipSensor, 16, 9500)) /
+        own_detector.threshold();
+    die.disarm_all();
+
+    worst_cross = std::max(worst_cross, cross_margin);
+    worst_self = std::max(worst_self, self_margin);
+    min_t4 = std::min(min_t4, t4_margin);
+    table.add_row({std::to_string(serial), io::Table::num(cross_margin, 3),
+                   io::Table::num(self_margin, 3), io::Table::num(t4_margin, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("margin = population distance / EDth; > 1 reads as \"tampered\".\n\n");
+
+  checks.expect(worst_cross < 1.0,
+                "cross-die golden margins stay below threshold: the preprocessing is immune "
+                "to coupling-scale and per-module mismatch variation");
+  checks.expect(worst_self < 1.0, "per-die calibration keeps clean dies clean");
+  checks.expect(min_t4 > 1.0, "per-die calibration still catches T4 on every die");
+  checks.expect(worst_cross < 3.0 * worst_self + 1.0,
+                "cross-die margins are comparable to self-calibrated ones (no hidden drift)");
+  return checks.exit_code();
+}

@@ -1,0 +1,89 @@
+// Extension bench: per-trace detection quality as ROC statistics. Fig. 6
+// argues separability visually; this bench quantifies it with the
+// Mann-Whitney AUC (probability a Trojan trace outscores a golden trace)
+// and the true-positive rate at 1% false positives, per Trojan and pickup,
+// in silicon mode. Expected shape: sensor AUC ~1.0 for every Trojan, probe
+// AUC far lower — the paper's headline, in one number.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/euclidean.hpp"
+#include "io/table.hpp"
+#include "sim/silicon.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace emts;
+
+namespace {
+
+// Mann-Whitney AUC: fraction of (trojan, golden) pairs the trojan wins.
+double auc(const std::vector<double>& golden, const std::vector<double>& trojan) {
+  std::vector<double> sorted_golden = golden;
+  std::sort(sorted_golden.begin(), sorted_golden.end());
+  double wins = 0.0;
+  for (double t : trojan) {
+    const auto it = std::lower_bound(sorted_golden.begin(), sorted_golden.end(), t);
+    wins += static_cast<double>(it - sorted_golden.begin());
+  }
+  return wins / (static_cast<double>(golden.size()) * static_cast<double>(trojan.size()));
+}
+
+// TPR at the threshold that keeps FPR at `fpr` on the golden scores.
+double tpr_at_fpr(const std::vector<double>& golden, const std::vector<double>& trojan,
+                  double fpr) {
+  const double threshold = stats::quantile(golden, 1.0 - fpr);
+  std::size_t detected = 0;
+  for (double t : trojan) detected += (t > threshold);
+  return static_cast<double>(detected) / static_cast<double>(trojan.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: ROC statistics per Trojan and pickup (silicon mode) ===\n\n");
+
+  sim::Chip chip{sim::make_silicon_config(sim::SiliconOptions{})};
+  constexpr std::size_t kTraces = 150;
+
+  const auto det_sensor = core::EuclideanDetector::calibrate(
+      bench::capture_set(chip, sim::Pickup::kOnChipSensor, 60, 0));
+  const auto det_probe = core::EuclideanDetector::calibrate(
+      bench::capture_set(chip, sim::Pickup::kExternalProbe, 60, 0));
+
+  const auto golden_sensor =
+      det_sensor.score_all(bench::capture_set(chip, sim::Pickup::kOnChipSensor, kTraces, 3000));
+  const auto golden_probe =
+      det_probe.score_all(bench::capture_set(chip, sim::Pickup::kExternalProbe, kTraces, 3000));
+
+  io::Table table{{"trojan", "sensor AUC", "sensor TPR@1%FPR", "probe AUC", "probe TPR@1%FPR"}};
+  bench::ShapeChecks checks;
+  double min_sensor_auc = 1.0;
+  for (trojan::TrojanKind kind :
+       {trojan::TrojanKind::kT1AmLeak, trojan::TrojanKind::kT2Leakage,
+        trojan::TrojanKind::kT3Cdma, trojan::TrojanKind::kT4PowerHog}) {
+    chip.arm(kind);
+    const auto base = 10000 + 1000 * static_cast<std::uint64_t>(kind);
+    const auto t_sensor =
+        det_sensor.score_all(bench::capture_set(chip, sim::Pickup::kOnChipSensor, kTraces, base));
+    const auto t_probe =
+        det_probe.score_all(bench::capture_set(chip, sim::Pickup::kExternalProbe, kTraces, base));
+    chip.disarm_all();
+
+    const double auc_sensor = auc(golden_sensor, t_sensor);
+    const double auc_probe = auc(golden_probe, t_probe);
+    min_sensor_auc = std::min(min_sensor_auc, auc_sensor);
+    table.add_row({trojan::kind_label(kind), io::Table::num(auc_sensor, 4),
+                   io::Table::num(tpr_at_fpr(golden_sensor, t_sensor, 0.01), 3),
+                   io::Table::num(auc_probe, 4),
+                   io::Table::num(tpr_at_fpr(golden_probe, t_probe, 0.01), 3)});
+
+    checks.expect(auc_sensor >= auc_probe,
+                  std::string("sensor AUC >= probe AUC for ") + trojan::kind_label(kind));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  checks.expect(min_sensor_auc > 0.95, "sensor AUC > 0.95 for every Trojan (incl. T3)");
+  return checks.exit_code();
+}

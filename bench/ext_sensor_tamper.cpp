@@ -1,0 +1,83 @@
+// Extension bench: sensor tamper detection. Paper Sec. III-C: "The overall
+// EM sensor structure is simple enough that any tampering of the sensor can
+// be easily identified through basic measurements." An attacker who wants
+// to blind the framework might cut or shorten the spiral (fewer turns =
+// less coverage). Two basic measurements expose it:
+//   1. the coil's DC resistance (proportional to wire length) changes;
+//   2. the captured signal level collapses: the coil gathers ~30% less
+//      flux, so the encrypting-capture RMS falls far outside the golden
+//      spread. (The Euclidean fingerprint itself is deliberately
+//      gain-insensitive — see ext_process_variation — which is exactly why
+//      a deployment must also watch these two cheap health indicators.)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace emts;
+
+namespace {
+
+// Sheet resistance proxy: ohms per meter of minimum-thickness top metal.
+constexpr double kOhmsPerMeter = 900.0;
+
+double coil_resistance(const em::Coil& coil) { return coil.total_length() * kOhmsPerMeter; }
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: tampered-sensor detection (paper Sec. III-C claim) ===\n\n");
+
+  // Intact chip: the bring-up calibration records the healthy capture RMS.
+  sim::ChipConfig intact_config = sim::make_default_config();
+  sim::Chip intact{intact_config};
+  std::vector<double> golden_rms;
+  for (std::uint64_t t = 0; t < 48; ++t) {
+    golden_rms.push_back(stats::rms(intact.capture(true, t).onchip_v));
+  }
+  const double rms_mean = stats::mean(golden_rms);
+  const double rms_sd = stats::stddev(golden_rms);
+
+  // Tampered chip: same die, same key, same seed — but the spiral lost its
+  // outer turns (cut and re-bonded by the attacker).
+  sim::ChipConfig tampered_config = intact_config;
+  tampered_config.spiral.turns = 8;
+  sim::Chip tampered{tampered_config};
+
+  const double r_intact = coil_resistance(intact.onchip_coil());
+  const double r_tampered = coil_resistance(tampered.onchip_coil());
+
+  io::Table table{{"measurement", "intact sensor", "tampered (8 turns)", "change"}};
+  table.add_row({"coil wire length (mm)",
+                 io::Table::num(1e3 * intact.onchip_coil().total_length(), 4),
+                 io::Table::num(1e3 * tampered.onchip_coil().total_length(), 4), ""});
+  table.add_row({"coil DC resistance (ohm)", io::Table::num(r_intact, 4),
+                 io::Table::num(r_tampered, 4),
+                 io::Table::num(100.0 * (r_tampered - r_intact) / r_intact, 3) + "%"});
+
+  // RMS health check on fresh traffic through both sensors.
+  std::vector<double> clean_z;
+  std::vector<double> tampered_z;
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    clean_z.push_back((stats::rms(intact.capture(true, 5000 + t).onchip_v) - rms_mean) / rms_sd);
+    tampered_z.push_back(
+        (stats::rms(tampered.capture(true, 5000 + t).onchip_v) - rms_mean) / rms_sd);
+  }
+  const double clean_worst = std::max(std::abs(stats::min_value(clean_z)),
+                                      std::abs(stats::max_value(clean_z)));
+  const double tampered_best = std::min(std::abs(stats::min_value(tampered_z)),
+                                        std::abs(stats::max_value(tampered_z)));
+
+  table.add_row({"capture RMS |z| (worst/best)", io::Table::num(clean_worst, 3),
+                 io::Table::num(tampered_best, 3), "alarm at |z| > 6"});
+  std::printf("%s\n", table.render().c_str());
+
+  bench::ShapeChecks checks;
+  checks.expect(std::abs(r_tampered - r_intact) > 0.1 * r_intact,
+                "coil resistance shifts by >10% — caught by a basic DC measurement");
+  checks.expect(clean_worst < 6.0, "the intact sensor's RMS stays within its spread");
+  checks.expect(tampered_best > 6.0,
+                "every capture through the tampered sensor fails the RMS health check");
+  return checks.exit_code();
+}

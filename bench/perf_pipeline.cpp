@@ -1,0 +1,115 @@
+// Performance microbenchmarks (google-benchmark): the computational cost of
+// each pipeline stage — FFT, PCA fit, coupling solve, capture synthesis,
+// per-trace scoring — so a deployment can budget its analysis module.
+#include <benchmark/benchmark.h>
+
+#include "core/euclidean.hpp"
+#include "core/spectral.hpp"
+#include "dsp/fft.hpp"
+#include "em/mutual.hpp"
+#include "layout/power_grid.hpp"
+#include "sim/chip.hpp"
+#include "stats/pca.hpp"
+#include "util/rng.hpp"
+
+using namespace emts;
+
+namespace {
+
+sim::Chip& shared_chip() {
+  static sim::Chip chip{sim::make_default_config()};
+  return chip;
+}
+
+core::TraceSet shared_golden() {
+  sim::Chip& chip = shared_chip();
+  core::TraceSet set;
+  set.sample_rate = chip.sample_rate();
+  for (std::uint64_t t = 0; t < 48; ++t) set.add(chip.capture(true, t).onchip_v);
+  return set;
+}
+
+void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  std::vector<dsp::cplx> data(n);
+  for (auto& x : data) x = dsp::cplx{rng.gaussian(), 0.0};
+  for (auto _ : state) {
+    auto work = data;
+    dsp::fft_in_place(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_PcaFit(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng{2};
+  linalg::Matrix data{rows, 256};
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < 256; ++c) data(r, c) = rng.gaussian();
+  }
+  for (auto _ : state) {
+    auto model = stats::PcaModel::fit(data, 8);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_PcaFit)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CouplingSolve(benchmark::State& state) {
+  const layout::DieSpec die{};
+  const auto fp = layout::reference_floorplan(die);
+  const auto loops = layout::supply_loops(fp, layout::PadRing::for_die(die));
+  const auto coil = em::make_onchip_spiral(die, em::OnChipSpiralSpec{});
+  for (auto _ : state) {
+    const auto m = em::couplings(loops, coil);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_CouplingSolve);
+
+void BM_ChipCapture(benchmark::State& state) {
+  sim::Chip& chip = shared_chip();
+  std::uint64_t index = 1000000;
+  for (auto _ : state) {
+    const auto acq = chip.capture(true, index++);
+    benchmark::DoNotOptimize(acq.onchip_v.data());
+  }
+}
+BENCHMARK(BM_ChipCapture);
+
+void BM_DetectorCalibrate(benchmark::State& state) {
+  const auto golden = shared_golden();
+  for (auto _ : state) {
+    auto det = core::EuclideanDetector::calibrate(golden);
+    benchmark::DoNotOptimize(&det);
+  }
+}
+BENCHMARK(BM_DetectorCalibrate);
+
+void BM_DetectorScore(benchmark::State& state) {
+  const auto golden = shared_golden();
+  const auto det = core::EuclideanDetector::calibrate(golden);
+  const auto trace = shared_chip().capture(true, 777).onchip_v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.score(trace));
+  }
+}
+BENCHMARK(BM_DetectorScore);
+
+void BM_SpectralAnalyze(benchmark::State& state) {
+  const auto golden = shared_golden();
+  const auto det = core::SpectralDetector::calibrate(golden);
+  const auto trace = shared_chip().capture(true, 778).onchip_v;
+  for (auto _ : state) {
+    const auto report = det.analyze(trace);
+    benchmark::DoNotOptimize(&report);
+  }
+}
+BENCHMARK(BM_SpectralAnalyze);
+
+}  // namespace
+
+BENCHMARK_MAIN();

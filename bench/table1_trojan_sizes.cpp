@@ -1,0 +1,67 @@
+// Reproduces Table I: "Trojan sizes compared to the whole AES design".
+// Paper row:  AES 33083 | T1 1657 (5.01%) | T2 2793 (8.44%) | T3 250 (0.76%)
+//             | T4 2793 (8.44%) | A2 N/A (0.087% by area).
+// Our numbers come from the actual built netlists (T1-T4), the calibrated
+// AES synthesis model, and the A2 analog-block area model.
+#include <cstdio>
+
+#include "aes/gate_model.hpp"
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "trojan/trojan.hpp"
+
+using namespace emts;
+
+int main() {
+  std::printf("=== Table I: Trojan sizes compared to the whole AES design ===\n\n");
+
+  const auto aes_model = aes::default_aes_gate_model();
+  const double aes_cells = static_cast<double>(aes_model.total_cells);
+
+  struct PaperRow {
+    trojan::TrojanKind kind;
+    std::size_t paper_cells;
+    double paper_percent;
+  };
+  const PaperRow rows[] = {
+      {trojan::TrojanKind::kT1AmLeak, 1657, 5.01},
+      {trojan::TrojanKind::kT2Leakage, 2793, 8.44},
+      {trojan::TrojanKind::kT3Cdma, 250, 0.76},
+      {trojan::TrojanKind::kT4PowerHog, 2793, 8.44},
+  };
+
+  io::Table table{{"circuit", "gate count (ours)", "gate count (paper)", "percent (ours)",
+                   "percent (paper)"}};
+  table.add_row({"AES", std::to_string(aes_model.total_cells), "33083", "100%", "100%"});
+
+  bench::ShapeChecks checks;
+  for (const PaperRow& row : rows) {
+    const auto t = trojan::make_trojan(row.kind);
+    const double percent = 100.0 * static_cast<double>(t->cell_count()) / aes_cells;
+    table.add_row({trojan::kind_label(row.kind), std::to_string(t->cell_count()),
+                   std::to_string(row.paper_cells), io::Table::num(percent, 3) + "%",
+                   io::Table::num(row.paper_percent, 3) + "%"});
+  }
+
+  // A2 has no standard cells; Table I reports it by area.
+  const auto a2 = trojan::make_trojan(trojan::TrojanKind::kA2Analog);
+  const double a2_percent = 100.0 * a2->area_um2() / aes_model.total_area_um2;
+  table.add_row({"A2", "N/A", "N/A", io::Table::num(a2_percent, 2) + "% (area)",
+                 "0.087% (area)"});
+
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("shape checks:\n");
+  checks.expect(aes_model.total_cells == 33083, "AES synthesis model totals 33,083 cells");
+  for (const PaperRow& row : rows) {
+    const auto t = trojan::make_trojan(row.kind);
+    checks.expect(t->cell_count() == row.paper_cells,
+                  std::string(trojan::kind_label(row.kind)) + " netlist cell count matches paper");
+  }
+  checks.expect(trojan::make_trojan(trojan::TrojanKind::kT2Leakage)->cell_count() ==
+                    trojan::make_trojan(trojan::TrojanKind::kT4PowerHog)->cell_count(),
+                "T2 and T4 are the same size (as in the paper)");
+  checks.expect(a2_percent > 0.05 && a2_percent < 0.15,
+                "A2 area fraction ~0.087% of the AES");
+  return checks.exit_code();
+}

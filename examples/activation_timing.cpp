@@ -1,0 +1,68 @@
+// Forensics: WHEN did the Trojan wake up? The runtime monitor raises an
+// alarm; the spectrogram of the recorded stream pins the activation moment.
+// Here Trojan T1 starts broadcasting mid-stream; the 750 kHz band lights up
+// in the time-frequency map at exactly that capture.
+#include <cstdio>
+#include <vector>
+
+#include "dsp/stft.hpp"
+#include "sim/chip.hpp"
+
+using namespace emts;
+
+int main() {
+  sim::Chip chip{sim::make_default_config()};
+
+  constexpr std::size_t kWindows = 24;
+  constexpr std::size_t kActivateAt = 14;  // T1 armed from this window on
+
+  std::printf("recording %zu consecutive windows; T1 activates at window %zu\n\n", kWindows,
+              kActivateAt);
+  std::vector<double> stream;
+  for (std::uint64_t w = 0; w < kWindows; ++w) {
+    if (w == kActivateAt) chip.arm(trojan::TrojanKind::kT1AmLeak);
+    const auto capture = chip.capture(true, w).onchip_v;
+    stream.insert(stream.end(), capture.begin(), capture.end());
+  }
+  chip.disarm_all();
+
+  dsp::StftOptions options;
+  options.window_length = 4096;  // one capture window per frame column
+  options.hop = 2048;
+  const auto spec = dsp::stft(stream, chip.sample_rate(), options);
+
+  // The carrier band around 750 kHz.
+  const double f_lo = 0.6e6;
+  const double f_hi = 0.9e6;
+  std::printf("750 kHz band power per frame ('#' per 10%% of peak):\n");
+  double peak = 1e-300;
+  std::vector<double> band(spec.frames());
+  for (std::size_t f = 0; f < spec.frames(); ++f) {
+    band[f] = spec.band_power(f, f_lo, f_hi);
+    peak = std::max(peak, band[f]);
+  }
+  const std::size_t samples_per_window = chip.samples_per_trace();
+  for (std::size_t f = 0; f < spec.frames(); ++f) {
+    const double window_index =
+        static_cast<double>(f * options.hop) / static_cast<double>(samples_per_window);
+    std::printf("  t=%6.2f us (window %4.1f) |%-10s| %.3e\n", 1e6 * spec.frame_time(f),
+                window_index,
+                std::string(static_cast<std::size_t>(10.0 * band[f] / peak), '#').c_str(),
+                band[f]);
+  }
+
+  const std::size_t frame = dsp::find_band_activation(spec, f_lo, f_hi);
+  if (frame >= spec.frames()) {
+    std::printf("\nUNEXPECTED: no activation found\n");
+    return 1;
+  }
+  const double estimated_window = static_cast<double>(frame * options.hop) /
+                                  static_cast<double>(samples_per_window);
+  std::printf("\nestimated activation: frame %zu = t %.2f us = window %.1f (truth: %zu)\n",
+              frame, 1e6 * spec.frame_time(frame), estimated_window, kActivateAt);
+
+  const bool close = std::abs(estimated_window - static_cast<double>(kActivateAt)) <= 1.0;
+  std::printf("%s\n", close ? "activation localized to within one capture window"
+                            : "UNEXPECTED: estimate off by more than one window");
+  return close ? 0 : 1;
+}

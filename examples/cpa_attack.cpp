@@ -1,0 +1,63 @@
+// The dark side of "rich in information": a correlation power analysis that
+// recovers the full AES key from the on-chip sensor's own traces.
+//
+// The paper's framework assumes "the analysis module running in collecting
+// the EM measurement and processing the data is trusted" (Sec. II). This
+// example shows why that assumption is load-bearing: an adversary with
+// access to the sensor stream needs only a few thousand encryptions of
+// known ciphertexts to walk away with the key. Deployments must treat the
+// sensor pads (Sensor In / Sensor Out, Fig. 3) as part of the trust
+// boundary.
+#include <cstdio>
+
+#include "attack/cpa.hpp"
+#include "sim/chip.hpp"
+
+using namespace emts;
+
+int main() {
+  sim::ChipConfig config = sim::make_default_config();
+  config.fixed_challenge_workload = false;  // normal varied traffic
+  sim::Chip chip{config};
+  const auto true_k10 = aes::expand_key(config.key)[10];
+
+  constexpr std::size_t kWindows = 120;
+  std::printf("capturing %zu sensor windows (%zu encryptions)...\n", kWindows,
+              kWindows * 42);
+
+  core::TraceSet captures;
+  captures.sample_rate = chip.sample_rate();
+  std::vector<std::vector<aes::Block>> ciphertexts;
+  for (std::uint64_t w = 0; w < kWindows; ++w) {
+    captures.add(chip.capture(true, w).onchip_v);
+    std::vector<aes::Block> cts;
+    for (const auto& pt : chip.window_plaintexts(w)) {
+      cts.push_back(aes::encrypt(config.key, pt));  // attacker observes outputs
+    }
+    ciphertexts.push_back(std::move(cts));
+  }
+
+  const auto segments = attack::slice_encryptions(
+      captures, ciphertexts, aes::kCyclesPerEncryption * config.clock.samples_per_cycle);
+  std::printf("running last-round CPA over %zu encryption traces...\n\n", segments.size());
+  const auto result = attack::last_round_cpa(segments);
+
+  std::printf("byte  guess  truth  |rho|   rank-of-truth\n");
+  for (std::size_t j = 0; j < 16; ++j) {
+    std::printf("%4zu    %02x     %02x   %.4f   %zu\n", j, result.bytes[j].best_guess,
+                true_k10[j], result.bytes[j].best_correlation,
+                result.bytes[j].rank_of(true_k10[j]));
+  }
+
+  const std::size_t correct = result.correct_bytes(true_k10);
+  std::printf("\nround-10 key bytes recovered: %zu/16\n", correct);
+  if (correct == 16) {
+    std::printf("master key (schedule inverted): ");
+    for (std::uint8_t b : result.master_key) std::printf("%02x", b);
+    std::printf("\nmatches the device key: %s\n",
+                result.master_key == config.key ? "YES — full key recovery" : "no");
+  }
+  std::printf("\nmoral: the sensor that guards the chip can betray it; keep its output\n"
+              "inside the trust boundary (paper Sec. II's trusted-analysis assumption).\n");
+  return correct >= 14 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Security self-assessment with TVLA: before trusting the trust framework,
+// check that the sensor actually observes the die. The fixed-vs-random
+// Welch t-test is the standard side-channel leakage assessment: if the
+// sensor's traces carry the AES data dependence, |t| blows through 4.5 at
+// the round samples. This also quantifies the paper's claim that EM traces
+// are "rich in information" — and shows the on-chip sensor is *more*
+// informative than the external probe (a double-edged sword: the same
+// richness that catches Trojans also helps side-channel attackers, which is
+// why the sensor output must stay on-device).
+#include <cstdio>
+
+#include "core/leakage.hpp"
+#include "sim/chip.hpp"
+
+using namespace emts;
+
+namespace {
+
+core::TraceSet collect(sim::Chip& chip, sim::Pickup pickup, std::size_t n,
+                       std::uint64_t base) {
+  core::TraceSet set;
+  set.sample_rate = chip.sample_rate();
+  for (std::uint64_t t = 0; t < n; ++t) set.add(chip.capture(true, base + t).of(pickup));
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTraces = 150;
+
+  // Fixed population: the default chip replays one challenge workload.
+  sim::ChipConfig fixed_config = sim::make_default_config();
+  sim::Chip fixed_chip{fixed_config};
+
+  // Random population: same die, random traffic.
+  sim::ChipConfig random_config = sim::make_default_config();
+  random_config.fixed_challenge_workload = false;
+  sim::Chip random_chip{random_config};
+
+  std::printf("TVLA fixed-vs-random, %zu traces per population\n\n", kTraces);
+  bool sensor_leaks = false;
+  double sensor_t = 0.0;
+  double probe_t = 0.0;
+  for (sim::Pickup pickup : {sim::Pickup::kOnChipSensor, sim::Pickup::kExternalProbe}) {
+    const auto fixed_set = collect(fixed_chip, pickup, kTraces, 0);
+    const auto random_set = collect(random_chip, pickup, kTraces, 100000);
+    const auto report = core::tvla(fixed_set, random_set);
+
+    const char* name =
+        pickup == sim::Pickup::kOnChipSensor ? "on-chip sensor" : "external probe";
+    std::printf("%-15s max |t| = %7.2f at sample %zu (cycle %zu), %zu/%zu samples leak\n",
+                name, report.max_abs_t, report.max_abs_t_sample,
+                report.max_abs_t_sample / 8, report.leaky_samples,
+                report.t_statistic.size());
+    if (pickup == sim::Pickup::kOnChipSensor) {
+      sensor_leaks = report.leaks();
+      sensor_t = report.max_abs_t;
+    } else {
+      probe_t = report.max_abs_t;
+    }
+  }
+
+  std::printf("\n%s; the sensor sees %s data dependence than the probe.\n",
+              sensor_leaks ? "the sensor demonstrably observes the die"
+                           : "UNEXPECTED: no leakage visible",
+              sensor_t > probe_t ? "stronger" : "weaker");
+  return sensor_leaks ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Sensor design space: how the on-chip spiral's geometry drives its SNR.
+//
+// Paper Sec. III-C: "The sensitivity of the EM sensor highly depends on the
+// magnetic flux passing to the coil so the effectiveness of the detection
+// ... equals to the accumulation of all the coils with gradually increasing
+// diameters." This example sweeps the two design knobs a sensor designer
+// controls — turn count and wire width (DRC floor) — and prints the SNR each
+// variant achieves, plus the field map the coil integrates.
+#include <cstdio>
+
+#include "io/table.hpp"
+#include "util/assert.hpp"
+#include "sim/chip.hpp"
+#include "stats/snr.hpp"
+
+using namespace emts;
+
+namespace {
+
+double snr_of(sim::Chip& chip, sim::Pickup pickup) {
+  std::vector<double> signal;
+  std::vector<double> noise;
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    const auto s = chip.capture(true, 100 + t).of(pickup);
+    const auto n = chip.capture(false, 200 + t).of(pickup);
+    signal.insert(signal.end(), s.begin(), s.end());
+    noise.insert(noise.end(), n.begin(), n.end());
+  }
+  return stats::snr_db(signal, noise);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("on-chip sensor design space (defaults: 12 turns, 2.0 um wire)\n\n");
+
+  io::Table table{{"turns", "wire um", "coil mm", "turn area mm^2", "SNR dB"}};
+  for (std::size_t turns : {4u, 8u, 12u, 20u}) {
+    sim::ChipConfig config = sim::make_default_config();
+    config.spiral.turns = turns;
+    sim::Chip chip{config};
+    table.add_row({std::to_string(turns), io::Table::num(1e6 * config.spiral.wire_width, 2),
+                   io::Table::num(1e3 * chip.onchip_coil().total_length(), 3),
+                   io::Table::num(1e6 * chip.onchip_coil().total_turn_area(), 3),
+                   io::Table::num(snr_of(chip, sim::Pickup::kOnChipSensor), 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // DRC guardrail: the library refuses spirals the process cannot build.
+  sim::ChipConfig bad = sim::make_default_config();
+  bad.spiral.wire_width = 0.1e-6;  // below the 180 nm M6 minimum width
+  try {
+    sim::Chip chip{bad};
+    std::printf("UNEXPECTED: DRC violation accepted\n");
+    return 1;
+  } catch (const emts::precondition_error& e) {
+    std::printf("DRC check works: %s\n\n", e.what());
+  }
+
+  std::printf("More turns accumulate more flux (larger summed turn area) and raise\n"
+              "SNR — until the pitch hits the spacing rule. The shipped default\n"
+              "(12 turns) sits near the knee.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Trojan sweep: arms each of the paper's five Trojans in turn and shows how
+// the two detectors and the two pickups see it — the whole evaluation story
+// of the paper in one table:
+//   * Euclidean distance (Sec. III-D) per pickup, against the Eq. 1 threshold
+//   * spectral anomalies (Sec. III-E) from the on-chip sensor
+// Expected shape: the on-chip sensor detects all four digital Trojans by
+// distance; the spectral stage catches T1/T2/T4 and A2 but misses T3.
+#include <cstdio>
+#include <string>
+
+#include "core/euclidean.hpp"
+#include "core/spectral.hpp"
+#include "io/table.hpp"
+#include "sim/chip.hpp"
+
+using namespace emts;
+
+namespace {
+
+core::TraceSet batch(sim::Chip& chip, sim::Pickup pickup, std::size_t count,
+                     std::uint64_t first) {
+  core::TraceSet set;
+  set.sample_rate = chip.sample_rate();
+  for (std::uint64_t t = 0; t < count; ++t) {
+    set.add(chip.capture(true, first + t).of(pickup));
+  }
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  sim::Chip chip{sim::make_default_config()};
+
+  // Calibrate one detector stack per pickup on golden traces.
+  const auto golden_sensor = batch(chip, sim::Pickup::kOnChipSensor, 48, 0);
+  const auto golden_probe = batch(chip, sim::Pickup::kExternalProbe, 48, 0);
+  const auto det_sensor = core::EuclideanDetector::calibrate(golden_sensor);
+  const auto det_probe = core::EuclideanDetector::calibrate(golden_probe);
+  const auto spectral = core::SpectralDetector::calibrate(golden_sensor);
+
+  std::printf("Trojan sweep — EDth(sensor) = %.4f, EDth(probe) = %.4f\n\n",
+              det_sensor.threshold(), det_probe.threshold());
+
+  io::Table table{{"trojan", "cells", "area%", "d(sensor)", "detected", "d(probe)",
+                   "spectral anomalies", "strongest spot"}};
+
+  const double aes_area = 33083.0 * 18.0;  // gate model: cells x avg cell area
+  for (trojan::TrojanKind kind : trojan::kAllTrojanKinds) {
+    chip.arm(kind);
+    const auto suspect_sensor = batch(chip, sim::Pickup::kOnChipSensor, 16, 5000);
+    const auto suspect_probe = batch(chip, sim::Pickup::kExternalProbe, 16, 5000);
+    const auto report = spectral.analyze(suspect_sensor);
+    chip.disarm_all();
+
+    const auto& model = chip.trojan_model(kind);
+    const double d_sensor = det_sensor.population_distance(suspect_sensor);
+    const double d_probe = det_probe.population_distance(suspect_probe);
+
+    std::string spot = "-";
+    if (!report.anomalies.empty()) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%s %.3f MHz",
+                    report.anomalies.front().kind == core::SpectralAnomalyKind::kNewSpot
+                        ? "new"
+                        : "amplified",
+                    report.anomalies.front().frequency_hz / 1e6);
+      spot = buf;
+    }
+
+    table.add_row({trojan::kind_label(kind), std::to_string(model.cell_count()),
+                   io::Table::num(100.0 * model.area_um2() / aes_area, 3),
+                   io::Table::num(d_sensor, 3),
+                   d_sensor > det_sensor.threshold() ? "yes" : "no",
+                   io::Table::num(d_probe, 3), std::to_string(report.anomalies.size()), spot});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading the table: every digital Trojan clears the sensor's Eq. 1\n"
+              "threshold; T3's spread-spectrum leak produces no spectral anomaly\n"
+              "(Fig. 6(k)) while T1's 750 kHz carrier and A2's fast-toggling\n"
+              "trigger appear as new spots (Fig. 6(i), Fig. 4).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Cycle-accurate switching-activity model of a round-per-cycle AES-128 core.
+//
+// The fabricated chip's EM emission comes from switching currents; at the
+// architectural level the dominant, data-dependent component is proportional
+// to the Hamming distances between consecutive values on each functional
+// unit (registers, S-box array, MixColumns network, key schedule). This model
+// computes those distances from the *real* cipher intermediates so traces
+// carry the same plaintext/key dependence as silicon, which the paper's
+// fingerprinting step relies on.
+//
+// Units carry distinct logic depths: register toggles cluster right after the
+// clock edge, deep combinational clouds (S-boxes) spread later into the
+// cycle. The power model turns this into within-cycle current shape.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "aes/aes128.hpp"
+
+namespace emts::aes {
+
+/// Functional units of the AES core, each a separately placed module with its
+/// own share of gates and its own activity stream.
+enum class AesUnit {
+  kStateRegisters,
+  kKeyRegisters,
+  kSboxArray,
+  kMixColumns,
+  kKeySchedule,
+  kControl,  // FSM, round counter, clock distribution within the core
+};
+inline constexpr std::size_t kAesUnitCount = 6;
+
+/// Weighted toggle counts per unit for one clock cycle, plus the within-cycle
+/// timing of the unit's activity centroid.
+struct UnitActivity {
+  double toggles = 0.0;      // equivalent single-gate output toggles
+  double onset_ps = 0.0;     // earliest switching relative to the clock edge
+  double spread_ps = 500.0;  // duration over which switching is distributed
+};
+
+using CycleActivity = std::array<UnitActivity, kAesUnitCount>;
+
+/// Number of clock cycles one encryption occupies: load + 10 rounds + output
+/// drive. The paper's chip runs encryptions back to back with short idle gaps.
+inline constexpr std::size_t kCyclesPerEncryption = 12;
+
+class AesActivityModel {
+ public:
+  explicit AesActivityModel(const Key& key);
+
+  /// Per-cycle activity of one encryption of `plaintext`. `ciphertext` (if
+  /// non-null) receives the result so callers can verify functionality.
+  std::vector<CycleActivity> encrypt_activity(const Block& plaintext,
+                                              Block* ciphertext = nullptr) const;
+
+  /// Activity of an idle cycle: only the control unit (clock tree) switches.
+  /// This is what the chip looks like during the paper's noise-capture step.
+  static CycleActivity idle_cycle();
+
+  const Key& key() const { return key_; }
+
+ private:
+  Key key_;
+  std::array<Block, kNumRounds + 1> round_keys_;
+};
+
+/// Human-readable unit name.
+const char* unit_name(AesUnit unit);
+
+}  // namespace emts::aes

@@ -1,0 +1,152 @@
+#include "aes/datapath_netlist.hpp"
+
+#include <array>
+
+#include "aes/aes128.hpp"
+#include "netlist/builders.hpp"
+#include "util/assert.hpp"
+
+namespace emts::aes {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::TruthTable;
+
+std::vector<NetId> build_sbox_netlist(Netlist& nl, const std::vector<NetId>& in8) {
+  EMTS_REQUIRE(in8.size() == 8, "S-box needs exactly 8 input nets");
+  std::vector<TruthTable> outputs(8, TruthTable(256));
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t s = sbox(static_cast<std::uint8_t>(x));
+    for (int b = 0; b < 8; ++b) {
+      outputs[static_cast<std::size_t>(b)][static_cast<std::size_t>(x)] = ((s >> b) & 1u) != 0;
+    }
+  }
+  return synthesize_lut(nl, in8, outputs);
+}
+
+std::vector<NetId> build_mix_column_netlist(Netlist& nl, const std::vector<NetId>& in32) {
+  EMTS_REQUIRE(in32.size() == 32, "MixColumns column needs exactly 32 input nets");
+
+  // Derive the 32x32 GF(2) matrix by pushing unit vectors through the
+  // reference arithmetic: out = M * in over GF(2), since xtime (and hence
+  // gf_mul by 2 and 3) is linear.
+  std::array<std::array<bool, 32>, 32> matrix{};
+  for (int j = 0; j < 32; ++j) {
+    std::array<std::uint8_t, 4> column{};
+    column[static_cast<std::size_t>(j / 8)] = static_cast<std::uint8_t>(1u << (j % 8));
+    const std::uint8_t a0 = column[0], a1 = column[1], a2 = column[2], a3 = column[3];
+    const std::array<std::uint8_t, 4> out{
+        static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3),
+        static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3),
+        static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3)),
+        static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2)),
+    };
+    for (int i = 0; i < 32; ++i) {
+      matrix[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          ((out[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u) != 0;
+    }
+  }
+
+  std::vector<NetId> result;
+  result.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    std::vector<NetId> terms;
+    for (int j = 0; j < 32; ++j) {
+      if (matrix[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) {
+        terms.push_back(in32[static_cast<std::size_t>(j)]);
+      }
+    }
+    EMTS_ASSERT(!terms.empty());  // MixColumns has no constant-zero output
+    result.push_back(netlist::build_xor_tree(nl, std::move(terms)));
+  }
+  return result;
+}
+
+AesCoreNetlist build_aes_core_netlist() {
+  AesCoreNetlist core;
+  Netlist& nl = core.netlist;
+
+  core.load = nl.add_net("load");
+  core.final_round = nl.add_net("final_round");
+  nl.mark_primary_input(core.load);
+  nl.mark_primary_input(core.final_round);
+  for (int i = 0; i < 128; ++i) {
+    core.plaintext.push_back(nl.add_net("pt" + std::to_string(i)));
+    nl.mark_primary_input(core.plaintext.back());
+  }
+  for (int i = 0; i < 128; ++i) {
+    core.round_key.push_back(nl.add_net("rk" + std::to_string(i)));
+    nl.mark_primary_input(core.round_key.back());
+  }
+  for (int i = 0; i < 128; ++i) {
+    core.state_q.push_back(nl.add_net("sq" + std::to_string(i)));
+    nl.mark_primary_output(core.state_q.back());
+  }
+
+  // SubBytes: one synthesized S-box per state byte.
+  std::vector<NetId> after_sub(128);
+  for (int byte = 0; byte < 16; ++byte) {
+    std::vector<NetId> in8(core.state_q.begin() + 8 * byte,
+                           core.state_q.begin() + 8 * (byte + 1));
+    const auto out8 = build_sbox_netlist(nl, in8);
+    for (int b = 0; b < 8; ++b) after_sub[static_cast<std::size_t>(8 * byte + b)] = out8[static_cast<std::size_t>(b)];
+  }
+
+  // ShiftRows: pure wiring. Destination byte j = r + 4c takes the S-box
+  // output of byte r + 4((c + r) % 4).
+  std::vector<NetId> after_shift(128);
+  for (int j = 0; j < 16; ++j) {
+    const int r = j % 4;
+    const int c = j / 4;
+    const int src = r + 4 * ((c + r) % 4);
+    for (int b = 0; b < 8; ++b) {
+      after_shift[static_cast<std::size_t>(8 * j + b)] =
+          after_sub[static_cast<std::size_t>(8 * src + b)];
+    }
+  }
+
+  // MixColumns per column, with the final-round bypass mux.
+  std::vector<NetId> selected(128);
+  for (int col = 0; col < 4; ++col) {
+    std::vector<NetId> in32(after_shift.begin() + 32 * col,
+                            after_shift.begin() + 32 * (col + 1));
+    const auto mixed = build_mix_column_netlist(nl, in32);
+    for (int b = 0; b < 32; ++b) {
+      const auto idx = static_cast<std::size_t>(32 * col + b);
+      const NetId sel = nl.add_net("rsel" + std::to_string(idx));
+      // final_round ? shifted (bypass) : mixed.
+      nl.add_cell(netlist::CellType::kMux2,
+                  {mixed[static_cast<std::size_t>(b)], after_shift[idx], core.final_round}, sel);
+      selected[idx] = sel;
+    }
+  }
+
+  // Load mux + AddRoundKey + state register. With load=1 and k0 applied the
+  // register captures pt ^ k0 — the initial AddRoundKey for free.
+  for (int i = 0; i < 128; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const NetId data = nl.add_net("data" + std::to_string(i));
+    nl.add_cell(netlist::CellType::kMux2, {selected[idx], core.plaintext[idx], core.load}, data);
+    const NetId d = nl.add_net("d" + std::to_string(i));
+    nl.add_cell(netlist::CellType::kXor2, {data, core.round_key[idx]}, d);
+    nl.add_cell(netlist::CellType::kDff, {d}, core.state_q[idx]);
+  }
+
+  return core;
+}
+
+std::vector<NetId> build_add_round_key_netlist(Netlist& nl, const std::vector<NetId>& state,
+                                               const std::vector<NetId>& key) {
+  EMTS_REQUIRE(state.size() == key.size() && !state.empty(),
+               "AddRoundKey needs equal non-empty buses");
+  std::vector<NetId> out;
+  out.reserve(state.size());
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const NetId net = nl.add_net("ark" + std::to_string(i));
+    nl.add_cell(netlist::CellType::kXor2, {state[i], key[i]}, net);
+    out.push_back(net);
+  }
+  return out;
+}
+
+}  // namespace emts::aes

@@ -1,0 +1,51 @@
+// Gate-level AES datapath blocks — real netlists, not activity proxies.
+// These back the synthesis gate-count model with buildable logic and let the
+// event-driven simulator execute actual AES operations:
+//   * the S-box, synthesized from its truth table (LUT-style, like the
+//     paper's 33k-cell AES) and verified against the reference cipher over
+//     all 256 inputs;
+//   * one MixColumns column, a pure XOR network derived from the GF(2^8)
+//     constants (xtime is linear over GF(2), so no AND gates appear);
+//   * AddRoundKey, a rank of XORs.
+// Bit convention: bus[i] is bit i (lsb first) of the byte/word.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/synth.hpp"
+
+namespace emts::aes {
+
+/// Synthesizes one S-box over the 8 input nets; returns the 8 output nets.
+std::vector<netlist::NetId> build_sbox_netlist(netlist::Netlist& nl,
+                                               const std::vector<netlist::NetId>& in8);
+
+/// Builds one MixColumns column: 32 input bits (byte 0 = bits 0..7, lsb
+/// first) -> 32 output bits.
+std::vector<netlist::NetId> build_mix_column_netlist(netlist::Netlist& nl,
+                                                     const std::vector<netlist::NetId>& in32);
+
+/// Builds AddRoundKey over equal-width state/key buses.
+std::vector<netlist::NetId> build_add_round_key_netlist(
+    netlist::Netlist& nl, const std::vector<netlist::NetId>& state,
+    const std::vector<netlist::NetId>& key);
+
+/// A complete round-per-cycle AES-128 encryption core at gate level: 128
+/// state flops, 16 synthesized S-boxes, ShiftRows wiring, 4 MixColumns
+/// networks with the final-round bypass, and AddRoundKey. Round keys arrive
+/// on primary inputs (the key schedule runs off-core), so the testbench
+/// clocks: load+k0, then k1..k10 — after which state_q holds the ciphertext.
+/// The integration test runs full FIPS-verified encryptions through the
+/// event-driven simulator, gate by gate.
+struct AesCoreNetlist {
+  netlist::Netlist netlist{"aes_core"};
+  std::vector<netlist::NetId> plaintext;  // 128 primary inputs
+  std::vector<netlist::NetId> round_key;  // 128 primary inputs
+  netlist::NetId load = 0;                // 1 = capture plaintext ^ round_key
+  netlist::NetId final_round = 0;         // 1 = bypass MixColumns
+  std::vector<netlist::NetId> state_q;    // 128 register outputs
+};
+AesCoreNetlist build_aes_core_netlist();
+
+}  // namespace emts::aes

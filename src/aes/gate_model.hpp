@@ -1,0 +1,36 @@
+// Synthesis gate-count model of the AES core.
+//
+// The paper's Table I reports the fabricated AES at 33,083 gates (180 nm,
+// LUT-style S-boxes). We cannot re-run their commercial synthesis flow, so
+// this model allocates cells to functional units using standard structural
+// arithmetic (16+4 S-boxes, 128-bit datapath, key schedule, control, clock
+// tree) with the S-box size as the single calibrated parameter. The bench for
+// Table I prints these numbers next to the paper's.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "aes/activity.hpp"
+
+namespace emts::aes {
+
+/// Cell count and area for one functional unit.
+struct UnitBudget {
+  std::size_t cells = 0;
+  double area_um2 = 0.0;
+};
+
+/// Full synthesis budget of the AES core.
+struct AesGateModel {
+  std::array<UnitBudget, kAesUnitCount> units{};
+  std::size_t total_cells = 0;
+  double total_area_um2 = 0.0;
+
+  const UnitBudget& unit(AesUnit u) const { return units[static_cast<std::size_t>(u)]; }
+};
+
+/// Builds the calibrated budget (~33k cells, matching the paper's AES).
+AesGateModel default_aes_gate_model();
+
+}  // namespace emts::aes

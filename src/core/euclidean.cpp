@@ -1,0 +1,93 @@
+#include "core/euclidean.hpp"
+
+#include <algorithm>
+
+#include "linalg/matrix.hpp"
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+EuclideanDetector::EuclideanDetector(Preprocessor preprocessor, stats::PcaModel pca,
+                                     bool include_residual)
+    : preprocessor_{std::move(preprocessor)},
+      pca_{std::move(pca)},
+      include_residual_{include_residual} {}
+
+std::vector<double> EuclideanDetector::embed(const std::vector<double>& features) const {
+  std::vector<double> embedding = pca_.project(features);
+  if (include_residual_) {
+    // Q-statistic coordinate: how much of the trace lies outside the golden
+    // variation subspace.
+    const auto back = pca_.reconstruct(embedding);
+    embedding.push_back(linalg::euclidean_distance(features, back));
+  }
+  return embedding;
+}
+
+EuclideanDetector EuclideanDetector::calibrate(const TraceSet& golden) {
+  return calibrate(golden, Options{});
+}
+
+EuclideanDetector EuclideanDetector::calibrate(const TraceSet& golden, const Options& options) {
+  EMTS_REQUIRE(golden.size() >= 3, "calibration needs at least 3 golden traces");
+  golden.validate();
+
+  Preprocessor preprocessor{options.preprocess};
+  const linalg::Matrix features = preprocessor.feature_matrix(golden);
+  stats::PcaModel pca = stats::PcaModel::fit(features, options.pca_components);
+
+  EuclideanDetector detector{std::move(preprocessor), std::move(pca),
+                             options.include_residual};
+
+  // Embed the calibration set and derive the Eq. 1 threshold.
+  detector.golden_projections_.reserve(golden.size());
+  std::vector<double> sample(features.cols());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const double* row = features.row_data(r);
+    sample.assign(row, row + features.cols());
+    detector.golden_projections_.push_back(detector.embed(sample));
+  }
+
+  detector.golden_centroid_.assign(detector.golden_projections_.front().size(), 0.0);
+  for (const auto& p : detector.golden_projections_) {
+    for (std::size_t c = 0; c < p.size(); ++c) detector.golden_centroid_[c] += p[c];
+  }
+  for (double& v : detector.golden_centroid_) {
+    v /= static_cast<double>(detector.golden_projections_.size());
+  }
+
+  double max_pairwise = 0.0;
+  for (std::size_t i = 0; i < detector.golden_projections_.size(); ++i) {
+    for (std::size_t j = i + 1; j < detector.golden_projections_.size(); ++j) {
+      max_pairwise = std::max(max_pairwise,
+                              linalg::euclidean_distance(detector.golden_projections_[i],
+                                                         detector.golden_projections_[j]));
+    }
+  }
+  detector.threshold_ = max_pairwise;
+  return detector;
+}
+
+double EuclideanDetector::score(const Trace& trace) const {
+  return linalg::euclidean_distance(embed(preprocessor_.features(trace)), golden_centroid_);
+}
+
+std::vector<double> EuclideanDetector::score_all(const TraceSet& set) const {
+  std::vector<double> out;
+  out.reserve(set.size());
+  for (const Trace& t : set.traces) out.push_back(score(t));
+  return out;
+}
+
+double EuclideanDetector::population_distance(const TraceSet& suspect) const {
+  EMTS_REQUIRE(!suspect.empty(), "population_distance needs traces");
+  std::vector<double> centroid(golden_centroid_.size(), 0.0);
+  for (const Trace& t : suspect.traces) {
+    const auto p = embed(preprocessor_.features(t));
+    for (std::size_t c = 0; c < p.size(); ++c) centroid[c] += p[c];
+  }
+  for (double& v : centroid) v /= static_cast<double>(suspect.size());
+  return linalg::euclidean_distance(centroid, golden_centroid_);
+}
+
+}  // namespace emts::core

@@ -1,0 +1,76 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+const char* verdict_label(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kTrusted:
+      return "TRUSTED";
+    case Verdict::kSuspicious:
+      return "SUSPICIOUS";
+    case Verdict::kCompromised:
+      return "COMPROMISED";
+  }
+  return "?";
+}
+
+std::string TrustReport::summary() const {
+  std::ostringstream out;
+  out << verdict_label(verdict) << ": mean distance " << mean_distance << " (threshold "
+      << threshold << "), " << 100.0 * anomalous_fraction << "% traces beyond EDth, "
+      << spectral.anomalies.size() << " spectral anomalies";
+  return out.str();
+}
+
+TrustEvaluator::TrustEvaluator(EuclideanDetector euclidean, SpectralDetector spectral,
+                               const Options& options)
+    : euclidean_{std::move(euclidean)}, spectral_{std::move(spectral)}, options_{options} {}
+
+TrustEvaluator TrustEvaluator::calibrate(const TraceSet& golden) {
+  return calibrate(golden, Options{});
+}
+
+TrustEvaluator TrustEvaluator::calibrate(const TraceSet& golden, const Options& options) {
+  EMTS_REQUIRE(options.anomalous_fraction_alarm > 0.0 && options.anomalous_fraction_alarm <= 1.0,
+               "alarm fraction must be in (0, 1]");
+  return TrustEvaluator{EuclideanDetector::calibrate(golden, options.euclidean),
+                        SpectralDetector::calibrate(golden, options.spectral), options};
+}
+
+TrustReport TrustEvaluator::evaluate(const TraceSet& suspect) const {
+  EMTS_REQUIRE(!suspect.empty(), "evaluate needs traces");
+
+  TrustReport report;
+  report.threshold = euclidean_.threshold();
+
+  const auto scores = euclidean_.score_all(suspect);
+  double sum = 0.0;
+  std::size_t beyond = 0;
+  for (double s : scores) {
+    sum += s;
+    report.max_distance = std::max(report.max_distance, s);
+    if (s > report.threshold) ++beyond;
+  }
+  report.mean_distance = sum / static_cast<double>(scores.size());
+  report.anomalous_fraction = static_cast<double>(beyond) / static_cast<double>(scores.size());
+
+  report.spectral = spectral_.analyze(suspect);
+
+  const bool distance_alarm = report.anomalous_fraction > options_.anomalous_fraction_alarm;
+  const bool spectral_alarm = report.spectral.anomalous();
+  if (distance_alarm && spectral_alarm) {
+    report.verdict = Verdict::kCompromised;
+  } else if (distance_alarm || spectral_alarm) {
+    report.verdict = Verdict::kSuspicious;
+  } else {
+    report.verdict = Verdict::kTrusted;
+  }
+  return report;
+}
+
+}  // namespace emts::core

@@ -1,0 +1,64 @@
+// Combined trust evaluator: the "data analysis module" of Fig. 1. Wraps the
+// Euclidean-distance detector (digital Trojans) and the spectral detector
+// (A2-style / fast-toggling Trojans) behind one calibrate-then-evaluate API
+// and merges their verdicts into a trust report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/euclidean.hpp"
+#include "core/spectral.hpp"
+#include "core/trace.hpp"
+
+namespace emts::core {
+
+enum class Verdict { kTrusted, kSuspicious, kCompromised };
+
+struct TrustReport {
+  Verdict verdict = Verdict::kTrusted;
+
+  // Euclidean stage.
+  double mean_distance = 0.0;
+  double max_distance = 0.0;
+  double threshold = 0.0;       // Eq. 1
+  double anomalous_fraction = 0.0;  // traces beyond the threshold
+
+  // Spectral stage.
+  SpectralReport spectral;
+
+  std::string summary() const;
+};
+
+class TrustEvaluator {
+ public:
+  struct Options {
+    EuclideanDetector::Options euclidean{};
+    SpectralDetector::Options spectral{};
+    // Fraction of over-threshold traces that flips the distance verdict.
+    // Golden noise occasionally exceeds the Eq. 1 max; a population-level
+    // exceedance rate is the runtime-robust form of the rule.
+    double anomalous_fraction_alarm = 0.05;
+  };
+
+  /// Calibrates both detectors on golden traces.
+  static TrustEvaluator calibrate(const TraceSet& golden, const Options& options);
+  static TrustEvaluator calibrate(const TraceSet& golden);  // default options
+
+  /// Evaluates a batch of runtime traces.
+  TrustReport evaluate(const TraceSet& suspect) const;
+
+  const EuclideanDetector& euclidean() const { return euclidean_; }
+  const SpectralDetector& spectral() const { return spectral_; }
+
+ private:
+  TrustEvaluator(EuclideanDetector euclidean, SpectralDetector spectral, const Options& options);
+
+  EuclideanDetector euclidean_;
+  SpectralDetector spectral_;
+  Options options_;
+};
+
+const char* verdict_label(Verdict verdict);
+
+}  // namespace emts::core

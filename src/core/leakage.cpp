@@ -1,0 +1,58 @@
+#include "core/leakage.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+LeakageReport tvla(const TraceSet& fixed_input, const TraceSet& random_input,
+                   double threshold) {
+  EMTS_REQUIRE(fixed_input.size() >= 2 && random_input.size() >= 2,
+               "TVLA needs >= 2 traces per population");
+  fixed_input.validate();
+  random_input.validate();
+  EMTS_REQUIRE(fixed_input.trace_length() == random_input.trace_length(),
+               "TVLA populations must share the trace length");
+  EMTS_REQUIRE(threshold > 0.0, "TVLA threshold must be positive");
+
+  const std::size_t n = fixed_input.trace_length();
+  const auto na = static_cast<double>(fixed_input.size());
+  const auto nb = static_cast<double>(random_input.size());
+
+  // Single pass per population: accumulate per-sample sums and sum-squares.
+  std::vector<double> sum_a(n, 0.0), sq_a(n, 0.0), sum_b(n, 0.0), sq_b(n, 0.0);
+  for (const Trace& t : fixed_input.traces) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sum_a[i] += t[i];
+      sq_a[i] += t[i] * t[i];
+    }
+  }
+  for (const Trace& t : random_input.traces) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sum_b[i] += t[i];
+      sq_b[i] += t[i] * t[i];
+    }
+  }
+
+  LeakageReport report;
+  report.threshold = threshold;
+  report.t_statistic.resize(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mean_a = sum_a[i] / na;
+    const double mean_b = sum_b[i] / nb;
+    const double var_a = (sq_a[i] - na * mean_a * mean_a) / (na - 1.0);
+    const double var_b = (sq_b[i] - nb * mean_b * mean_b) / (nb - 1.0);
+    const double denom = var_a / na + var_b / nb;
+    const double t = denom > 0.0 ? (mean_a - mean_b) / std::sqrt(denom) : 0.0;
+    report.t_statistic[i] = t;
+    if (std::abs(t) > report.max_abs_t) {
+      report.max_abs_t = std::abs(t);
+      report.max_abs_t_sample = i;
+    }
+    if (std::abs(t) > threshold) ++report.leaky_samples;
+  }
+  return report;
+}
+
+}  // namespace emts::core

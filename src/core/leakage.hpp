@@ -1,0 +1,37 @@
+// Side-channel leakage assessment (TVLA, Goodwill et al.): per-sample
+// Welch t-test between a fixed-input and a random-input trace population.
+// |t| above the standard 4.5 threshold at any sample means the traces carry
+// data-dependent information.
+//
+// Why it's here: the paper's premise is that the on-chip sensor's traces are
+// "rich in information" (Sec. III-A) — rich enough that a Trojan's tampering
+// shows up. TVLA quantifies that premise: the sensor's captures leak the
+// AES data dependence strongly, the external probe's far less. It also gives
+// deployments a calibration self-check ("is my sensor actually seeing the
+// die?") that needs no Trojan at all.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace emts::core {
+
+struct LeakageReport {
+  std::vector<double> t_statistic;  // per sample, Welch's t
+  double max_abs_t = 0.0;
+  std::size_t max_abs_t_sample = 0;
+  std::size_t leaky_samples = 0;  // |t| > threshold
+  double threshold = 4.5;
+
+  bool leaks() const { return leaky_samples > 0; }
+};
+
+/// Runs the fixed-vs-random TVLA. Both sets need >= 2 equal-length traces
+/// and matching sample rates. Samples where both populations are constant
+/// (e.g. ADC-flat regions) get t = 0.
+LeakageReport tvla(const TraceSet& fixed_input, const TraceSet& random_input,
+                   double threshold = 4.5);
+
+}  // namespace emts::core

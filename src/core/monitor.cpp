@@ -1,0 +1,92 @@
+#include "core/monitor.hpp"
+
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+const char* monitor_state_label(MonitorState state) {
+  switch (state) {
+    case MonitorState::kCalibrating:
+      return "CALIBRATING";
+    case MonitorState::kMonitoring:
+      return "MONITORING";
+    case MonitorState::kAlarm:
+      return "ALARM";
+  }
+  return "?";
+}
+
+RuntimeMonitor::RuntimeMonitor(double sample_rate) : RuntimeMonitor(sample_rate, Options{}) {}
+
+RuntimeMonitor::RuntimeMonitor(double sample_rate, const Options& options)
+    : options_{options}, sample_rate_{sample_rate} {
+  EMTS_REQUIRE(sample_rate > 0.0, "monitor needs a positive sample rate");
+  EMTS_REQUIRE(options.calibration_traces >= 3, "monitor needs >= 3 calibration traces");
+  EMTS_REQUIRE(options.alarm_debounce >= 1, "alarm debounce must be >= 1");
+  EMTS_REQUIRE(options.spectral_window >= 1, "spectral window must be >= 1");
+  calibration_.sample_rate = sample_rate;
+  spectral_window_.sample_rate = sample_rate;
+}
+
+void RuntimeMonitor::on_alarm(std::function<void(const TrustReport&)> callback) {
+  alarm_callback_ = std::move(callback);
+}
+
+void RuntimeMonitor::finish_calibration() {
+  evaluator_ = TrustEvaluator::calibrate(calibration_, options_.evaluator);
+  state_ = MonitorState::kMonitoring;
+}
+
+MonitorState RuntimeMonitor::push(Trace trace) {
+  EMTS_REQUIRE(!trace.empty(), "cannot push an empty trace");
+  ++traces_seen_;
+
+  if (state_ == MonitorState::kCalibrating) {
+    calibration_.add(std::move(trace));
+    if (calibration_.size() >= options_.calibration_traces) finish_calibration();
+    return state_;
+  }
+
+  EMTS_ASSERT(evaluator_.has_value());
+  last_score_ = evaluator_->euclidean().score(trace);
+  const bool distance_anomaly = *last_score_ > evaluator_->euclidean().threshold();
+
+  // Spectral check over a rolling window.
+  bool spectral_anomaly = false;
+  spectral_window_.add(std::move(trace));
+  if (spectral_window_.size() >= options_.spectral_window) {
+    last_spectral_ = evaluator_->spectral().analyze(spectral_window_);
+    spectral_anomaly = last_spectral_->anomalous();
+    spectral_window_.traces.clear();
+  }
+
+  if (distance_anomaly || spectral_anomaly) {
+    ++consecutive_anomalies_;
+  } else {
+    consecutive_anomalies_ = 0;
+  }
+
+  if (state_ == MonitorState::kMonitoring &&
+      consecutive_anomalies_ >= options_.alarm_debounce) {
+    state_ = MonitorState::kAlarm;
+    if (alarm_callback_) {
+      TrustReport report;
+      report.verdict = Verdict::kCompromised;
+      report.threshold = evaluator_->euclidean().threshold();
+      report.mean_distance = *last_score_;
+      report.max_distance = *last_score_;
+      report.anomalous_fraction = 1.0;
+      if (last_spectral_.has_value()) report.spectral = *last_spectral_;
+      alarm_callback_(report);
+    }
+  }
+  return state_;
+}
+
+void RuntimeMonitor::acknowledge_alarm() {
+  EMTS_REQUIRE(state_ == MonitorState::kAlarm, "no alarm to acknowledge");
+  state_ = MonitorState::kMonitoring;
+  consecutive_anomalies_ = 0;
+}
+
+}  // namespace emts::core

@@ -1,0 +1,79 @@
+// Runtime trust monitor — the deployment loop of Fig. 1. The on-chip sensor
+// streams captures; the monitor first self-calibrates on an initial window
+// of traces (the user "knows how the circuit will operate", Sec. III-B),
+// then scores every subsequent capture and raises an alarm after a debounced
+// run of anomalies. "Runtime" in the paper's sense: evaluation happens while
+// the system operates, not instantaneously per trace.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "core/evaluator.hpp"
+#include "core/trace.hpp"
+
+namespace emts::core {
+
+enum class MonitorState { kCalibrating, kMonitoring, kAlarm };
+
+class RuntimeMonitor {
+ public:
+  struct Options {
+    std::size_t calibration_traces = 64;
+    // Consecutive anomalous captures required to latch the alarm: debounces
+    // the occasional golden capture beyond EDth.
+    std::size_t alarm_debounce = 3;
+    // Re-run the spectral check every this many monitored captures, over the
+    // most recent window of traces.
+    std::size_t spectral_window = 16;
+    TrustEvaluator::Options evaluator{};
+  };
+
+  /// `sample_rate` of the incoming captures (Hz).
+  explicit RuntimeMonitor(double sample_rate);  // default options
+  RuntimeMonitor(double sample_rate, const Options& options);
+
+  /// Feeds one capture; returns the state after ingesting it.
+  MonitorState push(Trace trace);
+
+  MonitorState state() const { return state_; }
+  std::size_t traces_seen() const { return traces_seen_; }
+
+  /// Distance score of the most recent monitored capture.
+  std::optional<double> last_score() const { return last_score_; }
+
+  /// The detector stack, once calibration completes.
+  const TrustEvaluator* evaluator() const {
+    return evaluator_.has_value() ? &*evaluator_ : nullptr;
+  }
+
+  /// Most recent spectral report (if a spectral window completed).
+  const std::optional<SpectralReport>& last_spectral() const { return last_spectral_; }
+
+  /// Invoked exactly once when the alarm latches.
+  void on_alarm(std::function<void(const TrustReport&)> callback);
+
+  /// Clears a latched alarm and resumes monitoring (operator action after
+  /// the "further investigations" the paper mentions).
+  void acknowledge_alarm();
+
+ private:
+  void finish_calibration();
+
+  Options options_;
+  double sample_rate_;
+  MonitorState state_ = MonitorState::kCalibrating;
+  TraceSet calibration_;
+  TraceSet spectral_window_;
+  std::optional<TrustEvaluator> evaluator_;
+  std::optional<double> last_score_;
+  std::optional<SpectralReport> last_spectral_;
+  std::size_t traces_seen_ = 0;
+  std::size_t consecutive_anomalies_ = 0;
+  std::function<void(const TrustReport&)> alarm_callback_;
+};
+
+const char* monitor_state_label(MonitorState state);
+
+}  // namespace emts::core

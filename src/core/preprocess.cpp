@@ -1,0 +1,66 @@
+#include "core/preprocess.hpp"
+
+#include <cmath>
+
+#include "dsp/filter.hpp"
+#include "dsp/resample.hpp"
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+Preprocessor::Preprocessor() : Preprocessor(Options{}) {}
+
+Preprocessor::Preprocessor(const Options& options) : options_{options} {
+  EMTS_REQUIRE(options.smooth_window % 2 == 1, "smooth window must be odd");
+  EMTS_REQUIRE(options.decimation >= 1, "decimation must be >= 1");
+}
+
+std::vector<double> Preprocessor::features(const Trace& trace) const {
+  EMTS_REQUIRE(!trace.empty(), "cannot preprocess an empty trace");
+  std::vector<double> work = trace;
+
+  if (options_.remove_mean) {
+    double mean = 0.0;
+    for (double v : work) mean += v;
+    mean /= static_cast<double>(work.size());
+    for (double& v : work) v -= mean;
+  }
+
+  if (options_.smooth_window > 1) {
+    work = dsp::moving_average(work, options_.smooth_window);
+  }
+
+  if (options_.normalize_rms) {
+    double acc = 0.0;
+    for (double v : work) acc += v * v;
+    const double rms = std::sqrt(acc / static_cast<double>(work.size()));
+    if (rms > 0.0) {
+      for (double& v : work) v /= rms;
+    }
+  }
+
+  if (options_.decimation > 1) {
+    work = dsp::decimate_mean(work, options_.decimation);
+  }
+  EMTS_REQUIRE(!work.empty(), "decimation left no features");
+  return work;
+}
+
+linalg::Matrix Preprocessor::feature_matrix(const TraceSet& set) const {
+  EMTS_REQUIRE(!set.empty(), "cannot preprocess an empty trace set");
+  const auto first = features(set.traces.front());
+  linalg::Matrix out{set.size(), first.size()};
+  for (std::size_t c = 0; c < first.size(); ++c) out(0, c) = first[c];
+  for (std::size_t r = 1; r < set.size(); ++r) {
+    const auto f = features(set.traces[r]);
+    EMTS_ASSERT(f.size() == first.size());
+    for (std::size_t c = 0; c < f.size(); ++c) out(r, c) = f[c];
+  }
+  return out;
+}
+
+std::size_t Preprocessor::feature_dim(std::size_t trace_length) const {
+  return options_.decimation > 1 ? trace_length / options_.decimation : trace_length;
+}
+
+}  // namespace emts::core

@@ -1,0 +1,46 @@
+// Preprocessing stage of the data-analysis module (paper Sec. III-D):
+// denoising and feature extraction ahead of PCA. Raw oscilloscope traces are
+// detrended, optionally smoothed and normalized, then reduced to a feature
+// vector by block decimation so the PCA stage works on hundreds rather than
+// thousands of dimensions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "linalg/matrix.hpp"
+
+namespace emts::core {
+
+class Preprocessor {
+ public:
+  struct Options {
+    bool remove_mean = true;          // detrend DC offset
+    std::size_t smooth_window = 1;    // odd moving-average length; 1 = off
+    // Off by default: amplitude IS a signature (T4's whole payload is an
+    // amplitude increase); normalizing away RMS would blind the detector to
+    // it. Enable for setups with uncontrolled per-capture gain.
+    bool normalize_rms = false;
+    std::size_t decimation = 16;      // samples per feature (mean pooling)
+  };
+
+  Preprocessor();  // default options
+  explicit Preprocessor(const Options& options);
+
+  /// Feature vector of one trace.
+  std::vector<double> features(const Trace& trace) const;
+
+  /// Feature matrix of a whole set (rows = traces).
+  linalg::Matrix feature_matrix(const TraceSet& set) const;
+
+  /// Feature dimension for traces of `trace_length` samples.
+  std::size_t feature_dim(std::size_t trace_length) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace emts::core

@@ -1,0 +1,95 @@
+#include "core/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+SpectralDetector::SpectralDetector(const Options& options, dsp::Spectrum golden,
+                                   double sample_rate)
+    : options_{options}, golden_{std::move(golden)}, sample_rate_{sample_rate} {
+  // Noise floor: median amplitude away from peaks is a robust estimate.
+  noise_floor_ = stats::median(golden_.amplitude);
+  if (noise_floor_ <= 0.0) {
+    noise_floor_ = 1e-12;
+  }
+  golden_spots_ = dsp::find_peaks(golden_, options_.noise_floor_factor * noise_floor_);
+}
+
+SpectralDetector SpectralDetector::calibrate(const TraceSet& golden) {
+  return calibrate(golden, Options{});
+}
+
+SpectralDetector SpectralDetector::calibrate(const TraceSet& golden, const Options& options) {
+  EMTS_REQUIRE(!golden.empty(), "spectral calibration needs traces");
+  golden.validate();
+  dsp::Spectrum spectrum =
+      dsp::mean_spectrum(golden.traces, golden.sample_rate, options.spectrum);
+  return SpectralDetector{options, std::move(spectrum), golden.sample_rate};
+}
+
+SpectralReport SpectralDetector::analyze(const TraceSet& suspect) const {
+  EMTS_REQUIRE(!suspect.empty(), "spectral analysis needs traces");
+  suspect.validate();
+  EMTS_REQUIRE(std::abs(suspect.sample_rate - sample_rate_) < 1e-6 * sample_rate_,
+               "suspect sample rate differs from calibration");
+  const dsp::Spectrum spectrum =
+      dsp::mean_spectrum(suspect.traces, suspect.sample_rate, options_.spectrum);
+  EMTS_REQUIRE(spectrum.size() == golden_.size(),
+               "suspect trace length differs from calibration");
+
+  SpectralReport report;
+  // Peaks must clear the *suspect's own* floor as well as the golden floor:
+  // a Trojan that merely lifts the broadband floor (spread-spectrum leaks
+  // like T3) raises the median with it and creates no spot — exactly the
+  // paper's observation that T3 evades the spectral method.
+  const double floor_level = std::max(noise_floor_, stats::median(spectrum.amplitude));
+  const auto suspect_peaks =
+      dsp::find_peaks(spectrum, options_.new_spot_factor * floor_level);
+
+  for (const dsp::SpectralPeak& peak : suspect_peaks) {
+    // Match against a golden spot within the bin tolerance.
+    const dsp::SpectralPeak* match = nullptr;
+    for (const dsp::SpectralPeak& g : golden_spots_) {
+      const auto delta = peak.bin > g.bin ? peak.bin - g.bin : g.bin - peak.bin;
+      if (delta <= options_.match_bins) {
+        match = &g;
+        break;
+      }
+    }
+
+    if (match == nullptr) {
+      SpectralAnomaly anomaly;
+      anomaly.kind = SpectralAnomalyKind::kNewSpot;
+      anomaly.frequency_hz = peak.frequency;
+      anomaly.golden_amplitude = golden_.amplitude[peak.bin];
+      anomaly.suspect_amplitude = peak.amplitude;
+      anomaly.ratio = peak.amplitude / std::max(anomaly.golden_amplitude, noise_floor_);
+      report.anomalies.push_back(anomaly);
+    } else if (peak.amplitude > options_.amplification_ratio * match->amplitude) {
+      SpectralAnomaly anomaly;
+      anomaly.kind = SpectralAnomalyKind::kAmplifiedSpot;
+      anomaly.frequency_hz = peak.frequency;
+      anomaly.golden_amplitude = match->amplitude;
+      anomaly.suspect_amplitude = peak.amplitude;
+      anomaly.ratio = peak.amplitude / match->amplitude;
+      report.anomalies.push_back(anomaly);
+    }
+  }
+
+  std::sort(report.anomalies.begin(), report.anomalies.end(),
+            [](const SpectralAnomaly& a, const SpectralAnomaly& b) { return a.ratio > b.ratio; });
+  return report;
+}
+
+SpectralReport SpectralDetector::analyze(const Trace& trace) const {
+  TraceSet set;
+  set.sample_rate = sample_rate_;
+  set.add(trace);
+  return analyze(set);
+}
+
+}  // namespace emts::core

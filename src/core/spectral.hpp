@@ -1,0 +1,80 @@
+// Frequency-domain Trojan detector (paper Sec. III-E and IV-D):
+//
+//   "the circuits ... will generate specific EM spectrum, which will
+//    concentrate around the operating frequency ... accompanying certain
+//    harmonic frequency. When the A2-style Trojans are being triggered, the
+//    fast flipping signals will result in extra frequency spots or increased
+//    amplitude in the spectrum."
+//
+// Calibration records the golden mean spectrum and its significant spots.
+// Analysis of suspect traces reports two anomaly kinds, exactly the paper's
+// T = g / T != g case split:
+//   kNewSpot        — a peak at a frequency the golden spectrum is quiet at;
+//   kAmplifiedSpot  — a known spot whose magnitude grew beyond tolerance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace emts::core {
+
+enum class SpectralAnomalyKind { kNewSpot, kAmplifiedSpot };
+
+struct SpectralAnomaly {
+  SpectralAnomalyKind kind;
+  double frequency_hz = 0.0;
+  double golden_amplitude = 0.0;
+  double suspect_amplitude = 0.0;
+
+  /// Amplification factor (suspect / max(golden, floor)).
+  double ratio = 0.0;
+};
+
+struct SpectralReport {
+  std::vector<SpectralAnomaly> anomalies;  // strongest first
+  bool anomalous() const { return !anomalies.empty(); }
+};
+
+class SpectralDetector {
+ public:
+  struct Options {
+    dsp::SpectrumOptions spectrum{};
+    // A golden spot = local max above noise_floor_factor x median amplitude.
+    double noise_floor_factor = 6.0;
+    // New spots must also clear this factor over the golden noise floor.
+    double new_spot_factor = 6.0;
+    // Known spots flag as amplified beyond this ratio.
+    double amplification_ratio = 1.6;
+    // Frequency tolerance (in bins) when matching suspect peaks to golden
+    // spots.
+    std::size_t match_bins = 2;
+  };
+
+  /// Fits the golden reference spectrum. Requires >= 1 trace.
+  static SpectralDetector calibrate(const TraceSet& golden, const Options& options);
+  static SpectralDetector calibrate(const TraceSet& golden);  // default options
+
+  /// Analyzes a set of suspect traces (averaged spectrum).
+  SpectralReport analyze(const TraceSet& suspect) const;
+
+  /// Analyzes one trace.
+  SpectralReport analyze(const Trace& trace) const;
+
+  const dsp::Spectrum& golden_spectrum() const { return golden_; }
+  const std::vector<dsp::SpectralPeak>& golden_spots() const { return golden_spots_; }
+  double golden_noise_floor() const { return noise_floor_; }
+
+ private:
+  SpectralDetector(const Options& options, dsp::Spectrum golden, double sample_rate);
+
+  Options options_;
+  dsp::Spectrum golden_;
+  std::vector<dsp::SpectralPeak> golden_spots_;
+  double noise_floor_ = 0.0;
+  double sample_rate_ = 0.0;
+};
+
+}  // namespace emts::core

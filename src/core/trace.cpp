@@ -1,0 +1,33 @@
+#include "core/trace.hpp"
+
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+void TraceSet::add(Trace trace) {
+  EMTS_REQUIRE(!trace.empty(), "cannot add an empty trace");
+  EMTS_REQUIRE(traces.empty() || trace.size() == traces.front().size(),
+               "all traces in a set must share one length");
+  traces.push_back(std::move(trace));
+}
+
+void TraceSet::validate() const {
+  EMTS_REQUIRE(sample_rate > 0.0, "trace set needs a positive sample rate");
+  for (const Trace& t : traces) {
+    EMTS_REQUIRE(t.size() == traces.front().size(), "ragged trace set");
+  }
+}
+
+Trace TraceSet::mean_trace() const {
+  EMTS_REQUIRE(!traces.empty(), "mean of an empty trace set");
+  Trace mean(traces.front().size(), 0.0);
+  for (const Trace& t : traces) {
+    EMTS_REQUIRE(t.size() == mean.size(), "ragged trace set");
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += t[i];
+  }
+  const double inv = 1.0 / static_cast<double>(traces.size());
+  for (double& v : mean) v *= inv;
+  return mean;
+}
+
+}  // namespace emts::core

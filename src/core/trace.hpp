@@ -1,0 +1,33 @@
+// Trace containers shared across the trust-evaluation pipeline. A Trace is
+// one recorded sensor window; a TraceSet is an acquisition campaign with its
+// sampling metadata. The detectors consume these and never see the simulator
+// — on a real deployment they would be filled from the oscilloscope instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emts::core {
+
+/// One recorded sensor capture (volts per sample).
+using Trace = std::vector<double>;
+
+/// A set of equal-length traces plus acquisition metadata.
+struct TraceSet {
+  std::vector<Trace> traces;
+  double sample_rate = 0.0;  // Hz
+
+  std::size_t size() const { return traces.size(); }
+  bool empty() const { return traces.empty(); }
+  std::size_t trace_length() const { return traces.empty() ? 0 : traces.front().size(); }
+
+  void add(Trace trace);
+
+  /// Validates the invariant that all traces share one length.
+  void validate() const;
+
+  /// Element-wise mean trace; requires a non-empty set.
+  Trace mean_trace() const;
+};
+
+}  // namespace emts::core

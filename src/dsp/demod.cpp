@@ -1,0 +1,81 @@
+#include "dsp/demod.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/filter.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::dsp {
+
+std::vector<double> am_demodulate(const std::vector<double>& signal,
+                                  const AmDemodOptions& options) {
+  EMTS_REQUIRE(options.carrier_hz > 0.0, "carrier must be positive");
+  EMTS_REQUIRE(options.sample_rate > 2.0 * options.carrier_hz,
+               "sample rate must exceed twice the carrier (Nyquist)");
+  const double w = 2.0 * units::pi * options.carrier_hz / options.sample_rate;
+
+  // Quadrature mixing removes carrier-phase sensitivity: envelope = |I + jQ|.
+  std::vector<double> in_phase(signal.size());
+  std::vector<double> quadrature(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const double phase = w * static_cast<double>(i);
+    in_phase[i] = signal[i] * std::cos(phase);
+    quadrature[i] = signal[i] * std::sin(phase);
+  }
+
+  OnePoleLowPass lp_i{options.carrier_hz / 2.0, options.sample_rate};
+  OnePoleLowPass lp_q{options.carrier_hz / 2.0, options.sample_rate};
+  const auto i_f = lp_i.process(in_phase);
+  const auto q_f = lp_q.process(quadrature);
+
+  std::vector<double> envelope(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    envelope[i] = 2.0 * std::hypot(i_f[i], q_f[i]);
+  }
+  return envelope;
+}
+
+std::vector<int> slice_bits(const std::vector<double>& envelope, double sample_rate,
+                            double bit_rate_hz) {
+  EMTS_REQUIRE(bit_rate_hz > 0.0, "bit rate must be positive");
+  EMTS_REQUIRE(!envelope.empty(), "slice_bits requires a non-empty envelope");
+  const double samples_per_bit = sample_rate / bit_rate_hz;
+  EMTS_REQUIRE(samples_per_bit >= 2.0, "need at least 2 samples per bit");
+
+  const auto [lo_it, hi_it] = std::minmax_element(envelope.begin(), envelope.end());
+  const double midpoint = 0.5 * (*lo_it + *hi_it);
+
+  std::vector<int> bits;
+  for (double start = 0.0; start + samples_per_bit <= static_cast<double>(envelope.size()) + 0.5;
+       start += samples_per_bit) {
+    const auto lo = static_cast<std::size_t>(start);
+    const auto hi = std::min(static_cast<std::size_t>(start + samples_per_bit), envelope.size());
+    if (hi <= lo) break;
+    double mean = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) mean += envelope[i];
+    mean /= static_cast<double>(hi - lo);
+    bits.push_back(mean > midpoint ? 1 : 0);
+  }
+  return bits;
+}
+
+std::vector<double> ook_modulate(const std::vector<int>& bits, double carrier_hz,
+                                 double sample_rate, std::size_t samples_per_bit,
+                                 double amplitude) {
+  EMTS_REQUIRE(carrier_hz > 0.0 && sample_rate > 0.0, "rates must be positive");
+  EMTS_REQUIRE(samples_per_bit > 0, "samples_per_bit must be positive");
+  const double w = 2.0 * units::pi * carrier_hz / sample_rate;
+  std::vector<double> out;
+  out.reserve(bits.size() * samples_per_bit);
+  std::size_t t = 0;
+  for (int bit : bits) {
+    for (std::size_t i = 0; i < samples_per_bit; ++i, ++t) {
+      out.push_back(bit != 0 ? amplitude * std::sin(w * static_cast<double>(t)) : 0.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace emts::dsp

@@ -1,0 +1,33 @@
+// AM demodulation. Trojan T1 leaks key bits on a 750 kHz AM carrier (paper
+// Sec. IV-A, "demodulated with a wireless radio receiver"); this module plays
+// the attacker's receiver so tests can prove the leak actually carries data
+// — and the examples can show the defender catching it in the spectrum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emts::dsp {
+
+struct AmDemodOptions {
+  double carrier_hz = 750e3;
+  double sample_rate = 384e6;
+  double bit_rate_hz = 0.0;  // if > 0, also slice bits at this rate
+};
+
+/// Coherent AM demodulation: mixes with the carrier, low-passes the product,
+/// and returns the recovered baseband envelope.
+std::vector<double> am_demodulate(const std::vector<double>& signal, const AmDemodOptions& options);
+
+/// Slices a demodulated envelope into bits at `bit_rate_hz` by thresholding
+/// each bit period's mean against the global midpoint.
+std::vector<int> slice_bits(const std::vector<double>& envelope, double sample_rate,
+                            double bit_rate_hz);
+
+/// On-off-keyed carrier synthesis (the Trojan's transmitter): for each bit,
+/// `samples_per_bit` samples of carrier (bit=1) or silence (bit=0).
+std::vector<double> ook_modulate(const std::vector<int>& bits, double carrier_hz,
+                                 double sample_rate, std::size_t samples_per_bit,
+                                 double amplitude = 1.0);
+
+}  // namespace emts::dsp

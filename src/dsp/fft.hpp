@@ -1,0 +1,33 @@
+// Iterative radix-2 Cooley–Tukey FFT, implemented from scratch.
+// Used by the spectral Trojan detector (paper Sec. III-E / Fig. 4 / Fig. 6 i–l)
+// to transform measured EM traces into the frequency domain.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace emts::dsp {
+
+using cplx = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place forward FFT. Requires power-of-two size.
+void fft_in_place(std::vector<cplx>& data);
+
+/// In-place inverse FFT (includes 1/N scaling). Requires power-of-two size.
+void ifft_in_place(std::vector<cplx>& data);
+
+/// Forward FFT of a real signal; zero-pads to the next power of two.
+/// Returns the full complex spectrum (size = padded length).
+std::vector<cplx> fft_real(const std::vector<double>& signal);
+
+/// Inverse FFT returning the real part (imaginary residue discarded).
+std::vector<double> ifft_real(std::vector<cplx> spectrum);
+
+}  // namespace emts::dsp

@@ -1,0 +1,28 @@
+// Rate reduction and trace alignment. The preprocessing stage decimates long
+// oscilloscope traces into PCA-sized feature vectors, and aligns traces by
+// cross-correlation so trigger jitter does not masquerade as a Trojan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emts::dsp {
+
+/// Averaging decimator: each output sample is the mean of `factor` inputs.
+/// The trailing partial block (if any) is dropped.
+std::vector<double> decimate_mean(const std::vector<double>& signal, std::size_t factor);
+
+/// Peak-magnitude decimator: each output sample is the extreme (by absolute
+/// value) of its block, preserving narrow pulses that a mean would dilute.
+std::vector<double> decimate_peak(const std::vector<double>& signal, std::size_t factor);
+
+/// Integer lag in [-max_lag, +max_lag] maximizing cross-correlation of b
+/// against a (positive lag means b is delayed relative to a).
+int best_alignment_lag(const std::vector<double>& a, const std::vector<double>& b,
+                       std::size_t max_lag);
+
+/// Shifts a signal by `lag` samples (positive = earlier content moves left),
+/// zero-filling the vacated region. Output length equals input length.
+std::vector<double> shift(const std::vector<double>& signal, int lag);
+
+}  // namespace emts::dsp

@@ -1,0 +1,90 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "util/assert.hpp"
+
+namespace emts::dsp {
+
+std::size_t Spectrum::bin_of(double f) const {
+  EMTS_REQUIRE(!frequency.empty(), "bin_of on an empty spectrum");
+  if (f <= frequency.front()) return 0;
+  if (f >= frequency.back()) return frequency.size() - 1;
+  const double width = bin_width();
+  const auto idx = static_cast<std::size_t>(std::llround(f / width));
+  return std::min(idx, frequency.size() - 1);
+}
+
+double Spectrum::bin_width() const {
+  EMTS_REQUIRE(frequency.size() >= 2, "bin_width requires >= 2 bins");
+  return frequency[1] - frequency[0];
+}
+
+Spectrum amplitude_spectrum(const std::vector<double>& signal, double sample_rate,
+                            const SpectrumOptions& options) {
+  EMTS_REQUIRE(!signal.empty(), "amplitude_spectrum requires a non-empty signal");
+  EMTS_REQUIRE(sample_rate > 0.0, "sample_rate must be positive");
+
+  std::vector<double> work = signal;
+  if (options.remove_mean) {
+    double mean = 0.0;
+    for (double v : work) mean += v;
+    mean /= static_cast<double>(work.size());
+    for (double& v : work) v -= mean;
+  }
+
+  const auto window = make_window(options.window, work.size());
+  work = apply_window(work, window);
+  const double gain = coherent_gain(window);
+
+  const auto full = fft_real(work);
+  const std::size_t n = full.size();
+  const std::size_t bins = n / 2 + 1;
+
+  Spectrum out;
+  out.frequency.resize(bins);
+  out.amplitude.resize(bins);
+  // Zero padding stretches the transform but not the physical duration; bins
+  // are spaced by fs/n_padded while amplitude correction uses the window sum.
+  for (std::size_t k = 0; k < bins; ++k) {
+    out.frequency[k] = sample_rate * static_cast<double>(k) / static_cast<double>(n);
+    const double mag = std::abs(full[k]);
+    const bool interior = (k != 0) && (k != n / 2);
+    out.amplitude[k] = (interior ? 2.0 : 1.0) * mag / gain;
+  }
+  return out;
+}
+
+Spectrum mean_spectrum(const std::vector<std::vector<double>>& signals, double sample_rate,
+                       const SpectrumOptions& options) {
+  EMTS_REQUIRE(!signals.empty(), "mean_spectrum requires at least one trace");
+  Spectrum acc = amplitude_spectrum(signals.front(), sample_rate, options);
+  for (std::size_t i = 1; i < signals.size(); ++i) {
+    EMTS_REQUIRE(signals[i].size() == signals.front().size(),
+                 "mean_spectrum requires equal-length traces");
+    const Spectrum s = amplitude_spectrum(signals[i], sample_rate, options);
+    for (std::size_t k = 0; k < acc.amplitude.size(); ++k) acc.amplitude[k] += s.amplitude[k];
+  }
+  const double inv = 1.0 / static_cast<double>(signals.size());
+  for (double& a : acc.amplitude) a *= inv;
+  return acc;
+}
+
+std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum, double min_amplitude,
+                                     std::size_t max_peaks) {
+  std::vector<SpectralPeak> peaks;
+  const auto& amp = spectrum.amplitude;
+  for (std::size_t k = 1; k + 1 < amp.size(); ++k) {
+    if (amp[k] >= min_amplitude && amp[k] > amp[k - 1] && amp[k] >= amp[k + 1]) {
+      peaks.push_back({k, spectrum.frequency[k], amp[k]});
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const SpectralPeak& a, const SpectralPeak& b) { return a.amplitude > b.amplitude; });
+  if (peaks.size() > max_peaks) peaks.resize(max_peaks);
+  return peaks;
+}
+
+}  // namespace emts::dsp

@@ -1,0 +1,54 @@
+// Amplitude spectra and peak finding. This is the frequency-domain view the
+// paper uses for A2-style Trojan detection (Sec. III-E, Fig. 4, Fig. 6 i-l):
+// the circuit concentrates energy at its clock and harmonics; fast-toggling
+// Trojan triggers add new spots or raise existing ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace emts::dsp {
+
+/// One-sided amplitude spectrum of a real signal.
+struct Spectrum {
+  std::vector<double> frequency;  // Hz, bin centers, size n/2+1
+  std::vector<double> amplitude;  // window-corrected amplitude per bin
+
+  std::size_t size() const { return amplitude.size(); }
+
+  /// Index of the bin whose center is nearest to f (clamped to range).
+  std::size_t bin_of(double f) const;
+
+  /// Resolution in Hz between adjacent bins.
+  double bin_width() const;
+};
+
+struct SpectrumOptions {
+  WindowKind window = WindowKind::kHann;
+  bool remove_mean = true;  // suppress the DC bin so it never masks tones
+};
+
+/// Computes the one-sided amplitude spectrum. `sample_rate` in Hz.
+/// The signal is zero-padded to a power of two.
+Spectrum amplitude_spectrum(const std::vector<double>& signal, double sample_rate,
+                            const SpectrumOptions& options = {});
+
+/// Averaged amplitude spectrum over several traces of equal length.
+Spectrum mean_spectrum(const std::vector<std::vector<double>>& signals, double sample_rate,
+                       const SpectrumOptions& options = {});
+
+/// A local maximum in a spectrum.
+struct SpectralPeak {
+  std::size_t bin = 0;
+  double frequency = 0.0;
+  double amplitude = 0.0;
+};
+
+/// Local maxima above `min_amplitude`, strongest first, at most `max_peaks`.
+/// A bin qualifies when it exceeds both neighbours.
+std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum, double min_amplitude,
+                                     std::size_t max_peaks = 32);
+
+}  // namespace emts::dsp

@@ -1,0 +1,47 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  EMTS_REQUIRE(n > 0, "make_window requires n > 0");
+  std::vector<double> w(n, 1.0);
+  const double denom = static_cast<double>(n);  // periodic window
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 2.0 * units::pi * static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> apply_window(const std::vector<double>& signal,
+                                 const std::vector<double>& window) {
+  EMTS_REQUIRE(signal.size() == window.size(), "apply_window: size mismatch");
+  std::vector<double> out(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) out[i] = signal[i] * window[i];
+  return out;
+}
+
+double coherent_gain(const std::vector<double>& window) {
+  return std::accumulate(window.begin(), window.end(), 0.0);
+}
+
+}  // namespace emts::dsp

@@ -1,0 +1,94 @@
+#include "em/biot_savart.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::em {
+
+Vec3 segment_field(const Segment& segment, double current, const Vec3& point) {
+  const Vec3 line = segment.b - segment.a;
+  const double len = line.norm();
+  if (len <= 0.0) return {};
+  const Vec3 u = line * (1.0 / len);
+
+  const Vec3 ra = point - segment.a;
+  const Vec3 rb = point - segment.b;
+  const double ra_n = ra.norm();
+  const double rb_n = rb.norm();
+  if (ra_n <= 0.0 || rb_n <= 0.0) return {};  // endpoint singularity
+
+  // Perpendicular offset from the wire axis.
+  const Vec3 d_vec = ra - u * ra.dot(u);
+  const double d = d_vec.norm();
+  if (d < 1e-12) return {};  // on-axis: field is zero by symmetry
+
+  // |B| = mu0 I / (4 pi d) * (cos(theta_a) - cos(theta_b)), direction u x d_hat.
+  const double cos_a = ra.dot(u) / ra_n;
+  const double cos_b = rb.dot(u) / rb_n;
+  const double magnitude = units::mu0 * current / (4.0 * units::pi * d) * (cos_a - cos_b);
+
+  const Vec3 dir = u.cross(d_vec * (1.0 / d));
+  return dir * magnitude;
+}
+
+Vec3 segment_vector_potential(const Segment& segment, double current, const Vec3& point) {
+  const Vec3 line = segment.b - segment.a;
+  const double len = line.norm();
+  if (len <= 0.0) return {};
+  const Vec3 u = line * (1.0 / len);
+
+  const double d1 = (point - segment.a).norm();
+  const double d2 = (point - segment.b).norm();
+  const double s = d1 + d2;
+  // Regularize exactly on the wire (s -> len) with the wire-radius scale.
+  constexpr double kWireRadius = 1e-7;
+  const double denom = std::max(s - len, kWireRadius);
+  const double magnitude =
+      units::mu0 * current / (4.0 * units::pi) * std::log((s + len) / denom);
+  return u * magnitude;
+}
+
+Vec3 path_vector_potential(const std::vector<Segment>& path, double current, const Vec3& point) {
+  Vec3 total{};
+  for (const Segment& s : path) total = total + segment_vector_potential(s, current, point);
+  return total;
+}
+
+Vec3 path_field(const std::vector<Segment>& path, double current, const Vec3& point) {
+  Vec3 total{};
+  for (const Segment& s : path) total = total + segment_field(s, current, point);
+  return total;
+}
+
+std::vector<Segment> subdivide(const Segment& segment, double max_length) {
+  EMTS_REQUIRE(max_length > 0.0, "subdivide: max_length must be positive");
+  const double len = segment.length();
+  const auto pieces = static_cast<std::size_t>(std::ceil(len / max_length));
+  std::vector<Segment> out;
+  if (pieces <= 1 || len == 0.0) {
+    out.push_back(segment);
+    return out;
+  }
+  out.reserve(pieces);
+  const Vec3 step = segment.direction() * (1.0 / static_cast<double>(pieces));
+  Vec3 cursor = segment.a;
+  for (std::size_t i = 0; i < pieces; ++i) {
+    const Vec3 next = (i + 1 == pieces) ? segment.b : cursor + step;
+    out.push_back(Segment{cursor, next});
+    cursor = next;
+  }
+  return out;
+}
+
+std::vector<Segment> subdivide_path(const std::vector<Segment>& path, double max_length) {
+  std::vector<Segment> out;
+  for (const Segment& s : path) {
+    const auto pieces = subdivide(s, max_length);
+    out.insert(out.end(), pieces.begin(), pieces.end());
+  }
+  return out;
+}
+
+}  // namespace emts::em

@@ -1,0 +1,40 @@
+// Biot–Savart law for finite straight segments — the field kernel of the
+// layout-level EM simulation method the paper applies (its ref. [18]:
+// transient currents are attached to the extracted wire geometry and the
+// radiated field is computed from that current distribution).
+#pragma once
+
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace emts::em {
+
+using layout::Segment;
+using layout::Vec3;
+
+/// Magnetic flux density (tesla) at `point` due to `segment` carrying
+/// `current` amperes (positive = a->b). Exact closed-form finite-segment
+/// solution; returns zero field on the segment axis (regularized).
+Vec3 segment_field(const Segment& segment, double current, const Vec3& point);
+
+/// Magnetic vector potential (T·m) of the segment at `point`:
+///   A = (mu0 I / 4 pi) * u_hat * ln((d1 + d2 + L) / (d1 + d2 - L)).
+/// Because B = curl A, the flux through any contour is the line integral of
+/// A along it — the numerically robust way to couple wires that run microns
+/// below a coil, where direct Bz quadrature would chase a 1/r^2 spike.
+Vec3 segment_vector_potential(const Segment& segment, double current, const Vec3& point);
+
+/// Vector potential of a whole path.
+Vec3 path_vector_potential(const std::vector<Segment>& path, double current, const Vec3& point);
+
+/// Field from a whole path (same current through every segment).
+Vec3 path_field(const std::vector<Segment>& path, double current, const Vec3& point);
+
+/// Splits a segment into pieces no longer than `max_length` (>=1 piece).
+std::vector<Segment> subdivide(const Segment& segment, double max_length);
+
+/// Splits every segment of a path.
+std::vector<Segment> subdivide_path(const std::vector<Segment>& path, double max_length);
+
+}  // namespace emts::em

@@ -1,0 +1,112 @@
+#include "em/coil.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::em {
+
+double TurnSurface::area() const {
+  if (shape == Shape::kRect) return (p2 - p0) * (p3 - p1);
+  return units::pi * p2 * p2;
+}
+
+double Coil::total_length() const {
+  double acc = 0.0;
+  for (const Segment& s : path) acc += s.length();
+  return acc;
+}
+
+double Coil::total_turn_area() const {
+  double acc = 0.0;
+  for (const TurnSurface& t : turns) acc += t.area();
+  return acc;
+}
+
+Coil make_onchip_spiral(const DieSpec& die, const OnChipSpiralSpec& spec) {
+  EMTS_REQUIRE(spec.turns >= 1, "spiral needs at least one turn");
+  EMTS_REQUIRE(spec.wire_width >= die.min_wire_width,
+               "spiral wire width violates the process minimum width rule");
+
+  const double cx = 0.5 * die.core_width;
+  const double cy = 0.5 * die.core_height;
+  const double outer_hw = 0.5 * die.core_width - spec.margin;
+  const double outer_hh = 0.5 * die.core_height - spec.margin;
+  EMTS_REQUIRE(outer_hw > 0.0 && outer_hh > 0.0, "spiral margin leaves no room");
+
+  // One pitch per turn; the innermost turn sits one pitch from the center.
+  const double n = static_cast<double>(spec.turns);
+  const double px = outer_hw / (n + 1.0);
+  const double py = outer_hh / (n + 1.0);
+  EMTS_REQUIRE(std::min(px, py) - spec.wire_width >= die.min_wire_width,
+               "spiral pitch too tight: adjacent turns violate spacing DRC");
+
+  Coil coil;
+  coil.name = "onchip_spiral";
+  coil.wire_width = spec.wire_width;
+  const double z = die.sensor_z;
+
+  auto add = [&](double x0, double y0, double x1, double y1) {
+    coil.path.push_back(Segment{Vec3{x0, y0, z}, Vec3{x1, y1, z}});
+  };
+
+  // Turn k runs at half-extents (k+1)*pitch; the left edge overshoots down to
+  // the next turn's bottom, producing the one-way spiral of Fig. 2(b).
+  for (std::size_t k = 0; k < spec.turns; ++k) {
+    const double hw = px * static_cast<double>(k + 1);
+    const double hh = py * static_cast<double>(k + 1);
+    const double next_hh = py * static_cast<double>(k + 2);
+
+    coil.turns.push_back(
+        TurnSurface{TurnSurface::Shape::kRect, z, cx - hw, cy - hh, cx + hw, cy + hh});
+
+    add(cx - hw, cy - hh, cx + hw, cy - hh);  // bottom, left -> right
+    add(cx + hw, cy - hh, cx + hw, cy + hh);  // right, up
+    add(cx + hw, cy + hh, cx - hw, cy + hh);  // top, right -> left
+    if (k + 1 < spec.turns) {
+      add(cx - hw, cy + hh, cx - hw, cy - next_hh);  // left, overshoot down
+    } else {
+      // Last turn exits toward the corner (Sensor Out pad, Fig. 3).
+      add(cx - hw, cy + hh, cx - hw, cy - hh);
+      add(cx - hw, cy - hh, cx - outer_hw, cy - outer_hh);
+    }
+  }
+  return coil;
+}
+
+Coil make_external_probe(const DieSpec& die, const ExternalProbeSpec& spec) {
+  EMTS_REQUIRE(spec.turns >= 1, "probe needs at least one turn");
+  EMTS_REQUIRE(spec.radius > 0.0, "probe radius must be positive");
+  EMTS_REQUIRE(spec.segments_per_turn >= 8, "probe turns need >= 8 segments");
+
+  Coil coil;
+  coil.name = "external_probe";
+  coil.wire_width = 0.1e-3;  // typical probe wire
+
+  const double cx = 0.5 * die.core_width;
+  const double cy = 0.5 * die.core_height;
+  const double z0 = die.sensor_z + die.package_top + spec.standoff;
+
+  for (std::size_t t = 0; t < spec.turns; ++t) {
+    const double z = z0 + spec.turn_spacing * static_cast<double>(t);
+    coil.turns.push_back(TurnSurface{TurnSurface::Shape::kDisk, z, cx, cy, spec.radius, 0.0});
+    for (std::size_t s = 0; s < spec.segments_per_turn; ++s) {
+      const double a0 = 2.0 * units::pi * static_cast<double>(s) /
+                        static_cast<double>(spec.segments_per_turn);
+      const double a1 = 2.0 * units::pi * static_cast<double>(s + 1) /
+                        static_cast<double>(spec.segments_per_turn);
+      coil.path.push_back(Segment{
+          Vec3{cx + spec.radius * std::cos(a0), cy + spec.radius * std::sin(a0), z},
+          Vec3{cx + spec.radius * std::cos(a1), cy + spec.radius * std::sin(a1), z}});
+    }
+    if (t + 1 < spec.turns) {
+      // Vertical jog to the next stacked turn (same angular position).
+      coil.path.push_back(Segment{Vec3{cx + spec.radius, cy, z},
+                                  Vec3{cx + spec.radius, cy, z + spec.turn_spacing}});
+    }
+  }
+  return coil;
+}
+
+}  // namespace emts::em

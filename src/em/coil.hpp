@@ -1,0 +1,77 @@
+// Coil geometry generators for the two pickup structures the paper compares
+// (Fig. 2): the proposed on-chip sensor — a one-way rectangular spiral on the
+// top metal layer, starting at the die center and growing to cover the whole
+// circuit — and a LANGER-style external RF probe: several stacked circular
+// turns of equal diameter held above the package.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/floorplan.hpp"
+#include "layout/geometry.hpp"
+
+namespace emts::em {
+
+using layout::DieSpec;
+using layout::Segment;
+using layout::Vec3;
+
+/// The surface one coil turn encloses — the integration domain for the flux
+/// Phi = integral(Bz dA) that Faraday's law turns into the induced emf.
+struct TurnSurface {
+  enum class Shape { kRect, kDisk };
+  Shape shape = Shape::kRect;
+  double z = 0.0;
+  // kRect: {x0, y0, x1, y1}; kDisk: {cx, cy, radius, unused}.
+  double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+
+  double area() const;
+};
+
+/// A pickup coil: an open polyline (sensor-in pad ... sensor-out pad) plus
+/// the enclosed surface of every turn ("the effectiveness of the detection
+/// ... equals to the accumulation of all the coils with gradually increasing
+/// diameters", paper Sec. III-C).
+struct Coil {
+  std::string name;
+  std::vector<Segment> path;
+  std::vector<TurnSurface> turns;
+  double wire_width = 0.0;  // m
+
+  double total_length() const;
+  std::size_t segment_count() const { return path.size(); }
+
+  /// Summed enclosed area of all turns (the sensitivity-driving quantity).
+  double total_turn_area() const;
+};
+
+/// Parameters of the on-chip spiral (Fig. 2(b)).
+struct OnChipSpiralSpec {
+  std::size_t turns = 12;
+  double margin = 40e-6;      // keep-out from the core edge, m
+  double wire_width = 2.0e-6; // drawn width (must satisfy min-width DRC)
+};
+
+/// Builds the spiral on the die's top metal layer. The spiral starts near the
+/// die center and expands outward turn by turn, covering the whole core, as
+/// the paper prescribes ("starting from the center, extending to the corner
+/// and covering the entire circuit").
+/// Throws precondition_error on DRC violations: wire width below the process
+/// minimum, or a pitch so tight that adjacent turns would merge.
+Coil make_onchip_spiral(const DieSpec& die, const OnChipSpiralSpec& spec);
+
+/// Parameters of the external probe (Fig. 2(a)).
+struct ExternalProbeSpec {
+  std::size_t turns = 4;
+  double radius = 1.2e-3;        // coil radius, m
+  double turn_spacing = 0.15e-3; // vertical pitch between stacked turns, m
+  double standoff = 0.0;         // extra height above the package top, m
+  std::size_t segments_per_turn = 48;
+};
+
+/// Builds the external probe centered over the die at
+/// z = die.sensor_z + die.package_top + standoff.
+Coil make_external_probe(const DieSpec& die, const ExternalProbeSpec& spec);
+
+}  // namespace emts::em

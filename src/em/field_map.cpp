@@ -1,0 +1,46 @@
+#include "em/field_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace emts::em {
+
+double FieldMap::at(std::size_t ix, std::size_t iy) const {
+  EMTS_ASSERT(ix < nx && iy < ny);
+  return bz[iy * nx + ix];
+}
+
+double FieldMap::max_abs() const {
+  double best = 0.0;
+  for (double v : bz) best = std::max(best, std::abs(v));
+  return best;
+}
+
+FieldMap bz_map(const std::vector<Segment>& path, double current, const layout::DieSpec& die,
+                double z, std::size_t nx, std::size_t ny) {
+  EMTS_REQUIRE(nx >= 2 && ny >= 2, "field map needs at least a 2x2 grid");
+  FieldMap map;
+  map.nx = nx;
+  map.ny = ny;
+  map.x0 = 0.0;
+  map.y0 = 0.0;
+  map.x1 = die.core_width;
+  map.y1 = die.core_height;
+  map.z = z;
+  map.bz.resize(nx * ny);
+
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const double y = map.y0 + (map.y1 - map.y0) * static_cast<double>(iy) /
+                                  static_cast<double>(ny - 1);
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double x = map.x0 + (map.x1 - map.x0) * static_cast<double>(ix) /
+                                    static_cast<double>(nx - 1);
+      map.bz[iy * nx + ix] = path_field(path, current, Vec3{x, y, z}).z;
+    }
+  }
+  return map;
+}
+
+}  // namespace emts::em

@@ -1,0 +1,32 @@
+// B-field maps over a plane above the die ("EM leakage from every point of
+// the IC's surface can be acquired" — paper Sec. IV-A). Used by the sensor
+// design-space benches and by tests validating the solver against analytic
+// references.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "em/biot_savart.hpp"
+#include "layout/floorplan.hpp"
+
+namespace emts::em {
+
+/// Sampled z-component of B over a rectangular grid.
+struct FieldMap {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;  // plane extent, m
+  double z = 0.0;                                 // plane height, m
+  std::vector<double> bz;                         // row-major, tesla
+
+  double at(std::size_t ix, std::size_t iy) const;
+  double max_abs() const;
+};
+
+/// Computes Bz of `path` carrying `current` over an nx x ny grid spanning the
+/// die core at height z.
+FieldMap bz_map(const std::vector<Segment>& path, double current, const layout::DieSpec& die,
+                double z, std::size_t nx, std::size_t ny);
+
+}  // namespace emts::em

@@ -1,0 +1,112 @@
+#include "em/mutual.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "em/biot_savart.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::em {
+
+double mutual_inductance(const std::vector<Segment>& path_a, const std::vector<Segment>& path_b,
+                         const MutualOptions& options) {
+  EMTS_REQUIRE(options.max_element > 0.0, "max_element must be positive");
+  EMTS_REQUIRE(options.regularization >= 0.0, "regularization must be non-negative");
+
+  const auto a = subdivide_path(path_a, options.max_element);
+  const auto b = subdivide_path(path_b, options.max_element);
+  const double eps2 = options.regularization * options.regularization;
+
+  double acc = 0.0;
+  for (const Segment& sa : a) {
+    const Vec3 dla = sa.direction();
+    const Vec3 ma = sa.midpoint();
+    for (const Segment& sb : b) {
+      const Vec3 dlb = sb.direction();
+      const Vec3 r = ma - sb.midpoint();
+      const double dist = std::sqrt(r.dot(r) + eps2);
+      if (dist <= 0.0) continue;
+      acc += dla.dot(dlb) / dist;
+    }
+  }
+  return units::mu0 / (4.0 * units::pi) * acc;
+}
+
+namespace {
+
+// Contour of a turn surface, counterclockwise viewed from +z, as straight
+// elements no longer than max_element.
+std::vector<Segment> surface_contour(const TurnSurface& surface, double max_element) {
+  std::vector<Segment> contour;
+  if (surface.shape == TurnSurface::Shape::kRect) {
+    const Vec3 c0{surface.p0, surface.p1, surface.z};
+    const Vec3 c1{surface.p2, surface.p1, surface.z};
+    const Vec3 c2{surface.p2, surface.p3, surface.z};
+    const Vec3 c3{surface.p0, surface.p3, surface.z};
+    for (const Segment& edge :
+         {Segment{c0, c1}, Segment{c1, c2}, Segment{c2, c3}, Segment{c3, c0}}) {
+      const auto pieces = subdivide(edge, max_element);
+      contour.insert(contour.end(), pieces.begin(), pieces.end());
+    }
+    return contour;
+  }
+
+  const double r = surface.p2;
+  const double circumference = 2.0 * units::pi * r;
+  const auto n = std::max<std::size_t>(
+      64, static_cast<std::size_t>(std::ceil(circumference / max_element)));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a0 = 2.0 * units::pi * static_cast<double>(i) / static_cast<double>(n);
+    const double a1 = 2.0 * units::pi * static_cast<double>(i + 1) / static_cast<double>(n);
+    contour.push_back(
+        Segment{Vec3{surface.p0 + r * std::cos(a0), surface.p1 + r * std::sin(a0), surface.z},
+                Vec3{surface.p0 + r * std::cos(a1), surface.p1 + r * std::sin(a1), surface.z}});
+  }
+  return contour;
+}
+
+}  // namespace
+
+double flux_through_surface(const std::vector<Segment>& path, double current,
+                            const TurnSurface& surface, const FluxOptions& options) {
+  EMTS_REQUIRE(options.cell_size > 0.0, "flux cell size must be positive");
+  if (surface.shape == TurnSurface::Shape::kRect) {
+    EMTS_REQUIRE(surface.p2 > surface.p0 && surface.p3 > surface.p1,
+                 "rect turn surface must be non-empty");
+  } else {
+    EMTS_REQUIRE(surface.p2 > 0.0, "disk turn surface must have positive radius");
+  }
+
+  // Stokes: flux of B = curl A through the surface equals the circulation of
+  // A along its boundary. A is log-singular (vs Bz's 1/r^2), so a midpoint
+  // rule along the contour stays accurate even with source wires microns
+  // below the turn.
+  double flux = 0.0;
+  for (const Segment& element : surface_contour(surface, options.cell_size)) {
+    const Vec3 a = path_vector_potential(path, current, element.midpoint());
+    flux += a.dot(element.direction());
+  }
+  return flux;
+}
+
+double loop_coil_coupling(const layout::CurrentLoop& loop, const Coil& coil,
+                          const FluxOptions& options) {
+  EMTS_REQUIRE(!coil.turns.empty(), "coil has no turn surfaces");
+  constexpr double kUnitCurrent = 1.0;
+  double total = 0.0;
+  for (const TurnSurface& turn : coil.turns) {
+    total += flux_through_surface(loop.segments, kUnitCurrent, turn, options);
+  }
+  return total;  // flux per ampere = mutual inductance
+}
+
+std::vector<double> couplings(const std::vector<layout::CurrentLoop>& loops, const Coil& coil,
+                              const FluxOptions& options) {
+  std::vector<double> out;
+  out.reserve(loops.size());
+  for (const auto& loop : loops) out.push_back(loop_coil_coupling(loop, coil, options));
+  return out;
+}
+
+}  // namespace emts::em

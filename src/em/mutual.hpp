@@ -1,0 +1,53 @@
+// Mutual inductance between a supply current loop and a pickup coil, by the
+// Neumann double line integral
+//     M = mu0/(4 pi) * sum_i sum_j (dl_i . dl_j) / r_ij .
+//
+// The induced sensor voltage is then v(t) = -M dI/dt (Faraday's law, the
+// "induced electromotive force (emf)" computation of paper Sec. IV-A). With
+// M precomputed per (module loop, coil) pair, generating a full transient
+// trace reduces to differentiating module currents and a weighted sum — this
+// is what makes simulating tens of thousands of traces affordable.
+#pragma once
+
+#include <vector>
+
+#include "em/coil.hpp"
+#include "layout/power_grid.hpp"
+
+namespace emts::em {
+
+struct MutualOptions {
+  double max_element = 50e-6;      // discretization length, m
+  double regularization = 1e-6;    // softening radius to tame near-contact, m
+};
+
+/// Mutual inductance (henries) between two open/closed paths by the Neumann
+/// double sum. Accurate when the paths are separated by more than the
+/// element size; for the near-field coil-over-die case prefer
+/// loop_coil_coupling (flux integration).
+double mutual_inductance(const std::vector<Segment>& path_a, const std::vector<Segment>& path_b,
+                         const MutualOptions& options = {});
+
+struct FluxOptions {
+  /// Target integration-cell edge length over each turn surface; the grid is
+  /// clamped to [8, 96] points per axis.
+  double cell_size = 40e-6;
+};
+
+/// Flux of `path` (carrying `current` amperes) through one turn surface, by
+/// midpoint quadrature of the analytic segment field.
+double flux_through_surface(const std::vector<Segment>& path, double current,
+                            const TurnSurface& surface, const FluxOptions& options = {});
+
+/// Coupling of one module supply loop into one coil (henries):
+/// M = sum over turns of flux(loop, turn) / I. Exact per-segment field, so it
+/// stays accurate with the coil microns above the die where the Neumann sum
+/// would need sub-micron elements.
+double loop_coil_coupling(const layout::CurrentLoop& loop, const Coil& coil,
+                          const FluxOptions& options = {});
+
+/// Couplings of every loop into one coil, ordered like `loops`.
+std::vector<double> couplings(const std::vector<layout::CurrentLoop>& loops, const Coil& coil,
+                              const FluxOptions& options = {});
+
+}  // namespace emts::em

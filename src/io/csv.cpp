@@ -1,0 +1,68 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace emts::io {
+
+void write_csv(const std::string& path, const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns) {
+  EMTS_REQUIRE(!columns.empty(), "write_csv needs at least one column");
+  EMTS_REQUIRE(column_names.size() == columns.size(), "one name per column required");
+  const std::size_t rows = columns.front().size();
+  for (const auto& col : columns) {
+    EMTS_REQUIRE(col.size() == rows, "write_csv: ragged columns");
+  }
+
+  std::ofstream out{path};
+  EMTS_REQUIRE(out.good(), "write_csv: cannot open " + path);
+  out.precision(12);
+
+  for (std::size_t c = 0; c < column_names.size(); ++c) {
+    out << column_names[c] << (c + 1 < column_names.size() ? "," : "\n");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      out << columns[c][r] << (c + 1 < columns.size() ? "," : "\n");
+    }
+  }
+  EMTS_REQUIRE(out.good(), "write_csv: write failed for " + path);
+}
+
+std::vector<std::vector<double>> read_csv(const std::string& path,
+                                          std::vector<std::string>* column_names) {
+  std::ifstream in{path};
+  EMTS_REQUIRE(in.good(), "read_csv: cannot open " + path);
+
+  std::string header;
+  EMTS_REQUIRE(static_cast<bool>(std::getline(in, header)), "read_csv: empty file " + path);
+
+  std::vector<std::string> names;
+  {
+    std::istringstream hs{header};
+    std::string cell;
+    while (std::getline(hs, cell, ',')) names.push_back(cell);
+  }
+  EMTS_REQUIRE(!names.empty(), "read_csv: no columns in " + path);
+  if (column_names != nullptr) *column_names = names;
+
+  std::vector<std::vector<double>> columns(names.size());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    std::string cell;
+    std::size_t c = 0;
+    while (std::getline(ls, cell, ',')) {
+      EMTS_REQUIRE(c < columns.size(), "read_csv: row wider than header in " + path);
+      columns[c].push_back(std::stod(cell));
+      ++c;
+    }
+    EMTS_REQUIRE(c == columns.size(), "read_csv: row narrower than header in " + path);
+  }
+  return columns;
+}
+
+}  // namespace emts::io

@@ -1,0 +1,20 @@
+// CSV export/import for traces and series, so bench output can be re-plotted
+// outside the repo (gnuplot / python) and traces can be archived.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emts::io {
+
+/// Writes columns as CSV. All columns must share one length.
+/// Throws precondition_error on ragged input or file-open failure.
+void write_csv(const std::string& path, const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns);
+
+/// Reads a CSV written by write_csv. Returns columns; fills `column_names`
+/// if non-null.
+std::vector<std::vector<double>> read_csv(const std::string& path,
+                                          std::vector<std::string>* column_names = nullptr);
+
+}  // namespace emts::io

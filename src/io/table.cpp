@@ -1,0 +1,49 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace emts::io {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  EMTS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  EMTS_REQUIRE(cells.size() == headers_.size(), "row width must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    out << "\n";
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace emts::io

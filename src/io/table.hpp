@@ -1,0 +1,31 @@
+// Aligned plain-text tables: how the benches print the paper's tables and
+// figure series in a diff-friendly form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace emts::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant issues.
+  static std::string num(double value, int precision = 4);
+
+  /// Renders with column alignment and a header rule.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emts::io

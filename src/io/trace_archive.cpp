@@ -1,0 +1,79 @@
+#include "io/trace_archive.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace emts::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'M', 'T', 'A'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t trace_count;
+  std::uint64_t trace_length;
+  double sample_rate;
+};
+
+}  // namespace
+
+void save_trace_archive(const std::string& path, const core::TraceSet& set) {
+  EMTS_REQUIRE(!set.empty(), "cannot archive an empty trace set");
+  set.validate();
+
+  std::ofstream out{path, std::ios::binary};
+  EMTS_REQUIRE(out.good(), "save_trace_archive: cannot open " + path);
+
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.version = kVersion;
+  header.trace_count = set.size();
+  header.trace_length = set.trace_length();
+  header.sample_rate = set.sample_rate;
+  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+
+  for (const core::Trace& trace : set.traces) {
+    out.write(reinterpret_cast<const char*>(trace.data()),
+              static_cast<std::streamsize>(trace.size() * sizeof(double)));
+  }
+  EMTS_REQUIRE(out.good(), "save_trace_archive: write failed for " + path);
+}
+
+core::TraceSet load_trace_archive(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EMTS_REQUIRE(in.good(), "load_trace_archive: cannot open " + path);
+
+  Header header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof header);
+  EMTS_REQUIRE(in.gcount() == sizeof header, "load_trace_archive: truncated header in " + path);
+  EMTS_REQUIRE(std::memcmp(header.magic, kMagic, sizeof kMagic) == 0,
+               "load_trace_archive: bad magic in " + path);
+  EMTS_REQUIRE(header.version == kVersion, "load_trace_archive: unsupported version");
+  EMTS_REQUIRE(header.trace_count > 0 && header.trace_length > 0,
+               "load_trace_archive: empty archive " + path);
+  EMTS_REQUIRE(header.sample_rate > 0.0, "load_trace_archive: bad sample rate");
+  // Guard pathological headers before allocating.
+  EMTS_REQUIRE(header.trace_count < (1ull << 32) && header.trace_length < (1ull << 32),
+               "load_trace_archive: implausible sizes in " + path);
+
+  core::TraceSet set;
+  set.sample_rate = header.sample_rate;
+  for (std::uint64_t t = 0; t < header.trace_count; ++t) {
+    core::Trace trace(header.trace_length);
+    in.read(reinterpret_cast<char*>(trace.data()),
+            static_cast<std::streamsize>(trace.size() * sizeof(double)));
+    EMTS_REQUIRE(in.gcount() ==
+                     static_cast<std::streamsize>(trace.size() * sizeof(double)),
+                 "load_trace_archive: truncated payload in " + path);
+    set.add(std::move(trace));
+  }
+  return set;
+}
+
+}  // namespace emts::io

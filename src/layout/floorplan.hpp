@@ -1,0 +1,81 @@
+// Die description and floorplan. Mirrors the paper's Fig. 3: a 180 nm die
+// whose M1–M5 hold the AES core plus the four Trojans, with the whole top
+// metal layer (M6) reserved for the spiral EM sensor, and VDD/VSS/Sensor
+// pads on the rim.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace emts::layout {
+
+/// Process + die parameters (defaults: the paper's 180 nm, 6-metal stack).
+struct DieSpec {
+  double core_width = 2.0e-3;       // m
+  double core_height = 2.0e-3;      // m
+  double cell_z = 1.0e-6;           // active/local-metal height above substrate
+  double grid_z = 4.5e-6;           // M4/M5 power-routing height
+  double sensor_z = 6.0e-6;         // M6 top-metal height (the sensor layer)
+  double min_wire_width = 0.28e-6;  // DRC minimum for M6 in this node
+  double package_top = 100e-6;      // die surface to package top (ext. probe standoff)
+};
+
+/// One placed module (functional unit or Trojan) on the die.
+struct PlacedModule {
+  std::string name;
+  Rect region;       // footprint in die coordinates
+  double area_um2 = 0.0;  // logical cell area (<= region area)
+};
+
+/// The assembled floorplan.
+class Floorplan {
+ public:
+  explicit Floorplan(const DieSpec& spec);
+
+  const DieSpec& spec() const { return spec_; }
+
+  /// Places a module inside the given region. Requires the region to be
+  /// inside the core and not overlap previously placed modules.
+  void place(std::string name, const Rect& region, double area_um2);
+
+  const std::vector<PlacedModule>& modules() const { return modules_; }
+
+  /// Lookup by name; throws precondition_error if absent.
+  const PlacedModule& module(const std::string& name) const;
+  bool has_module(const std::string& name) const;
+
+  /// Core outline as a Rect at (0,0)..(w,h).
+  Rect core() const { return Rect{0.0, 0.0, spec_.core_width, spec_.core_height}; }
+
+ private:
+  DieSpec spec_;
+  std::vector<PlacedModule> modules_;
+};
+
+/// Module names used by the reference floorplan (stable identifiers that the
+/// power/EM pipeline keys on).
+namespace module_names {
+inline constexpr const char* kAesState = "aes/state_registers";
+inline constexpr const char* kAesKeyRegs = "aes/key_registers";
+inline constexpr const char* kAesSbox = "aes/sbox_array";
+inline constexpr const char* kAesMixColumns = "aes/mix_columns";
+inline constexpr const char* kAesKeySchedule = "aes/key_schedule";
+inline constexpr const char* kAesControl = "aes/control";
+inline constexpr const char* kTrojan1 = "trojan/t1_am_leak";
+inline constexpr const char* kTrojan2 = "trojan/t2_leakage";
+inline constexpr const char* kTrojan3 = "trojan/t3_cdma";
+inline constexpr const char* kTrojan4 = "trojan/t4_power_hog";
+inline constexpr const char* kTrojanA2 = "trojan/a2_analog";
+}  // namespace module_names
+
+/// Builds the reference floorplan of the fabricated chip (Fig. 3): the AES
+/// units fill the left ~3/4 of the core; the four digital Trojans and the A2
+/// cell stack along the right edge.
+/// `unit_areas_um2` maps the six AES units + five Trojans (by the names
+/// above) to their cell areas; missing entries get a small default.
+Floorplan reference_floorplan(const DieSpec& spec);
+
+}  // namespace emts::layout

@@ -1,0 +1,6 @@
+// geometry.hpp is header-only; this translation unit exists so the module has
+// a stable archive even when all geometry uses are inlined, and to host any
+// future out-of-line geometry helpers.
+#include "layout/geometry.hpp"
+
+namespace emts::layout {}

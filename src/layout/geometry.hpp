@@ -1,0 +1,54 @@
+// Plain geometric types shared by the layout, EM, and sensor modules.
+// Lengths are in meters (SI), consistent with the Biot–Savart solver.
+#pragma once
+
+#include <cmath>
+
+namespace emts::layout {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+};
+
+/// Axis-aligned rectangle in the die plane (z implied by layer).
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+  double area() const { return width() * height(); }
+  double cx() const { return 0.5 * (x0 + x1); }
+  double cy() const { return 0.5 * (y0 + y1); }
+
+  bool contains(double x, double y) const { return x >= x0 && x <= x1 && y >= y0 && y <= y1; }
+  bool overlaps(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+};
+
+/// One straight current-carrying wire segment in 3D.
+struct Segment {
+  Vec3 a;
+  Vec3 b;
+
+  Vec3 direction() const { return b - a; }
+  double length() const { return direction().norm(); }
+  Vec3 midpoint() const { return (a + b) * 0.5; }
+};
+
+}  // namespace emts::layout

@@ -1,0 +1,68 @@
+#include "layout/power_grid.hpp"
+
+#include "util/assert.hpp"
+
+namespace emts::layout {
+
+PadRing PadRing::for_die(const DieSpec& spec) {
+  PadRing ring;
+  ring.vdd = Vec3{0.0, spec.core_height, spec.grid_z};
+  ring.vss = Vec3{0.0, 0.0, spec.grid_z};
+  return ring;
+}
+
+double CurrentLoop::total_length() const {
+  double acc = 0.0;
+  for (const Segment& s : segments) acc += s.length();
+  return acc;
+}
+
+double CurrentLoop::closure_error() const {
+  if (segments.empty()) return 0.0;
+  return (segments.back().b - segments.front().a).norm();
+}
+
+CurrentLoop supply_loop(const DieSpec& spec, const PadRing& pads, const PlacedModule& module) {
+  CurrentLoop loop;
+  loop.module_name = module.name;
+
+  // The VDD strap feeds the module's top edge, the VSS strap collects at its
+  // bottom edge, and the cell current crosses the module top-to-bottom. The
+  // circuit therefore encloses an area in the die plane (bounded by the two
+  // straps, the left pad edge, and the module crossing) — this z-normal loop
+  // is what couples into the coils above.
+  const double cx = module.region.cx();
+  const double y_top = module.region.y1;
+  const double y_bot = module.region.y0;
+
+  const Vec3 vdd_tap{pads.vdd.x, y_top, spec.grid_z};
+  const Vec3 top_grid{cx, y_top, spec.grid_z};
+  const Vec3 top_cell{cx, y_top, spec.cell_z};
+  const Vec3 bot_cell{cx, y_bot, spec.cell_z};
+  const Vec3 bot_grid{cx, y_bot, spec.grid_z};
+  const Vec3 vss_tap{pads.vss.x, y_bot, spec.grid_z};
+
+  loop.segments.push_back(Segment{pads.vdd, vdd_tap});   // down the pad edge
+  loop.segments.push_back(Segment{vdd_tap, top_grid});   // VDD strap
+  loop.segments.push_back(Segment{top_grid, top_cell});  // via drop
+  loop.segments.push_back(Segment{top_cell, bot_cell});  // through the module
+  loop.segments.push_back(Segment{bot_cell, bot_grid});  // via rise
+  loop.segments.push_back(Segment{bot_grid, vss_tap});   // VSS strap
+  loop.segments.push_back(Segment{vss_tap, pads.vss});   // to the pad
+  // Close through the off-die supply (bond/board path along the die edge).
+  loop.segments.push_back(Segment{pads.vss, pads.vdd});
+
+  EMTS_ASSERT(loop.closure_error() < 1e-12);
+  return loop;
+}
+
+std::vector<CurrentLoop> supply_loops(const Floorplan& floorplan, const PadRing& pads) {
+  std::vector<CurrentLoop> loops;
+  loops.reserve(floorplan.modules().size());
+  for (const PlacedModule& m : floorplan.modules()) {
+    loops.push_back(supply_loop(floorplan.spec(), pads, m));
+  }
+  return loops;
+}
+
+}  // namespace emts::layout

@@ -1,0 +1,50 @@
+// Power-delivery model: where supply current physically flows.
+//
+// The EM solver needs closed current paths, not just "module X drew I(t)".
+// Following the layout-level method of the paper's ref. [18], each module's
+// transient current is carried by a loop: VDD pad -> top-level strap (grid_z)
+// -> via drop above the module -> through the module at cell level -> via
+// rise -> return strap -> VSS pad. The loop geometry (especially its enclosed
+// area and its position under the sensor) determines the coupling into each
+// coil.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/floorplan.hpp"
+#include "layout/geometry.hpp"
+
+namespace emts::layout {
+
+/// Pad positions on the die rim (paper Fig. 3 places VDD top-left, VSS
+/// bottom-left, sensor pads on the right).
+struct PadRing {
+  Vec3 vdd;
+  Vec3 vss;
+
+  /// Default ring for a die spec: VDD at top-left corner, VSS at bottom-left,
+  /// both at grid height.
+  static PadRing for_die(const DieSpec& spec);
+};
+
+/// The closed current loop serving one module: an ordered list of segments;
+/// the same instantaneous current I(t) flows through every segment.
+struct CurrentLoop {
+  std::string module_name;
+  std::vector<Segment> segments;
+
+  /// Total wire length (sanity metric).
+  double total_length() const;
+
+  /// Geometric closure error |end - start| (should be ~0).
+  double closure_error() const;
+};
+
+/// Builds the supply loop for one placed module.
+CurrentLoop supply_loop(const DieSpec& spec, const PadRing& pads, const PlacedModule& module);
+
+/// Builds loops for every module in a floorplan.
+std::vector<CurrentLoop> supply_loops(const Floorplan& floorplan, const PadRing& pads);
+
+}  // namespace emts::layout

@@ -1,0 +1,90 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace emts::linalg {
+
+namespace {
+
+// One Jacobi rotation zeroing element (p, q) of `a`, accumulating into `v`.
+void rotate(Matrix& a, Matrix& v, std::size_t p, std::size_t q) {
+  const double apq = a(p, q);
+  if (apq == 0.0) return;
+  const double app = a(p, p);
+  const double aqq = a(q, q);
+  const double theta = (aqq - app) / (2.0 * apq);
+  // Stable tangent of the rotation angle.
+  const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+  const double c = 1.0 / std::sqrt(t * t + 1.0);
+  const double s = t * c;
+  const std::size_t n = a.rows();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const double akp = a(k, p);
+    const double akq = a(k, q);
+    a(k, p) = c * akp - s * akq;
+    a(k, q) = s * akp + c * akq;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double apk = a(p, k);
+    const double aqk = a(q, k);
+    a(p, k) = c * apk - s * aqk;
+    a(q, k) = s * apk + c * aqk;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double vkp = v(k, p);
+    const double vkq = v(k, q);
+    v(k, p) = c * vkp - s * vkq;
+    v(k, q) = s * vkp + c * vkq;
+  }
+}
+
+}  // namespace
+
+EigenDecomposition symmetric_eigen(const Matrix& a, const JacobiOptions& options) {
+  EMTS_REQUIRE(a.rows() == a.cols(), "symmetric_eigen requires a square matrix");
+  const double fro = a.frobenius_norm();
+  EMTS_REQUIRE(a.is_symmetric(std::max(1e-9 * fro, 1e-12)),
+               "symmetric_eigen requires a symmetric matrix");
+
+  const std::size_t n = a.rows();
+  Matrix work = a;
+  Matrix vectors = Matrix::identity(n);
+
+  // Symmetrize exactly so rotations stay consistent.
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const double avg = 0.5 * (work(r, c) + work(c, r));
+      work(r, c) = avg;
+      work(c, r) = avg;
+    }
+
+  const double stop = options.tolerance * std::max(fro, 1e-300);
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (work.max_off_diagonal() <= stop) break;
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q)
+        if (std::abs(work(p, q)) > stop) rotate(work, vectors, p, q);
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return work(i, i) > work(j, j); });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix{n, n};
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = work(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.eigenvectors(i, j) = vectors(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace emts::linalg

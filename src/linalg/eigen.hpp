@@ -1,0 +1,28 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+// Sizes here are small (covariance/Gram matrices of a few hundred), where
+// Jacobi is simple, robust, and gives orthonormal eigenvectors to machine
+// precision — exactly what the PCA stage needs.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace emts::linalg {
+
+/// Result of a symmetric eigendecomposition, sorted by descending eigenvalue.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;  // descending
+  Matrix eigenvectors;              // column j pairs with eigenvalues[j]
+};
+
+struct JacobiOptions {
+  int max_sweeps = 64;       // hard iteration cap
+  double tolerance = 1e-12;  // stop when max |off-diagonal| <= tol * ||A||_F
+};
+
+/// Eigendecomposition of a symmetric matrix. Requires a.is_symmetric() within
+/// a loose tolerance (1e-9 relative); throws precondition_error otherwise.
+EigenDecomposition symmetric_eigen(const Matrix& a, const JacobiOptions& options = {});
+
+}  // namespace emts::linalg

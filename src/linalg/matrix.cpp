@@ -1,0 +1,165 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace emts::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  const std::size_t cols = rows.front().size();
+  Matrix m{rows.size(), cols};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    EMTS_REQUIRE(rows[r].size() == cols, "from_rows: ragged input");
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  EMTS_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  EMTS_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double* Matrix::row_data(std::size_t r) {
+  EMTS_ASSERT(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+const double* Matrix::row_data(std::size_t r) const {
+  EMTS_ASSERT(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t{cols_, rows_};
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  EMTS_REQUIRE(cols_ == rhs.rows_, "matrix product: inner dimensions differ");
+  Matrix out{rows_, rhs.cols_};
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* rrow = rhs.row_data(k);
+      double* orow = out.row_data(i);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  EMTS_REQUIRE(cols_ == v.size(), "matrix-vector product: dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  EMTS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix +=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  EMTS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix -=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) {
+  for (double& v : data_) v *= scale;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_off_diagonal() const {
+  EMTS_REQUIRE(rows_ == cols_, "max_off_diagonal requires a square matrix");
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (r != c) best = std::max(best, std::abs((*this)(r, c)));
+  return best;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double scale) { return lhs *= scale; }
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  EMTS_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+double euclidean_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  EMTS_REQUIRE(a.size() == b.size(), "euclidean_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<double> scaled(std::vector<double> v, double s) {
+  for (double& x : v) x *= s;
+  return v;
+}
+
+std::vector<double> add(const std::vector<double>& a, const std::vector<double>& b) {
+  EMTS_REQUIRE(a.size() == b.size(), "add: size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> subtract(const std::vector<double>& a, const std::vector<double>& b) {
+  EMTS_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+}  // namespace emts::linalg

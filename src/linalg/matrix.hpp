@@ -1,0 +1,79 @@
+// Small dense linear algebra: just what PCA and the EM solver need.
+// Row-major storage, value semantics, bounds-checked element access in terms
+// of library invariants (EMTS_ASSERT).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emts::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates from nested initializer-style data; all rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Raw row access for tight loops.
+  double* row_data(std::size_t r);
+  const double* row_data(std::size_t r) const;
+
+  Matrix transposed() const;
+
+  /// Matrix product; requires cols() == rhs.rows().
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scale);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Maximum absolute off-diagonal element (square matrices only).
+  double max_off_diagonal() const;
+
+  /// True if this is numerically symmetric to within `tol`.
+  bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double scale);
+
+// -------- vector helpers (free functions over std::vector<double>) ---------
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm2(const std::vector<double>& v);
+
+/// Euclidean distance ||a - b||_2; requires equal sizes.
+double euclidean_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+std::vector<double> scaled(std::vector<double> v, double s);
+std::vector<double> add(const std::vector<double>& a, const std::vector<double>& b);
+std::vector<double> subtract(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace emts::linalg

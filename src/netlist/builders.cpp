@@ -1,0 +1,144 @@
+#include "netlist/builders.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace emts::netlist {
+
+ShiftRegisterHandle build_shift_register(Netlist& nl, std::size_t width, NetId serial_in) {
+  EMTS_REQUIRE(width >= 1, "shift register needs width >= 1");
+  ShiftRegisterHandle handle;
+  NetId prev = serial_in;
+  for (std::size_t i = 0; i < width; ++i) {
+    const NetId q = nl.add_net("sr_q" + std::to_string(i));
+    nl.add_cell(CellType::kDff, {prev}, q);
+    handle.q.push_back(q);
+    prev = q;
+  }
+  return handle;
+}
+
+LfsrHandle build_lfsr(Netlist& nl, std::size_t width, std::vector<std::size_t> taps) {
+  EMTS_REQUIRE(width >= 2, "LFSR needs width >= 2");
+  for (std::size_t t : taps) {
+    EMTS_REQUIRE(t < width, "LFSR tap index out of range");
+  }
+  if (std::find(taps.begin(), taps.end(), width - 1) == taps.end()) {
+    taps.push_back(width - 1);
+  }
+
+  LfsrHandle handle;
+  // Create state nets first so feedback can reference them.
+  for (std::size_t i = 0; i < width; ++i) {
+    handle.state.push_back(nl.add_net("lfsr_s" + std::to_string(i)));
+  }
+
+  // XNOR feedback chain over the taps: for an even number of XNOR stages the
+  // result is the XNOR-parity that makes all-zeros a sequence state.
+  NetId fb = handle.state[taps[0]];
+  for (std::size_t k = 1; k < taps.size(); ++k) {
+    const NetId next = nl.add_net("lfsr_fb" + std::to_string(k));
+    nl.add_cell(CellType::kXnor2, {fb, handle.state[taps[k]]}, next);
+    fb = next;
+  }
+  if (taps.size() == 1) {
+    // Single tap: invert so the zero state still progresses.
+    const NetId inv = nl.add_net("lfsr_fbinv");
+    nl.add_cell(CellType::kInv, {fb}, inv);
+    fb = inv;
+  }
+  handle.feedback = fb;
+
+  // Shift: state[0] <= feedback, state[i] <= state[i-1].
+  nl.add_cell(CellType::kDff, {fb}, handle.state[0]);
+  for (std::size_t i = 1; i < width; ++i) {
+    nl.add_cell(CellType::kDff, {handle.state[i - 1]}, handle.state[i]);
+  }
+  return handle;
+}
+
+CounterHandle build_counter(Netlist& nl, std::size_t width, NetId enable) {
+  EMTS_REQUIRE(width >= 1, "counter needs width >= 1");
+  CounterHandle handle;
+  for (std::size_t i = 0; i < width; ++i) {
+    handle.bits.push_back(nl.add_net("cnt_q" + std::to_string(i)));
+  }
+
+  NetId carry = enable;
+  for (std::size_t i = 0; i < width; ++i) {
+    const NetId d = nl.add_net("cnt_d" + std::to_string(i));
+    nl.add_cell(CellType::kXor2, {handle.bits[i], carry}, d);
+    nl.add_cell(CellType::kDff, {d}, handle.bits[i]);
+    if (i + 1 < width) {
+      const NetId next_carry = nl.add_net("cnt_c" + std::to_string(i + 1));
+      nl.add_cell(CellType::kAnd2, {carry, handle.bits[i]}, next_carry);
+      carry = next_carry;
+    }
+  }
+  return handle;
+}
+
+ToggleBankHandle build_toggle_bank(Netlist& nl, std::size_t width, NetId enable) {
+  EMTS_REQUIRE(width >= 1, "toggle bank needs width >= 1");
+  ToggleBankHandle handle;
+  for (std::size_t i = 0; i < width; ++i) {
+    const NetId q = nl.add_net("tb_q" + std::to_string(i));
+    const NetId d = nl.add_net("tb_d" + std::to_string(i));
+    nl.add_cell(CellType::kXor2, {q, enable}, d);
+    nl.add_cell(CellType::kDff, {d}, q);
+    handle.q.push_back(q);
+  }
+  return handle;
+}
+
+namespace {
+
+NetId build_tree(Netlist& nl, std::vector<NetId> level, CellType gate, const char* prefix) {
+  EMTS_REQUIRE(!level.empty(), "reduction tree needs >= 1 input");
+  std::size_t stage = 0;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const NetId out = nl.add_net(std::string(prefix) + std::to_string(stage) + "_" +
+                                   std::to_string(i / 2));
+      nl.add_cell(gate, {level[i], level[i + 1]}, out);
+      next.push_back(out);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+    ++stage;
+  }
+  return level.front();
+}
+
+}  // namespace
+
+NetId build_and_tree(Netlist& nl, std::vector<NetId> inputs) {
+  return build_tree(nl, std::move(inputs), CellType::kAnd2, "and");
+}
+
+NetId build_or_tree(Netlist& nl, std::vector<NetId> inputs) {
+  return build_tree(nl, std::move(inputs), CellType::kOr2, "or");
+}
+
+NetId build_xor_tree(Netlist& nl, std::vector<NetId> inputs) {
+  return build_tree(nl, std::move(inputs), CellType::kXor2, "xor");
+}
+
+NetId build_equals_const(Netlist& nl, const std::vector<NetId>& bits, std::uint64_t constant) {
+  EMTS_REQUIRE(!bits.empty() && bits.size() <= 64, "comparator needs 1..64 bits");
+  std::vector<NetId> matched;
+  for (std::size_t b = 0; b < bits.size(); ++b) {
+    if (((constant >> b) & 1ULL) != 0) {
+      matched.push_back(bits[b]);
+    } else {
+      const NetId inv = nl.add_net("eq_n" + std::to_string(b));
+      nl.add_cell(CellType::kInv, {bits[b]}, inv);
+      matched.push_back(inv);
+    }
+  }
+  return build_and_tree(nl, std::move(matched));
+}
+
+}  // namespace emts::netlist

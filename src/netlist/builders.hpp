@@ -1,0 +1,58 @@
+// Parametric netlist generators for the recurring structures in the paper's
+// Trojans and control logic: shift registers (T2's leak path), XNOR LFSRs
+// (T3's CDMA spreading-sequence generator), synchronous counters and clock
+// dividers (T1's 750 kHz carrier, the A2 trigger pulse train), toggle
+// register banks (T4's power-hog payload), and comparator/reduction trees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emts::netlist {
+
+/// Serial-in shift register; q[0] is the stage closest to serial_in.
+struct ShiftRegisterHandle {
+  std::vector<NetId> q;
+};
+ShiftRegisterHandle build_shift_register(Netlist& nl, std::size_t width, NetId serial_in);
+
+/// Fibonacci LFSR with XNOR feedback (the all-zero reset state is a valid
+/// sequence state). `taps` are state indices fed into the feedback XNOR
+/// chain; index width-1 is always included.
+struct LfsrHandle {
+  std::vector<NetId> state;
+  NetId feedback;
+};
+LfsrHandle build_lfsr(Netlist& nl, std::size_t width, std::vector<std::size_t> taps);
+
+/// Synchronous binary up-counter with enable; bits[0] is the lsb.
+/// bits[k] toggles every 2^k enabled cycles, so bits[k] is a clock/2^(k+1)
+/// divider output.
+struct CounterHandle {
+  std::vector<NetId> bits;
+};
+CounterHandle build_counter(Netlist& nl, std::size_t width, NetId enable);
+
+/// Register bank whose every flop toggles while `enable` is high (T4's
+/// "more flipping registers" payload).
+struct ToggleBankHandle {
+  std::vector<NetId> q;
+};
+ToggleBankHandle build_toggle_bank(Netlist& nl, std::size_t width, NetId enable);
+
+/// Balanced AND reduction; returns the root net. Requires >= 1 input.
+NetId build_and_tree(Netlist& nl, std::vector<NetId> inputs);
+
+/// Balanced OR reduction; returns the root net. Requires >= 1 input.
+NetId build_or_tree(Netlist& nl, std::vector<NetId> inputs);
+
+/// Balanced XOR reduction; returns the root net. Requires >= 1 input.
+NetId build_xor_tree(Netlist& nl, std::vector<NetId> inputs);
+
+/// Single-output comparator: high when `bits` equals `constant` (bit 0 = lsb).
+/// This is the classic rare-value Trojan trigger structure.
+NetId build_equals_const(Netlist& nl, const std::vector<NetId>& bits, std::uint64_t constant);
+
+}  // namespace emts::netlist

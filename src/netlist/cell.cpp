@@ -1,0 +1,77 @@
+#include "netlist/cell.hpp"
+
+#include <array>
+
+#include "util/assert.hpp"
+
+namespace emts::netlist {
+
+namespace {
+
+// Representative 180 nm values: NAND2 is the 1.0 gate-equivalent reference at
+// ~12 um^2; flip-flops dominate both area and switched charge. Delays are
+// typical-corner pin-to-pin figures.
+constexpr std::array<CellInfo, 12> kCellTable{{
+    {"INV", 1, 8.0, 0.67, 60.0, 4.0},
+    {"BUF", 1, 10.0, 1.0, 90.0, 5.0},
+    {"NAND2", 2, 12.0, 1.0, 80.0, 6.0},
+    {"NOR2", 2, 12.0, 1.0, 95.0, 6.0},
+    {"AND2", 2, 16.0, 1.33, 120.0, 8.0},
+    {"OR2", 2, 16.0, 1.33, 130.0, 8.0},
+    {"XOR2", 2, 28.0, 2.33, 150.0, 12.0},
+    {"XNOR2", 2, 28.0, 2.33, 150.0, 12.0},
+    {"MUX2", 3, 30.0, 2.33, 140.0, 11.0},
+    {"DFF", 1, 72.0, 6.0, 200.0, 30.0},
+    {"TIELO", 0, 4.0, 0.33, 0.0, 0.0},
+    {"TIEHI", 0, 4.0, 0.33, 0.0, 0.0},
+}};
+
+}  // namespace
+
+const CellInfo& cell_info(CellType type) {
+  const auto idx = static_cast<std::size_t>(type);
+  EMTS_ASSERT(idx < kCellTable.size());
+  return kCellTable[idx];
+}
+
+std::size_t cell_type_count() { return kCellTable.size(); }
+
+CellType cell_type_at(std::size_t index) {
+  EMTS_REQUIRE(index < kCellTable.size(), "cell type index out of range");
+  return static_cast<CellType>(index);
+}
+
+bool eval_cell(CellType type, const std::vector<bool>& inputs) {
+  EMTS_REQUIRE(inputs.size() == cell_info(type).num_inputs,
+               "eval_cell: wrong input count");
+  switch (type) {
+    case CellType::kInv:
+      return !inputs[0];
+    case CellType::kBuf:
+      return inputs[0];
+    case CellType::kNand2:
+      return !(inputs[0] && inputs[1]);
+    case CellType::kNor2:
+      return !(inputs[0] || inputs[1]);
+    case CellType::kAnd2:
+      return inputs[0] && inputs[1];
+    case CellType::kOr2:
+      return inputs[0] || inputs[1];
+    case CellType::kXor2:
+      return inputs[0] != inputs[1];
+    case CellType::kXnor2:
+      return inputs[0] == inputs[1];
+    case CellType::kMux2:
+      return inputs[2] ? inputs[1] : inputs[0];
+    case CellType::kDff:
+      return inputs[0];
+    case CellType::kTieLo:
+      return false;
+    case CellType::kTieHi:
+      return true;
+  }
+  EMTS_ASSERT(false);
+  return false;
+}
+
+}  // namespace emts::netlist

@@ -1,0 +1,52 @@
+// Standard-cell library model for a generic 180 nm process (the technology of
+// the paper's fabricated AES, Sec. IV-C). Per-cell area, gate-equivalents and
+// delay feed three consumers: Table I gate counts, the placer's footprint
+// computation, and the event-driven simulator's timing.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace emts::netlist {
+
+enum class CellType {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kMux2,   // inputs: {a, b, sel} -> sel ? b : a
+  kDff,    // inputs: {d}; state element, updated on clock_edge()
+  kTieLo,  // constant 0, no inputs
+  kTieHi,  // constant 1, no inputs
+};
+
+/// Static properties of a cell type.
+struct CellInfo {
+  std::string_view name;
+  std::size_t num_inputs;
+  double area_um2;          // placement footprint
+  double gate_equivalents;  // NAND2-equivalent count (Table I units)
+  double delay_ps;          // pin-to-pin propagation delay
+  double switch_charge_fc;  // charge moved per output toggle (femtocoulombs)
+};
+
+/// Table lookup; total function over CellType.
+const CellInfo& cell_info(CellType type);
+
+/// Number of distinct cell types (for iteration in reports).
+std::size_t cell_type_count();
+
+/// CellType from its dense index in [0, cell_type_count()).
+CellType cell_type_at(std::size_t index);
+
+/// Combinational evaluation. `inputs.size()` must equal the cell's
+/// num_inputs. kDff evaluates as identity (Q tracking is the simulator's
+/// job); tie cells ignore inputs.
+bool eval_cell(CellType type, const std::vector<bool>& inputs);
+
+}  // namespace emts::netlist

@@ -1,0 +1,165 @@
+#include "netlist/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace emts::netlist {
+
+namespace {
+
+// Budget per settle: generous multiple of circuit size. A well-formed
+// synchronous netlist settles in ~logic-depth events; hitting this bound
+// means a combinational loop is oscillating.
+constexpr std::uint64_t kEventsPerCellBudget = 64;
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_{netlist},
+      net_value_(netlist.net_count(), 0),
+      net_pending_(netlist.net_count(), 0),
+      flop_state_(netlist.flops().size(), 0) {
+  settle_initial();
+}
+
+void Simulator::settle_initial() {
+  // Evaluate every cell output against the all-zero net state so constants
+  // and inverting gates propagate. DFF outputs present their stored state.
+  for (CellId id = 0; id < netlist_.cell_count(); ++id) {
+    const Cell& c = netlist_.cell(id);
+    bool out = false;
+    if (c.type == CellType::kDff) {
+      const auto& flops = netlist_.flops();
+      const auto it = std::lower_bound(flops.begin(), flops.end(), id);
+      EMTS_ASSERT(it != flops.end() && *it == id);
+      out = flop_state_[static_cast<std::size_t>(it - flops.begin())] != 0;
+    } else {
+      std::vector<bool> ins(c.inputs.size());
+      for (std::size_t p = 0; p < c.inputs.size(); ++p) ins[p] = net_value_[c.inputs[p]] != 0;
+      out = eval_cell(c.type, ins);
+    }
+    if (out != (net_pending_[c.output] != 0)) {
+      schedule(c.output, out, cell_info(c.type).delay_ps);
+    }
+  }
+  run_queue();
+  cycle_toggles_.clear();
+}
+
+void Simulator::set_input(NetId net, bool value) {
+  EMTS_REQUIRE(net < netlist_.net_count(), "set_input: no such net");
+  EMTS_REQUIRE(!netlist_.has_driver(net), "set_input: net is driven by a cell");
+  if ((net_pending_[net] != 0) == value) return;
+  schedule(net, value, 0.0);
+}
+
+void Simulator::schedule(NetId net, bool value, double time_ps) {
+  net_pending_[net] = value ? 1 : 0;
+  queue_.push_back(Event{time_ps, seq_++, net, value});
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+}
+
+void Simulator::evaluate_fanout(NetId net, double now_ps) {
+  for (const auto& [cell_id, pin] : netlist_.fanout(net)) {
+    const Cell& c = netlist_.cell(cell_id);
+    if (c.type == CellType::kDff) continue;  // flops only sample on clock edges
+    std::vector<bool> ins(c.inputs.size());
+    for (std::size_t p = 0; p < c.inputs.size(); ++p) ins[p] = net_value_[c.inputs[p]] != 0;
+    const bool out = eval_cell(c.type, ins);
+    if (out != (net_pending_[c.output] != 0)) {
+      schedule(c.output, out, now_ps + cell_info(c.type).delay_ps);
+    }
+    (void)pin;
+  }
+}
+
+void Simulator::run_queue() {
+  const std::uint64_t budget =
+      kEventsPerCellBudget * std::max<std::uint64_t>(netlist_.cell_count(), 16);
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+    const Event ev = queue_.back();
+    queue_.pop_back();
+
+    if ((net_value_[ev.net] != 0) == ev.value) continue;
+    net_value_[ev.net] = ev.value ? 1 : 0;
+
+    if (netlist_.has_driver(ev.net)) {
+      ++total_toggles_;
+      cycle_toggles_.push_back(TimedToggle{ev.time_ps, netlist_.driver(ev.net)});
+    }
+    evaluate_fanout(ev.net, ev.time_ps);
+
+    EMTS_REQUIRE(++processed <= budget,
+                 "simulator did not settle: combinational loop or oscillation");
+  }
+}
+
+void Simulator::settle() { run_queue(); }
+
+void Simulator::clock_edge() {
+  cycle_toggles_.clear();
+  ++cycles_;
+
+  // Input changes applied since the last settle happen *before* this edge.
+  run_queue();
+
+  // Sample every D input *before* any Q changes (two-phase edge semantics).
+  const auto& flops = netlist_.flops();
+  std::vector<char> sampled(flops.size());
+  for (std::size_t f = 0; f < flops.size(); ++f) {
+    sampled[f] = net_value_[netlist_.cell(flops[f]).inputs[0]];
+  }
+  for (std::size_t f = 0; f < flops.size(); ++f) {
+    if (sampled[f] != flop_state_[f]) {
+      flop_state_[f] = sampled[f];
+      const Cell& c = netlist_.cell(flops[f]);
+      schedule(c.output, sampled[f] != 0, cell_info(CellType::kDff).delay_ps);
+    }
+  }
+  run_queue();
+}
+
+bool Simulator::value(NetId net) const {
+  EMTS_REQUIRE(net < netlist_.net_count(), "value: no such net");
+  return net_value_[net] != 0;
+}
+
+std::uint64_t Simulator::read_word(const std::vector<NetId>& nets) const {
+  EMTS_REQUIRE(nets.size() <= 64, "read_word: at most 64 bits");
+  std::uint64_t word = 0;
+  for (std::size_t b = 0; b < nets.size(); ++b) {
+    if (value(nets[b])) word |= (1ULL << b);
+  }
+  return word;
+}
+
+void Simulator::set_word(const std::vector<NetId>& nets, std::uint64_t word) {
+  EMTS_REQUIRE(nets.size() <= 64, "set_word: at most 64 bits");
+  for (std::size_t b = 0; b < nets.size(); ++b) {
+    set_input(nets[b], ((word >> b) & 1ULL) != 0);
+  }
+}
+
+double Simulator::last_cycle_charge_fc() const {
+  double total = 0.0;
+  for (const TimedToggle& t : cycle_toggles_) {
+    total += cell_info(netlist_.cell(t.cell).type).switch_charge_fc;
+  }
+  return total;
+}
+
+void Simulator::reset() {
+  std::fill(net_value_.begin(), net_value_.end(), 0);
+  std::fill(net_pending_.begin(), net_pending_.end(), 0);
+  std::fill(flop_state_.begin(), flop_state_.end(), 0);
+  queue_.clear();
+  cycle_toggles_.clear();
+  total_toggles_ = 0;
+  cycles_ = 0;
+  settle_initial();
+}
+
+}  // namespace emts::netlist

@@ -1,0 +1,93 @@
+// Event-driven two-value logic simulator with per-cell transport delays.
+// Besides functional verification, its job is to produce the *switching
+// activity* — which cells toggled, and when within the cycle — that the power
+// model turns into transient currents and ultimately EM radiation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emts::netlist {
+
+/// One recorded output toggle: which cell switched and when (ps from the most
+/// recent clock edge or settle start).
+struct TimedToggle {
+  double time_ps = 0.0;
+  CellId cell = 0;
+};
+
+class Simulator {
+ public:
+  /// Binds to a netlist (kept by reference; must outlive the simulator) and
+  /// settles the initial state: all nets start at 0, then every cell output
+  /// is evaluated, so tie cells and inverters reach consistent values.
+  explicit Simulator(const Netlist& netlist);
+
+  /// Drives a primary (undriven) net. Takes effect at the next settle() or
+  /// clock_edge().
+  void set_input(NetId net, bool value);
+
+  /// Propagates pending events until the network is quiescent.
+  /// Throws precondition_error if activity does not die down (combinational
+  /// loop / oscillation), after a generous event budget.
+  void settle();
+
+  /// One rising clock edge: samples every DFF's D, schedules Q updates, then
+  /// settles. Toggle recording for "last cycle" restarts here.
+  void clock_edge();
+
+  bool value(NetId net) const;
+
+  /// Reads a bit-vector (index 0 = lsb) of net values.
+  std::uint64_t read_word(const std::vector<NetId>& nets) const;
+
+  /// Drives a bit-vector (index 0 = lsb).
+  void set_word(const std::vector<NetId>& nets, std::uint64_t word);
+
+  /// Output toggles recorded since the last clock_edge() (or since
+  /// construction / explicit settle-with-reset), in time order.
+  const std::vector<TimedToggle>& last_cycle_toggles() const { return cycle_toggles_; }
+
+  /// Cumulative count of output toggles since construction or reset().
+  std::uint64_t total_toggles() const { return total_toggles_; }
+
+  /// Total switched charge (fC) in the last cycle, from the cell library's
+  /// per-toggle charge figures.
+  double last_cycle_charge_fc() const;
+
+  /// Returns nets (all of them) to 0 and re-settles the initial state.
+  void reset();
+
+  std::uint64_t cycle_count() const { return cycles_; }
+
+ private:
+  struct Event {
+    double time_ps;
+    std::uint64_t seq;  // tie-break for deterministic ordering
+    NetId net;
+    bool value;
+    bool operator>(const Event& other) const {
+      if (time_ps != other.time_ps) return time_ps > other.time_ps;
+      return seq > other.seq;
+    }
+  };
+
+  void schedule(NetId net, bool value, double time_ps);
+  void evaluate_fanout(NetId net, double now_ps);
+  void run_queue();
+  void settle_initial();
+
+  const Netlist& netlist_;
+  std::vector<char> net_value_;
+  std::vector<char> net_pending_;  // value after all scheduled events
+  std::vector<char> flop_state_;   // Q value per flop index
+  std::vector<Event> queue_;       // min-heap via std::push_heap/greater
+  std::uint64_t seq_ = 0;
+  std::uint64_t total_toggles_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::vector<TimedToggle> cycle_toggles_;
+};
+
+}  // namespace emts::netlist

@@ -1,0 +1,190 @@
+#include "netlist/synth.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace emts::netlist {
+
+namespace {
+
+// Synthesis context: shares constants, per-variable inverted selects, and
+// every already-built sub-function (keyed by its residual truth table).
+class Synthesizer {
+ public:
+  Synthesizer(Netlist& nl, const std::vector<NetId>& inputs) : nl_{nl}, inputs_{inputs} {}
+
+  NetId build(const TruthTable& table) {
+    EMTS_ASSERT(!table.empty());
+    // Constant function?
+    bool all_zero = true;
+    bool all_one = true;
+    for (bool b : table) {
+      all_zero &= !b;
+      all_one &= b;
+    }
+    if (all_zero) return tie_lo();
+    if (all_one) return tie_hi();
+
+    const auto key = table_key(table);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    // Shannon expansion on the highest remaining variable: the table for n
+    // variables splits into low half (var = 0) and high half (var = 1).
+    const std::size_t n = var_count(table.size());
+    const std::size_t half = table.size() / 2;
+    const TruthTable lo(table.begin(), table.begin() + static_cast<long>(half));
+    const TruthTable hi(table.begin() + static_cast<long>(half), table.end());
+    const NetId sel = inputs_[n - 1];
+
+    NetId out = kInvalidNet;
+    if (lo == hi) {
+      out = build(lo);  // variable is redundant
+    } else if (is_const0(lo) && is_const1(hi)) {
+      out = sel;  // literal
+    } else if (is_const1(lo) && is_const0(hi)) {
+      out = inverted(sel);
+    } else if (is_const0(lo)) {
+      out = add_gate(CellType::kAnd2, sel, build(hi));
+    } else if (is_const0(hi)) {
+      out = add_gate(CellType::kAnd2, inverted(sel), build(lo));
+    } else if (is_const1(lo)) {
+      out = add_gate(CellType::kOr2, inverted(sel), build(hi));
+    } else if (is_const1(hi)) {
+      out = add_gate(CellType::kOr2, sel, build(lo));
+    } else {
+      const NetId c0 = build(lo);
+      const NetId c1 = build(hi);
+      if (c0 == c1) {
+        out = c0;
+      } else if (c0 == inverted_of(c1)) {
+        // mux(c, !c, sel) = sel XNOR c1... = sel == c1.
+        out = add_gate(CellType::kXnor2, sel, c1);
+      } else {
+        const NetId net = nl_.add_net();
+        nl_.add_cell(CellType::kMux2, {c0, c1, sel}, net);
+        out = net;
+      }
+    }
+
+    memo_.emplace(key, out);
+    return out;
+  }
+
+ private:
+  static std::size_t var_count(std::size_t table_size) {
+    std::size_t n = 0;
+    while ((std::size_t{1} << n) < table_size) ++n;
+    return n;
+  }
+
+  static bool is_const0(const TruthTable& t) {
+    for (bool b : t) {
+      if (b) return false;
+    }
+    return true;
+  }
+
+  static bool is_const1(const TruthTable& t) {
+    for (bool b : t) {
+      if (!b) return false;
+    }
+    return true;
+  }
+
+  // Key: variable count prefix + packed bits (tables of different arity with
+  // equal content must not collide).
+  static std::string table_key(const TruthTable& t) {
+    std::string key;
+    key.reserve(t.size() / 8 + 3);
+    key.push_back(static_cast<char>(var_count(t.size())));
+    char acc = 0;
+    int bits = 0;
+    for (bool b : t) {
+      acc = static_cast<char>((acc << 1) | (b ? 1 : 0));
+      if (++bits == 8) {
+        key.push_back(acc);
+        acc = 0;
+        bits = 0;
+      }
+    }
+    if (bits != 0) key.push_back(acc);
+    return key;
+  }
+
+  NetId tie_lo() {
+    if (tie_lo_ == kInvalidNet) {
+      tie_lo_ = nl_.add_net("const0");
+      nl_.add_cell(CellType::kTieLo, {}, tie_lo_);
+    }
+    return tie_lo_;
+  }
+
+  NetId tie_hi() {
+    if (tie_hi_ == kInvalidNet) {
+      tie_hi_ = nl_.add_net("const1");
+      nl_.add_cell(CellType::kTieHi, {}, tie_hi_);
+    }
+    return tie_hi_;
+  }
+
+  NetId inverted(NetId net) {
+    if (const auto it = inverted_.find(net); it != inverted_.end()) return it->second;
+    const NetId out = nl_.add_net();
+    nl_.add_cell(CellType::kInv, {net}, out);
+    inverted_.emplace(net, out);
+    inverted_source_.emplace(out, net);
+    return out;
+  }
+
+  /// Net that `net` is the inversion of, if we built it; else kInvalidNet.
+  NetId inverted_of(NetId net) const {
+    if (const auto it = inverted_source_.find(net); it != inverted_source_.end()) {
+      return it->second;
+    }
+    return kInvalidNet;
+  }
+
+  NetId add_gate(CellType type, NetId a, NetId b) {
+    // Commutative gates: canonical operand order improves sharing.
+    if (a > b) std::swap(a, b);
+    const auto key = std::make_tuple(type, a, b);
+    if (const auto it = gates_.find(key); it != gates_.end()) return it->second;
+    const NetId out = nl_.add_net();
+    nl_.add_cell(type, {a, b}, out);
+    gates_.emplace(key, out);
+    return out;
+  }
+
+  Netlist& nl_;
+  const std::vector<NetId>& inputs_;
+  std::map<std::string, NetId> memo_;
+  std::map<NetId, NetId> inverted_;
+  std::map<NetId, NetId> inverted_source_;
+  std::map<std::tuple<CellType, NetId, NetId>, NetId> gates_;
+  NetId tie_lo_ = kInvalidNet;
+  NetId tie_hi_ = kInvalidNet;
+};
+
+}  // namespace
+
+std::vector<NetId> synthesize_lut(Netlist& nl, const std::vector<NetId>& inputs,
+                                  const std::vector<TruthTable>& outputs) {
+  EMTS_REQUIRE(!inputs.empty() && inputs.size() <= 16, "synthesize_lut: 1..16 inputs");
+  EMTS_REQUIRE(!outputs.empty(), "synthesize_lut: at least one output");
+  const std::size_t expected = std::size_t{1} << inputs.size();
+  for (const TruthTable& t : outputs) {
+    EMTS_REQUIRE(t.size() == expected, "synthesize_lut: truth table size must be 2^n");
+  }
+
+  Synthesizer synth{nl, inputs};
+  std::vector<NetId> out;
+  out.reserve(outputs.size());
+  for (const TruthTable& t : outputs) out.push_back(synth.build(t));
+  return out;
+}
+
+}  // namespace emts::netlist

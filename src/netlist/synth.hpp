@@ -1,0 +1,29 @@
+// Combinational logic synthesis from truth tables: Shannon (MUX)
+// decomposition with structural hashing, constant folding, and gate-level
+// strength reduction. This is how the repository builds *real* gate-level
+// implementations of nonlinear blocks — most importantly the AES S-box,
+// whose synthesized netlist is verified against the reference cipher over
+// all 256 inputs in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emts::netlist {
+
+/// Truth table of one output: bit `i` is the output value when the inputs
+/// spell the binary number i (inputs[0] = lsb of i). size() must be
+/// 2^inputs.size().
+using TruthTable = std::vector<bool>;
+
+/// Synthesizes an n-input, m-output boolean function. Returns the m output
+/// nets. Identical sub-functions are shared across all outputs (structural
+/// hashing), constants fold to tie cells, and single-literal / AND / OR
+/// shapes replace full multiplexers where possible.
+/// Requires 1 <= inputs.size() <= 16 and every table sized 2^n.
+std::vector<NetId> synthesize_lut(Netlist& nl, const std::vector<NetId>& inputs,
+                                  const std::vector<TruthTable>& outputs);
+
+}  // namespace emts::netlist

@@ -1,0 +1,103 @@
+#include "netlist/timing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace emts::netlist {
+
+TimingReport analyze_timing(const Netlist& netlist) {
+  TimingReport report;
+  const std::size_t nets = netlist.net_count();
+  report.arrival_ps.assign(nets, 0.0);
+
+  // Kahn topological order over combinational cells (flops break the graph:
+  // their outputs are timing *sources*, their inputs timing *endpoints*).
+  std::vector<std::size_t> pending(netlist.cell_count(), 0);
+  std::vector<CellId> ready;
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    const Cell& cell = netlist.cell(id);
+    if (cell.type == CellType::kDff) {
+      // Launch: Q becomes valid clk-to-Q after the edge.
+      report.arrival_ps[cell.output] = cell_info(CellType::kDff).delay_ps;
+      continue;
+    }
+    std::size_t unresolved = 0;
+    for (NetId in : cell.inputs) {
+      if (netlist.has_driver(in) && netlist.cell(netlist.driver(in)).type != CellType::kDff) {
+        ++unresolved;
+      }
+    }
+    pending[id] = unresolved;
+    if (unresolved == 0) ready.push_back(id);
+  }
+
+  // Track the worst-driving cell per net so the critical path can be walked
+  // backwards afterwards.
+  constexpr CellId kNone = 0xffffffffu;
+  std::vector<CellId> worst_driver(nets, kNone);
+
+  std::size_t processed = 0;
+  std::vector<CellId> order;
+  while (!ready.empty()) {
+    const CellId id = ready.back();
+    ready.pop_back();
+    const Cell& cell = netlist.cell(id);
+    ++processed;
+
+    double worst_input = 0.0;
+    for (NetId in : cell.inputs) worst_input = std::max(worst_input, report.arrival_ps[in]);
+    report.arrival_ps[cell.output] = worst_input + cell_info(cell.type).delay_ps;
+    worst_driver[cell.output] = id;
+
+    for (const auto& [sink, pin] : netlist.fanout(cell.output)) {
+      if (netlist.cell(sink).type == CellType::kDff) continue;
+      EMTS_ASSERT(pending[sink] > 0);
+      if (--pending[sink] == 0) ready.push_back(sink);
+      (void)pin;
+    }
+  }
+
+  std::size_t combinational = 0;
+  for (CellId id = 0; id < netlist.cell_count(); ++id) {
+    combinational += (netlist.cell(id).type != CellType::kDff);
+  }
+  EMTS_REQUIRE(processed == combinational,
+               "timing analysis requires an acyclic combinational fabric");
+
+  // Endpoints: flop D inputs and primary outputs.
+  NetId worst_net = kInvalidNet;
+  for (CellId flop : netlist.flops()) {
+    const NetId d = netlist.cell(flop).inputs[0];
+    if (report.arrival_ps[d] >= report.critical_delay_ps) {
+      report.critical_delay_ps = report.arrival_ps[d];
+      worst_net = d;
+    }
+  }
+  for (NetId po : netlist.primary_outputs()) {
+    if (report.arrival_ps[po] >= report.critical_delay_ps) {
+      report.critical_delay_ps = report.arrival_ps[po];
+      worst_net = po;
+    }
+  }
+
+  // Walk the worst path backwards through worst-arrival inputs.
+  while (worst_net != kInvalidNet && worst_driver[worst_net] != kNone) {
+    const CellId id = worst_driver[worst_net];
+    report.critical_path.push_back(id);
+    const Cell& cell = netlist.cell(id);
+    NetId next = kInvalidNet;
+    double best = -1.0;
+    for (NetId in : cell.inputs) {
+      if (report.arrival_ps[in] > best) {
+        best = report.arrival_ps[in];
+        next = in;
+      }
+    }
+    worst_net = next;
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+}  // namespace emts::netlist

@@ -1,0 +1,33 @@
+// Static timing analysis over the gate-level netlist: topological arrival
+// times through the combinational fabric between sequential/primary
+// endpoints. Answers the question every clocked design must: does the
+// longest path settle inside the clock period? (The chip model's 48 MHz
+// choice is validated against the synthesized AES core in the tests.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emts::netlist {
+
+/// Result of a timing analysis.
+struct TimingReport {
+  double critical_delay_ps = 0.0;      // worst arrival at any endpoint
+  std::vector<CellId> critical_path;   // cells along the worst path, start to end
+  std::vector<double> arrival_ps;      // per-net arrival time (ps)
+
+  /// True if the design settles within `period_ps` (with `margin_ps` slack).
+  bool meets_period(double period_ps, double margin_ps = 0.0) const {
+    return critical_delay_ps + margin_ps <= period_ps;
+  }
+};
+
+/// Computes arrival times. Timing starts at 0 on primary (undriven) nets and
+/// at flop outputs (clk-to-Q counted via the DFF cell delay); combinational
+/// cells add their library delay; flop D pins and primary outputs are
+/// endpoints. Throws precondition_error on combinational cycles.
+TimingReport analyze_timing(const Netlist& netlist);
+
+}  // namespace emts::netlist

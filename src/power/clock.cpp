@@ -1,0 +1,12 @@
+#include "power/clock.hpp"
+
+#include "util/assert.hpp"
+
+namespace emts::power {
+
+void ClockSpec::validate() const {
+  EMTS_REQUIRE(frequency > 0.0, "clock frequency must be positive");
+  EMTS_REQUIRE(samples_per_cycle >= 2, "need at least 2 samples per cycle");
+}
+
+}  // namespace emts::power

@@ -1,0 +1,26 @@
+// Clock and sampling parameters shared by the whole transient pipeline.
+// Defaults follow DESIGN.md: 48 MHz core clock (so Trojan T1's divide-by-64
+// carrier lands exactly on 750 kHz, paper Sec. IV-A) sampled at 8 points per
+// cycle, and 4096-sample traces that put the clock at FFT bin 512.
+#pragma once
+
+#include <cstddef>
+
+namespace emts::power {
+
+struct ClockSpec {
+  double frequency = 48e6;             // Hz
+  std::size_t samples_per_cycle = 8;   // oscilloscope oversampling
+
+  double period_s() const { return 1.0 / frequency; }
+  double sample_rate() const { return frequency * static_cast<double>(samples_per_cycle); }
+  double sample_interval_s() const { return 1.0 / sample_rate(); }
+
+  /// Sample index of the start of `cycle`.
+  std::size_t cycle_start_sample(std::size_t cycle) const { return cycle * samples_per_cycle; }
+
+  /// Validates the spec (positive frequency, >= 2 samples/cycle).
+  void validate() const;
+};
+
+}  // namespace emts::power

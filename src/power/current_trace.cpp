@@ -1,0 +1,66 @@
+#include "power/current_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/filter.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::power {
+
+CurrentTrace::CurrentTrace(const ClockSpec& clock, std::size_t num_cycles)
+    : clock_{clock}, num_cycles_{num_cycles} {
+  clock_.validate();
+  EMTS_REQUIRE(num_cycles >= 1, "need at least one cycle");
+  samples_.assign(num_cycles * clock_.samples_per_cycle, 0.0);
+}
+
+void CurrentTrace::add_pulse(const ActivityPulse& pulse, double charge_per_toggle_fc) {
+  if (pulse.toggles <= 0.0 || charge_per_toggle_fc == 0.0) return;
+  EMTS_REQUIRE(pulse.spread_ps > 0.0, "pulse spread must be positive");
+
+  const double charge = pulse.toggles * charge_per_toggle_fc * 1e-15;  // coulombs
+  const double dt = clock_.sample_interval_s();
+  const double t0 =
+      static_cast<double>(clock_.cycle_start_sample(pulse.cycle)) * dt + pulse.onset_ps * 1e-12;
+  const double dur = pulse.spread_ps * 1e-12;
+  const double t1 = t0 + dur;
+  const double amps = charge / dur;  // rectangular burst amplitude
+
+  // Area-conserving deposition: each sample receives current proportional to
+  // its dwell overlap with [t0, t1).
+  const auto n = static_cast<double>(samples_.size());
+  const double s_begin = std::max(t0 / dt, 0.0);
+  const double s_end = std::min(t1 / dt, n);
+  if (s_end <= s_begin) return;
+
+  for (auto s = static_cast<std::size_t>(s_begin); s < static_cast<std::size_t>(std::ceil(s_end));
+       ++s) {
+    const double lo = std::max(static_cast<double>(s), s_begin);
+    const double hi = std::min(static_cast<double>(s + 1), s_end);
+    if (hi <= lo) continue;
+    samples_[s] += amps * (hi - lo);  // fraction of the burst in this sample
+  }
+}
+
+void CurrentTrace::add_dc(double amps) {
+  for (double& v : samples_) v += amps;
+}
+
+void CurrentTrace::add_samples(const std::vector<double>& samples) {
+  EMTS_REQUIRE(samples.size() == samples_.size(), "add_samples: length mismatch");
+  for (std::size_t i = 0; i < samples_.size(); ++i) samples_[i] += samples[i];
+}
+
+double CurrentTrace::total_charge() const {
+  double acc = 0.0;
+  for (double v : samples_) acc += v;
+  return acc * clock_.sample_interval_s();
+}
+
+std::vector<double> CurrentTrace::derivative() const {
+  return dsp::differentiate(samples_, sample_rate());
+}
+
+}  // namespace emts::power

@@ -1,0 +1,65 @@
+// Transient supply-current synthesis. Switching activity (toggle counts with
+// within-cycle timing) turns into a sampled current waveform by depositing
+// each cycle's switched charge as a finite-duration pulse; Faraday's law then
+// needs dI/dt, provided here as the finite-difference derivative.
+//
+// This reproduces the role of the Hspice transient current sets in the
+// paper's simulation flow (Sec. IV-A): "transistor-level circuit simulations
+// to obtain transient current sets ... appended to corresponding resistive
+// elements".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/clock.hpp"
+
+namespace emts::power {
+
+/// One burst of switching inside one clock cycle.
+struct ActivityPulse {
+  std::size_t cycle = 0;     // which clock cycle
+  double toggles = 0.0;      // equivalent gate-output toggles
+  double onset_ps = 0.0;     // burst start, ps after the cycle's clock edge
+  double spread_ps = 500.0;  // burst duration, ps
+};
+
+/// Sampled supply-current waveform of one module.
+class CurrentTrace {
+ public:
+  /// Allocates a waveform covering `num_cycles` cycles of `clock`, all zero.
+  CurrentTrace(const ClockSpec& clock, std::size_t num_cycles);
+
+  /// Deposits one switching burst. The burst's total charge is
+  /// toggles * charge_per_toggle; current is spread as a rectangular burst
+  /// over [onset, onset+spread] using area-conserving deposition, so
+  /// integral(i dt) == deposited charge exactly. Out-of-window bursts are
+  /// clipped (their in-window charge is kept). Negative charge models the
+  /// discharge half of a drive cycle (loop current reverses direction).
+  void add_pulse(const ActivityPulse& pulse, double charge_per_toggle_fc);
+
+  /// Adds a constant (leakage / bias) current over the whole window.
+  void add_dc(double amps);
+
+  /// Adds a raw per-sample current contribution (e.g. an analog Trojan's
+  /// oscillation); `samples` is resampled by index (must match length).
+  void add_samples(const std::vector<double>& samples);
+
+  const std::vector<double>& samples() const { return samples_; }
+  const ClockSpec& clock() const { return clock_; }
+  std::size_t num_cycles() const { return num_cycles_; }
+  double sample_rate() const { return clock_.sample_rate(); }
+
+  /// Total charge in the window (integral of current).
+  double total_charge() const;
+
+  /// dI/dt by first differences (amperes/second), same length as samples().
+  std::vector<double> derivative() const;
+
+ private:
+  ClockSpec clock_;
+  std::size_t num_cycles_;
+  std::vector<double> samples_;
+};
+
+}  // namespace emts::power

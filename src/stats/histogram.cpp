@@ -1,0 +1,93 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace emts::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  EMTS_REQUIRE(hi > lo, "histogram range must be non-empty");
+  EMTS_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double pos = (value - lo_) / width;
+  if (pos < 0.0) return 0;
+  const auto idx = static_cast<std::size_t>(pos);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double value) {
+  ++counts_[bin_of(value)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  EMTS_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  EMTS_ASSERT(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return bin_lo(bin) + width;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak = counts_[mode_bin()];
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t len =
+        peak == 0 ? 0 : (counts_[b] * width + peak / 2) / peak;
+    out << "[" << bin_lo(b) << ", " << bin_hi(b) << ") "
+        << std::string(len, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+std::string Histogram::render_pair(const Histogram& red, const Histogram& blue,
+                                   std::size_t width) {
+  EMTS_REQUIRE(red.bin_count() == blue.bin_count() && red.lo_ == blue.lo_ &&
+                   red.hi_ == blue.hi_,
+               "render_pair requires identical binning");
+  std::size_t peak = 1;
+  for (std::size_t b = 0; b < red.bin_count(); ++b) {
+    peak = std::max({peak, red.counts_[b], blue.counts_[b]});
+  }
+  std::ostringstream out;
+  out << "    bin-center | golden (R) / trojan (B)\n";
+  for (std::size_t b = 0; b < red.bin_count(); ++b) {
+    const std::size_t rl = (red.counts_[b] * width + peak / 2) / peak;
+    const std::size_t bl = (blue.counts_[b] * width + peak / 2) / peak;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%14.4f", red.bin_center(b));
+    out << buf << " | R" << std::string(rl, '#') << "\n";
+    out << std::string(14, ' ') << " | B" << std::string(bl, '*') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace emts::stats

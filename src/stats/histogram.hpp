@@ -1,0 +1,53 @@
+// Fixed-bin histograms; the Fig. 6(a)-(h) reproduction plots Euclidean
+// distance histograms for golden vs Trojan-active trace populations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace emts::stats {
+
+/// Histogram with `bins` equal-width bins over [lo, hi); values outside the
+/// range are clamped into the edge bins so counts always sum to the input
+/// size.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+
+  /// Index of the fullest bin (leftmost on ties).
+  std::size_t mode_bin() const;
+
+  /// Value at the center of the fullest bin.
+  double mode() const { return bin_center(mode_bin()); }
+
+  /// ASCII rendering: one row per bin, bar length proportional to count.
+  /// Width is the bar length of the fullest bin.
+  std::string render(std::size_t width = 50) const;
+
+  /// Render two histograms side by side (they must share binning); used for
+  /// the golden-vs-Trojan overlays of Fig. 6.
+  static std::string render_pair(const Histogram& red, const Histogram& blue,
+                                 std::size_t width = 40);
+
+ private:
+  std::size_t bin_of(double value) const;
+
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace emts::stats

@@ -1,0 +1,25 @@
+#include "stats/snr.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+
+namespace emts::stats {
+
+double snr_voltage(const std::vector<double>& signal, const std::vector<double>& noise) {
+  const double noise_rms = rms(noise);
+  EMTS_REQUIRE(noise_rms > 0.0, "SNR undefined: zero noise RMS");
+  return rms(signal) / noise_rms;
+}
+
+double snr_db_from_voltage_ratio(double snr_voltage_ratio) {
+  EMTS_REQUIRE(snr_voltage_ratio > 0.0, "SNR ratio must be positive");
+  return 20.0 * std::log10(snr_voltage_ratio);
+}
+
+double snr_db(const std::vector<double>& signal, const std::vector<double>& noise) {
+  return snr_db_from_voltage_ratio(snr_voltage(signal, noise));
+}
+
+}  // namespace emts::stats

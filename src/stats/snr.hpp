@@ -1,0 +1,21 @@
+// Signal-to-noise ratio, exactly as the paper measures it (Sec. IV-B and
+// Sec. V-A): noise is recorded with the chip powered but idle, signal with
+// the encryption running; SNR is the RMS ratio (Eq. 2), reported in dB
+// (Eq. 3, 20*log10).
+#pragma once
+
+#include <vector>
+
+namespace emts::stats {
+
+/// Eq. 2: RMS(signal) / RMS(noise). Requires non-empty inputs and non-zero
+/// noise RMS.
+double snr_voltage(const std::vector<double>& signal, const std::vector<double>& noise);
+
+/// Eq. 3: 20 * log10(snr_voltage). Requires positive ratio.
+double snr_db_from_voltage_ratio(double snr_voltage_ratio);
+
+/// Convenience composition of Eqs. 2 and 3.
+double snr_db(const std::vector<double>& signal, const std::vector<double>& noise);
+
+}  // namespace emts::stats

@@ -1,0 +1,54 @@
+#include "trojan/a2_analog.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::trojan {
+
+A2ChargePump::A2ChargePump() : A2ChargePump(Params{}) {}
+
+A2ChargePump::A2ChargePump(const Params& params) : params_{params} {
+  EMTS_REQUIRE(params.charge_per_pulse_v > 0.0, "pump step must be positive");
+  EMTS_REQUIRE(params.leak_tau_s > 0.0, "leak tau must be positive");
+  EMTS_REQUIRE(params.threshold_v > 0.0 && params.threshold_v < params.vdd,
+               "threshold must lie between 0 and vdd");
+}
+
+void A2ChargePump::step(bool pulse, double dt_s) {
+  EMTS_REQUIRE(dt_s > 0.0, "dt must be positive");
+  // Exponential self-discharge ...
+  voltage_ *= std::exp(-dt_s / params_.leak_tau_s);
+  // ... plus one charge injection per victim pulse, saturating at vdd.
+  if (pulse) {
+    voltage_ = std::min(voltage_ + params_.charge_per_pulse_v, params_.vdd);
+  }
+  if (voltage_ >= params_.threshold_v) fired_ = true;
+}
+
+void A2ChargePump::reset() {
+  voltage_ = 0.0;
+  fired_ = false;
+}
+
+A2Analog::A2Analog() = default;
+
+void A2Analog::contribute(const TraceContext& context, power::CurrentTrace& trace) const {
+  if (!active()) return;  // dormant: femtoamp-level pump bias, below everything
+
+  // Triggering state: the victim pulse train drives the pump, whose charge /
+  // dump cycle draws an oscillatory current at kOscillationRatio x clock.
+  const double f = kOscillationRatio * context.clock.frequency;
+  const double fs = context.clock.sample_rate();
+  std::vector<double> osc(trace.samples().size());
+  const std::uint64_t phase_origin =
+      context.trace_index * context.num_cycles * context.clock.samples_per_cycle;
+  for (std::size_t i = 0; i < osc.size(); ++i) {
+    const double t = static_cast<double>(phase_origin + i) / fs;
+    osc[i] = kOscAmps * std::sin(2.0 * units::pi * f * t);
+  }
+  trace.add_samples(osc);
+}
+
+}  // namespace emts::trojan

@@ -1,0 +1,77 @@
+// A2-style analog Trojan (paper Sec. IV-A, after Yang et al., S&P 2016):
+// six transistors and a capacitor. A charge pump integrates pulses of a
+// fast-toggling victim wire (here, an on-chip clock-division signal); when
+// the capacitor crosses its threshold the payload fires. Digital and
+// standard side-channel methods miss it; the paper detects the *triggering*
+// state in the frequency domain (Fig. 4) because the fast toggling adds a
+// non-harmonic spectral spot.
+//
+// Two pieces:
+//  * A2ChargePump  — the continuous capacitor dynamics (trigger physics),
+//    unit-testable on its own;
+//  * A2Analog      — the Trojan model: in the triggering state it draws a
+//    small oscillatory supply current at kOscillationRatio x clock.
+#pragma once
+
+#include "trojan/trojan.hpp"
+
+namespace emts::trojan {
+
+/// Capacitor/charge-pump dynamics of the A2 trigger.
+class A2ChargePump {
+ public:
+  struct Params {
+    double charge_per_pulse_v = 0.09;  // voltage step per victim-wire pulse
+    double leak_tau_s = 0.8e-6;        // self-discharge time constant
+    double threshold_v = 0.75;         // payload-fire threshold
+    double vdd = 1.8;                  // saturation ceiling
+  };
+
+  A2ChargePump();  // default Params
+  explicit A2ChargePump(const Params& params);
+
+  /// Advances by dt seconds; `pulse` = whether the victim wire toggled high
+  /// during this step.
+  void step(bool pulse, double dt_s);
+
+  double voltage() const { return voltage_; }
+  bool fired() const { return fired_; }
+  void reset();
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  double voltage_ = 0.0;
+  bool fired_ = false;
+};
+
+class A2Analog final : public Trojan {
+ public:
+  A2Analog();
+
+  TrojanKind kind() const override { return TrojanKind::kA2Analog; }
+  std::string name() const override { return "A2-style analog Trojan"; }
+  double area_um2() const override { return kAreaUm2; }
+  std::size_t cell_count() const override { return 0; }  // analog, no std cells
+  void contribute(const TraceContext& context, power::CurrentTrace& trace) const override;
+
+  /// Triggering-state oscillation frequency as a multiple of the clock.
+  /// The paper feeds the pump from a clock-division pulse train; the pump's
+  /// retrigger dynamics put the resulting spot *between* the clock and its
+  /// 2nd harmonic (Fig. 4) — we model that as a 1.5x tone (substitution
+  /// documented in DESIGN.md).
+  static constexpr double kOscillationRatio = 1.5;
+
+  /// Analog block footprint: six transistors plus the MOS cap (0.087% of the
+  /// AES by area, Table I).
+  static constexpr double kAreaUm2 = 518.0;
+
+  /// Supply-current amplitude of the triggering oscillation.
+  static constexpr double kOscAmps = 0.35e-3;
+
+ private:
+  // no state beyond Trojan::active()
+};
+
+}  // namespace emts::trojan

@@ -1,0 +1,17 @@
+// Shared helpers for the Trojan netlist builders.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace emts::trojan::detail {
+
+/// Appends a chain of BUF cells driven by `source` until the netlist reaches
+/// exactly `target_cells` cells (drive/antenna buffering — how the fabricated
+/// Trojans reach the drive strength their payloads need). Requires the
+/// current count not to exceed the target.
+void pad_with_driver_chain(netlist::Netlist& nl, netlist::NetId source,
+                           std::size_t target_cells);
+
+}  // namespace emts::trojan::detail

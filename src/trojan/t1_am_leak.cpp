@@ -1,0 +1,109 @@
+#include "trojan/t1_am_leak.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "netlist/builders.hpp"
+#include "trojan/detail.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace emts::trojan {
+
+namespace {
+
+constexpr std::size_t kTableOneCells = 1657;  // Table I
+constexpr std::size_t kCarrierHalfPeriodCycles = 32;  // clock/64 carrier
+// Antenna drive: the buffer bank rings the antenna load through its output
+// tank, so the supply draws a quasi-sinusoidal current at the carrier. This
+// is what a radio receiver demodulates — and what concentrates the Trojan's
+// EM signature at 750 kHz (Fig. 6(i)).
+constexpr double kCarrierAmps = 12.0e-3;
+// Carrier divider + serializer housekeeping, every cycle while armed.
+constexpr double kHousekeepingChargeFc = 140.0;
+// Dormant trigger-sampling activity (a couple of gates watching the arm pin).
+constexpr double kDormantChargeFc = 10.0;
+
+}  // namespace
+
+T1AmLeak::T1AmLeak() : netlist_{"t1_am_leak"} {
+  using namespace netlist;
+  Netlist& nl = netlist_;
+
+  enable_ = nl.add_net("arm");
+  nl.mark_primary_input(enable_);
+
+  // 128-bit key shadow register with parallel-load muxes.
+  const NetId load = nl.add_net("key_load");
+  nl.mark_primary_input(load);
+  NetId serial_prev = nl.add_net("ser_gnd");
+  nl.add_cell(CellType::kTieLo, {}, serial_prev);
+  std::vector<NetId> shadow;
+  for (std::size_t b = 0; b < 128; ++b) {
+    const NetId key_bit = nl.add_net("key_in" + std::to_string(b));
+    nl.mark_primary_input(key_bit);
+    const NetId d = nl.add_net("shadow_d" + std::to_string(b));
+    const NetId q = nl.add_net("shadow_q" + std::to_string(b));
+    nl.add_cell(CellType::kMux2, {serial_prev, key_bit, load}, d);
+    nl.add_cell(CellType::kDff, {d}, q);
+    shadow.push_back(q);
+    serial_prev = q;
+  }
+
+  // Divide-by-64 carrier: 6-bit counter, carrier = msb.
+  const auto counter = build_counter(nl, 6, enable_);
+  carrier_ = counter.bits[5];
+
+  // OOK modulator: carrier AND serialized key bit.
+  modulated_ = nl.add_net("modulated");
+  nl.add_cell(CellType::kAnd2, {carrier_, shadow.back()}, modulated_);
+  nl.mark_primary_output(modulated_);
+
+  // Antenna driver bank fills the Trojan to its fabricated size.
+  detail::pad_with_driver_chain(nl, modulated_, kTableOneCells);
+  EMTS_ASSERT(nl.cell_count() == kTableOneCells);
+}
+
+double T1AmLeak::area_um2() const { return netlist_.gate_count().area_um2; }
+
+std::size_t T1AmLeak::key_bit_index(std::uint64_t trace_index, std::size_t cycle,
+                                    std::size_t cycles_per_trace) {
+  const std::size_t cycles_per_bit = kCarrierPeriodsPerBit * 2 * kCarrierHalfPeriodCycles;
+  const std::uint64_t absolute_cycle =
+      trace_index * cycles_per_trace + static_cast<std::uint64_t>(cycle);
+  return static_cast<std::size_t>((absolute_cycle / cycles_per_bit) % 128);
+}
+
+void T1AmLeak::contribute(const TraceContext& context, power::CurrentTrace& trace) const {
+  if (!active()) {
+    for (std::size_t c = 0; c < context.num_cycles; ++c) {
+      trace.add_pulse({c, 1.0, 150.0, 400.0}, kDormantChargeFc);
+    }
+    return;
+  }
+
+  // Divider + serializer tick every cycle.
+  for (std::size_t c = 0; c < context.num_cycles; ++c) {
+    trace.add_pulse({c, 1.0, 150.0, 600.0}, kHousekeepingChargeFc);
+  }
+
+  // OOK carrier: a 750 kHz sinusoidal antenna current while the broadcast
+  // key bit is 1, silence while it is 0. Phase is continuous across windows
+  // (the divider never stops), so tones stay bin-aligned.
+  const double carrier_hz_now = carrier_hz(context.clock);
+  const double fs = context.clock.sample_rate();
+  const std::uint64_t sample_origin =
+      context.trace_index * context.num_cycles * context.clock.samples_per_cycle;
+  std::vector<double> carrier(trace.samples().size(), 0.0);
+  for (std::size_t i = 0; i < carrier.size(); ++i) {
+    const std::size_t cycle = i / context.clock.samples_per_cycle;
+    const std::size_t bit_index = key_bit_index(context.trace_index, cycle, context.num_cycles);
+    const bool bit = ((context.key[bit_index / 8] >> (bit_index % 8)) & 1u) != 0;
+    if (!bit) continue;
+    const double t = static_cast<double>(sample_origin + i) / fs;
+    carrier[i] = kCarrierAmps * std::sin(2.0 * units::pi * carrier_hz_now * t);
+  }
+  trace.add_samples(carrier);
+}
+
+}  // namespace emts::trojan

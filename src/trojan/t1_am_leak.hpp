@@ -1,0 +1,50 @@
+// Trojan 1 — AM radio key leak (paper Sec. IV-A): "leaks the secret
+// information through the AM radio carrier at a 750 KHz frequency and the
+// leaked information can be demodulated with a wireless radio receiver."
+//
+// Structure: a divide-by-64 carrier generator off the 48 MHz core clock
+// (64 x 750 kHz = 48 MHz exactly), a 128-bit shadow register that captures
+// the AES key, a serializer, an on-off-keying modulator, and a large
+// antenna-driver buffer bank — 1,657 cells total (Table I).
+#pragma once
+
+#include <memory>
+
+#include "netlist/builders.hpp"
+#include "trojan/trojan.hpp"
+
+namespace emts::trojan {
+
+class T1AmLeak final : public Trojan {
+ public:
+  T1AmLeak();
+
+  TrojanKind kind() const override { return TrojanKind::kT1AmLeak; }
+  std::string name() const override { return "T1 AM-radio key leak"; }
+  const netlist::Netlist* gate_netlist() const override { return &netlist_; }
+  double area_um2() const override;
+  void contribute(const TraceContext& context, power::CurrentTrace& trace) const override;
+
+  /// Carrier frequency given a clock (clock/64).
+  static double carrier_hz(const power::ClockSpec& clock) { return clock.frequency / 64.0; }
+
+  /// One leaked key bit spans this many carrier periods.
+  static constexpr std::size_t kCarrierPeriodsPerBit = 2;
+
+  /// The key bit broadcast during absolute cycle `cycle` of trace
+  /// `trace_index` (bits stream continuously across traces).
+  static std::size_t key_bit_index(std::uint64_t trace_index, std::size_t cycle,
+                                   std::size_t cycles_per_trace);
+
+  // Netlist probe points (for logic-level tests).
+  netlist::NetId carrier_net() const { return carrier_; }
+  netlist::NetId enable_net() const { return enable_; }
+
+ private:
+  netlist::Netlist netlist_;
+  netlist::NetId enable_ = 0;
+  netlist::NetId carrier_ = 0;
+  netlist::NetId modulated_ = 0;
+};
+
+}  // namespace emts::trojan

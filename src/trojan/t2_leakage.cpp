@@ -1,0 +1,118 @@
+#include "trojan/t2_leakage.hpp"
+
+#include "netlist/builders.hpp"
+#include "trojan/detail.hpp"
+#include "util/assert.hpp"
+
+namespace emts::trojan {
+
+namespace {
+
+constexpr std::size_t kTableOneCells = 2793;  // Table I
+constexpr std::size_t kHistoryBits = 1280;    // 10 captured keys
+// Crowbar leakage while the observed bit is 0 (amperes). A static rail-to-
+// rail path, not switching charge — this is what makes T2 nearly invisible
+// to edge-sensitive probes but shifts the sensor's low-frequency content.
+constexpr double kLeakAmps = 0.45e-3;
+// Shift-event switching: ~half the history flops flip per shift.
+constexpr double kShiftChargeFc = 640.0 * 30.0;
+// Clock loading of the armed 1,280-flop history register: burns charge every
+// cycle even without data flips. This clock-synchronous component is what
+// lifts the clock-harmonic spots in Fig. 6(j) ("significant amplitude
+// increase in a number of frequency spots").
+constexpr double kClockLoadChargeFc = 19000.0;
+constexpr double kDormantChargeFc = 10.0;
+
+}  // namespace
+
+T2Leakage::T2Leakage() : netlist_{"t2_leakage"} {
+  using namespace netlist;
+  Netlist& nl = netlist_;
+
+  enable_ = nl.add_net("arm");
+  nl.mark_primary_input(enable_);
+
+  // 24-bit pre-set timer; a comparator on its low 6 bits paces the shift to
+  // one bit every kCyclesPerBit (= 64) cycles.
+  const auto timer = build_counter(nl, 24, enable_);
+  std::vector<NetId> low_bits(timer.bits.begin(), timer.bits.begin() + 6);
+  const NetId shift_now = build_equals_const(nl, low_bits, 0x3f);
+  nl.mark_primary_output(shift_now);
+
+  // Key-history shift register with parallel-load muxes on the first 128
+  // stages (each new key capture pushes the previous ones deeper).
+  NetId serial_prev = nl.add_net("ser_gnd");
+  nl.add_cell(CellType::kTieLo, {}, serial_prev);
+  const NetId load = nl.add_net("key_load");
+  nl.mark_primary_input(load);
+  for (std::size_t b = 0; b < kHistoryBits; ++b) {
+    const NetId q = nl.add_net("hist_q" + std::to_string(b));
+    if (b < 128) {
+      const NetId key_bit = nl.add_net("key_in" + std::to_string(b));
+      nl.mark_primary_input(key_bit);
+      const NetId d = nl.add_net("hist_d" + std::to_string(b));
+      nl.add_cell(CellType::kMux2, {serial_prev, key_bit, load}, d);
+      nl.add_cell(CellType::kDff, {d}, q);
+    } else {
+      const NetId d = nl.add_net("hist_d" + std::to_string(b));
+      nl.add_cell(CellType::kMux2, {q, serial_prev, shift_now}, d);
+      nl.add_cell(CellType::kDff, {d}, q);
+    }
+    serial_prev = q;
+  }
+
+  // The crowbar pair: the observed stage drives inverter 1, whose output
+  // drives inverter 2; the leak flows between them when the bit is 0.
+  const NetId inv1 = nl.add_net("crowbar_mid");
+  const NetId inv2 = nl.add_net("crowbar_out");
+  nl.add_cell(CellType::kInv, {serial_prev}, inv1);
+  nl.add_cell(CellType::kInv, {inv1}, inv2);
+  nl.mark_primary_output(inv2);
+
+  detail::pad_with_driver_chain(nl, inv2, kTableOneCells);
+  EMTS_ASSERT(nl.cell_count() == kTableOneCells);
+}
+
+double T2Leakage::area_um2() const { return netlist_.gate_count().area_um2; }
+
+std::size_t T2Leakage::key_bit_index(std::uint64_t trace_index, std::size_t cycle,
+                                     std::size_t cycles_per_trace) {
+  const std::uint64_t absolute_cycle =
+      trace_index * cycles_per_trace + static_cast<std::uint64_t>(cycle);
+  return static_cast<std::size_t>((absolute_cycle / kCyclesPerBit) % 128);
+}
+
+void T2Leakage::contribute(const TraceContext& context, power::CurrentTrace& trace) const {
+  if (!active()) {
+    for (std::size_t c = 0; c < context.num_cycles; ++c) {
+      trace.add_pulse({c, 1.0, 150.0, 400.0}, kDormantChargeFc);
+    }
+    return;
+  }
+
+  const double cycle_s = context.clock.period_s();
+  for (std::size_t c = 0; c < context.num_cycles; ++c) {
+    const std::uint64_t absolute_cycle =
+        context.trace_index * context.num_cycles + static_cast<std::uint64_t>(c);
+
+    // Clock tree serves the armed register bank every cycle.
+    trace.add_pulse({c, 1.0, 100.0, 1400.0}, kClockLoadChargeFc);
+
+    // Shift event: the history register advances (spread across the cycle —
+    // the 1,280-stage chain settles slowly through its mux network).
+    if (absolute_cycle % kCyclesPerBit == 0) {
+      trace.add_pulse({c, 1.0, 250.0, 19000.0}, kShiftChargeFc);
+    }
+
+    // Crowbar leak while the observed key bit is 0 (the whole cycle).
+    const std::size_t bit_index = key_bit_index(context.trace_index, c, context.num_cycles);
+    const bool bit = ((context.key[bit_index / 8] >> (bit_index % 8)) & 1u) != 0;
+    if (!bit) {
+      // Model the static leak as charge spread across the full cycle.
+      const double leak_charge_fc = kLeakAmps * cycle_s * 1e15;
+      trace.add_pulse({c, 1.0, 0.0, 1e12 * cycle_s}, leak_charge_fc);
+    }
+  }
+}
+
+}  // namespace emts::trojan

@@ -1,0 +1,153 @@
+#include "trojan/t3_cdma.hpp"
+
+#include "netlist/builders.hpp"
+#include "trojan/detail.hpp"
+#include "util/assert.hpp"
+
+namespace emts::trojan {
+
+namespace {
+
+constexpr std::size_t kTableOneCells = 250;  // Table I
+// Taps of the 16-bit XNOR LFSR (mirrors build_lfsr's feedback convention:
+// XNOR reduction over the tapped state bits, shifted into stage 0).
+constexpr std::size_t kTaps[] = {10, 12, 13, 15};
+// One chip driver firing: a handful of cells — deliberately tiny.
+constexpr double kChipChargeFc = 10000.0;
+// LFSR + counter housekeeping per cycle.
+constexpr double kHousekeepingChargeFc = 55.0;
+constexpr double kDormantChargeFc = 6.0;
+
+}  // namespace
+
+T3Cdma::T3Cdma() : netlist_{"t3_cdma"} {
+  using namespace netlist;
+  Netlist& nl = netlist_;
+
+  enable_ = nl.add_net("arm");
+  nl.mark_primary_input(enable_);
+
+  // Key capture register (serial shift at bit-period boundaries).
+  NetId serial_prev = nl.add_net("ser_gnd");
+  nl.add_cell(CellType::kTieLo, {}, serial_prev);
+  std::vector<NetId> capture;
+  for (std::size_t b = 0; b < 128; ++b) {
+    const NetId q = nl.add_net("cap_q" + std::to_string(b));
+    nl.add_cell(CellType::kDff, {serial_prev}, q);
+    capture.push_back(q);
+    serial_prev = q;
+  }
+
+  // Spreading-sequence generator and bit-period counter.
+  const auto lfsr = build_lfsr(nl, 16, {kTaps[0], kTaps[1], kTaps[2]});
+  const auto bit_counter = build_counter(nl, 7, enable_);
+
+  // Spreader: chip = lfsr_out XOR key_bit; gated by the arm pin.
+  const NetId chip = nl.add_net("chip");
+  nl.add_cell(CellType::kXor2, {lfsr.state[15], capture.back()}, chip);
+  const NetId gated = nl.add_net("chip_gated");
+  nl.add_cell(CellType::kAnd2, {chip, enable_}, gated);
+  nl.mark_primary_output(gated);
+  (void)bit_counter;
+
+  detail::pad_with_driver_chain(nl, gated, kTableOneCells);
+  EMTS_ASSERT(nl.cell_count() == kTableOneCells);
+}
+
+double T3Cdma::area_um2() const { return netlist_.gate_count().area_um2; }
+
+std::uint16_t T3Cdma::lfsr_step(std::uint16_t state) {
+  // XNOR parity over taps {10, 12, 13, 15} (bit 15 always included).
+  int parity = 0;
+  for (std::size_t t : kTaps) parity ^= (state >> t) & 1u;
+  const std::uint16_t feedback = static_cast<std::uint16_t>(parity ^ 1u);  // XNOR
+  return static_cast<std::uint16_t>((state << 1) | feedback);
+}
+
+namespace {
+
+// The XNOR LFSR is affine over GF(2): s' = M s + e0. Augmenting the state
+// with a constant-1 bit (bit 16) makes it linear in 17 dimensions, so
+// `steps` applications collapse to one 17x17 bit-matrix power.
+using BitMatrix = std::array<std::uint32_t, 17>;  // row i = mask of inputs
+
+BitMatrix multiply(const BitMatrix& a, const BitMatrix& b) {
+  BitMatrix out{};
+  for (std::size_t i = 0; i < 17; ++i) {
+    std::uint32_t row = 0;
+    std::uint32_t bits = a[i];
+    while (bits != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctz(bits));
+      row ^= b[j];
+      bits &= bits - 1;
+    }
+    out[i] = row;
+  }
+  return out;
+}
+
+BitMatrix lfsr_transition() {
+  BitMatrix m{};
+  // Row 0 (new bit 0) = XNOR parity: taps plus the constant-1 bit.
+  std::uint32_t row0 = 1u << 16;
+  for (std::size_t t : kTaps) row0 |= 1u << t;
+  m[0] = row0;
+  for (std::size_t i = 1; i < 16; ++i) m[i] = 1u << (i - 1);  // shift
+  m[16] = 1u << 16;                                           // constant stays 1
+  return m;
+}
+
+std::uint32_t apply_matrix(const BitMatrix& m, std::uint32_t v) {
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < 17; ++i) {
+    out |= static_cast<std::uint32_t>(__builtin_popcount(m[i] & v) & 1) << i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint16_t T3Cdma::lfsr_state_after(std::uint64_t steps) {
+  BitMatrix power = lfsr_transition();
+  std::uint32_t v = 1u << 16;  // zero state + constant 1
+  std::uint64_t remaining = steps;
+  while (remaining != 0) {
+    if (remaining & 1u) v = apply_matrix(power, v);
+    remaining >>= 1;
+    if (remaining != 0) power = multiply(power, power);
+  }
+  return static_cast<std::uint16_t>(v & 0xffffu);
+}
+
+void T3Cdma::contribute(const TraceContext& context, power::CurrentTrace& trace) const {
+  if (!active()) {
+    for (std::size_t c = 0; c < context.num_cycles; ++c) {
+      trace.add_pulse({c, 1.0, 150.0, 400.0}, kDormantChargeFc);
+    }
+    return;
+  }
+
+  const std::uint64_t trace_start = context.trace_index * context.num_cycles;
+  std::uint16_t lfsr = lfsr_state_after(trace_start);
+  for (std::size_t c = 0; c < context.num_cycles; ++c) {
+    trace.add_pulse({c, 1.0, 150.0, 500.0}, kHousekeepingChargeFc);
+
+    const std::uint64_t absolute_cycle = trace_start + static_cast<std::uint64_t>(c);
+    const std::size_t bit_index =
+        static_cast<std::size_t>((absolute_cycle / kChipsPerBit) % 128);
+    const bool key_bit = ((context.key[bit_index / 8] >> (bit_index % 8)) & 1u) != 0;
+    lfsr = lfsr_step(lfsr);
+    const bool chip = ((lfsr >> 15) & 1u) != 0;
+
+    // Spread output: the driver holds the chip XOR key value for the whole
+    // cycle (NRZ). A random NRZ stream's spectrum has sinc nulls at the chip
+    // rate (= the clock) and its multiples, so the leak adds almost no
+    // energy at the clock spots — the physics behind the paper's Fig. 6(k)
+    // finding that the spectral method misses T3.
+    if (chip != key_bit) {
+      trace.add_pulse({c, 1.0, 0.0, 20700.0}, kChipChargeFc);
+    }
+  }
+}
+
+}  // namespace emts::trojan

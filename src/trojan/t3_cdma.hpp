@@ -1,0 +1,49 @@
+// Trojan 3 — CDMA covert-channel key leak (paper Sec. IV-A): "leaks the
+// secret information through a Code Division Multiple Access (CDMA) channel
+// which utilizes multiple clock cycles to leak a single bit. A pseudo-random
+// number generator is used to provide a CDMA sequence for the exclusive OR
+// operation on the secret information."
+//
+// Smallest of the four (250 cells, 0.76% — Table I): a 16-bit XNOR LFSR
+// spreading-sequence generator, a 128-bit key capture register, the XOR
+// spreader, a bit-period counter, and a small output driver. Its spread-
+// spectrum signature is the hardest to detect — the paper's spectral method
+// misses it (Fig. 6(k)) and only the on-chip sensor's distance test sees it.
+#pragma once
+
+#include <cstdint>
+
+#include "trojan/trojan.hpp"
+
+namespace emts::trojan {
+
+class T3Cdma final : public Trojan {
+ public:
+  T3Cdma();
+
+  TrojanKind kind() const override { return TrojanKind::kT3Cdma; }
+  std::string name() const override { return "T3 CDMA covert-channel key leak"; }
+  const netlist::Netlist* gate_netlist() const override { return &netlist_; }
+  double area_um2() const override;
+  void contribute(const TraceContext& context, power::CurrentTrace& trace) const override;
+
+  /// Chips (LFSR steps) per leaked key bit.
+  static constexpr std::size_t kChipsPerBit = 64;
+
+  /// Mirror of the gate-level 16-bit XNOR LFSR: state after `steps` steps
+  /// from the all-zero reset state. Bit 15 is the chip output. O(log steps)
+  /// via GF(2) affine matrix exponentiation, so trace generation deep into an
+  /// acquisition stream stays cheap.
+  static std::uint16_t lfsr_state_after(std::uint64_t steps);
+
+  /// One LFSR step (the cheap incremental form used inside contribute()).
+  static std::uint16_t lfsr_step(std::uint16_t state);
+
+  netlist::NetId enable_net() const { return enable_; }
+
+ private:
+  netlist::Netlist netlist_;
+  netlist::NetId enable_ = 0;
+};
+
+}  // namespace emts::trojan

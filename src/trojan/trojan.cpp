@@ -1,0 +1,68 @@
+#include "trojan/trojan.hpp"
+
+#include "trojan/a2_analog.hpp"
+#include "trojan/detail.hpp"
+#include "trojan/t1_am_leak.hpp"
+#include "trojan/t2_leakage.hpp"
+#include "trojan/t3_cdma.hpp"
+#include "trojan/t4_power_hog.hpp"
+#include "util/assert.hpp"
+
+namespace emts::trojan {
+
+std::size_t Trojan::cell_count() const {
+  const netlist::Netlist* nl = gate_netlist();
+  return nl != nullptr ? nl->cell_count() : 0;
+}
+
+std::unique_ptr<Trojan> make_trojan(TrojanKind kind) {
+  switch (kind) {
+    case TrojanKind::kT1AmLeak:
+      return std::make_unique<T1AmLeak>();
+    case TrojanKind::kT2Leakage:
+      return std::make_unique<T2Leakage>();
+    case TrojanKind::kT3Cdma:
+      return std::make_unique<T3Cdma>();
+    case TrojanKind::kT4PowerHog:
+      return std::make_unique<T4PowerHog>();
+    case TrojanKind::kA2Analog:
+      return std::make_unique<A2Analog>();
+  }
+  EMTS_ASSERT(false);
+  return nullptr;
+}
+
+const char* kind_label(TrojanKind kind) {
+  switch (kind) {
+    case TrojanKind::kT1AmLeak:
+      return "T1";
+    case TrojanKind::kT2Leakage:
+      return "T2";
+    case TrojanKind::kT3Cdma:
+      return "T3";
+    case TrojanKind::kT4PowerHog:
+      return "T4";
+    case TrojanKind::kA2Analog:
+      return "A2";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void pad_with_driver_chain(netlist::Netlist& nl, netlist::NetId source,
+                           std::size_t target_cells) {
+  EMTS_REQUIRE(nl.cell_count() <= target_cells,
+               "netlist already exceeds its Table I cell target");
+  netlist::NetId prev = source;
+  std::size_t i = 0;
+  while (nl.cell_count() < target_cells) {
+    const netlist::NetId out = nl.add_net("drv" + std::to_string(i++));
+    nl.add_cell(netlist::CellType::kBuf, {prev}, out);
+    prev = out;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace emts::trojan

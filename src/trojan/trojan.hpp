@@ -1,0 +1,83 @@
+// Hardware Trojan model library (paper Sec. IV-A): the four digital Trojans
+// fabricated alongside the AES, plus the A2-style analog Trojan.
+//
+// Every digital Trojan carries a real gate-level netlist (trigger + payload,
+// buildable and simulatable with netlist::Simulator) whose cell count matches
+// Table I, and a current-signature generator that adds the Trojan's switching
+// current to a module transient when the Trojan is activated. The signatures
+// are what the paper detects:
+//   T1 — key bits on-off-key a 750 kHz carrier (AM radio leak);
+//   T2 — crowbar leakage current gated by shifted key bits;
+//   T3 — CDMA-spread single-bit leak (near-noise, hardest to catch);
+//   T4 — register bank toggling every cycle (power degradation);
+//   A2 — fast-toggling analog trigger, visible only in the spectrum.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "aes/aes128.hpp"
+#include "netlist/netlist.hpp"
+#include "power/current_trace.hpp"
+
+namespace emts::trojan {
+
+enum class TrojanKind { kT1AmLeak, kT2Leakage, kT3Cdma, kT4PowerHog, kA2Analog };
+
+/// Per-trace information a Trojan needs to synthesize its current signature.
+struct TraceContext {
+  power::ClockSpec clock;
+  std::size_t num_cycles = 512;
+  aes::Key key{};              // the secret the leak Trojans exfiltrate
+  std::uint64_t trace_index = 0;  // position in the acquisition stream
+};
+
+class Trojan {
+ public:
+  virtual ~Trojan() = default;
+
+  Trojan(const Trojan&) = delete;
+  Trojan& operator=(const Trojan&) = delete;
+
+  virtual TrojanKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Gate-level netlist (trigger + payload). Null for the analog A2 Trojan,
+  /// which has no standard-cell realization.
+  virtual const netlist::Netlist* gate_netlist() const { return nullptr; }
+
+  /// Silicon footprint. Digital Trojans derive this from their netlist; A2
+  /// reports its analog-block area.
+  virtual double area_um2() const = 0;
+
+  /// Cell count for Table I (0 for A2, which Table I reports by area only).
+  virtual std::size_t cell_count() const;
+
+  /// Arms / disarms the payload (the paper adds an explicit trigger pin per
+  /// Trojan to "activate the payload in a more manageable way").
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+
+  /// Adds this Trojan's supply-current contribution over one trace window.
+  /// Dormant Trojans contribute only their (tiny) trigger-sampling activity.
+  virtual void contribute(const TraceContext& context, power::CurrentTrace& trace) const = 0;
+
+ protected:
+  Trojan() = default;
+
+ private:
+  bool active_ = false;
+};
+
+/// Factory over all five paper Trojans.
+std::unique_ptr<Trojan> make_trojan(TrojanKind kind);
+
+/// Display name ("T1", ..., "A2").
+const char* kind_label(TrojanKind kind);
+
+/// All five kinds in paper order.
+inline constexpr TrojanKind kAllTrojanKinds[] = {
+    TrojanKind::kT1AmLeak, TrojanKind::kT2Leakage, TrojanKind::kT3Cdma,
+    TrojanKind::kT4PowerHog, TrojanKind::kA2Analog};
+
+}  // namespace emts::trojan

@@ -1,0 +1,17 @@
+#include "util/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace emts {
+
+void assertion_failure(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "EMSentry invariant violated: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+void precondition_failure(const char* expr, const std::string& message) {
+  throw precondition_error(message + " [violated: " + expr + "]");
+}
+
+}  // namespace emts

@@ -1,0 +1,36 @@
+// Lightweight contract checks. EMTS_ASSERT guards internal invariants and is
+// active in all build types (the library is simulation code, not a hot inner
+// loop for users); EMTS_REQUIRE reports precondition violations on the public
+// API surface by throwing std::invalid_argument so callers can recover.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace emts {
+
+[[noreturn]] void assertion_failure(const char* expr, const char* file, int line);
+
+/// Thrown by EMTS_REQUIRE on public-API precondition violations.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+[[noreturn]] void precondition_failure(const char* expr, const std::string& message);
+
+}  // namespace emts
+
+#define EMTS_ASSERT(expr)                                       \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::emts::assertion_failure(#expr, __FILE__, __LINE__);     \
+    }                                                           \
+  } while (false)
+
+#define EMTS_REQUIRE(expr, message)                             \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::emts::precondition_failure(#expr, (message));           \
+    }                                                           \
+  } while (false)

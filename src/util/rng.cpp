@@ -1,0 +1,88 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace emts {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_{0}, inc_{(stream << 1u) | 1u} {
+  next_u32();
+  state_ += mix64(seed);
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  EMTS_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint32_t Rng::uniform_below(std::uint32_t n) {
+  EMTS_REQUIRE(n > 0, "uniform_below requires n > 0");
+  const std::uint32_t threshold = (0u - n) % n;  // 2^32 mod n
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller; u1 in (0,1] to keep log finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  EMTS_REQUIRE(stddev >= 0.0, "gaussian stddev must be non-negative");
+  return mean + stddev * gaussian();
+}
+
+bool Rng::coin(double p_true) { return uniform() < p_true; }
+
+std::vector<double> Rng::gaussian_vector(std::size_t n, double stddev) {
+  std::vector<double> out(n);
+  for (double& v : out) v = gaussian(0.0, stddev);
+  return out;
+}
+
+Rng Rng::fork(std::uint64_t label) const {
+  return Rng{mix64(state_ ^ mix64(label)), mix64(inc_ ^ label) | 1u};
+}
+
+}  // namespace emts

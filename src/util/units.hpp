@@ -1,0 +1,43 @@
+// Unit constants. The library works in SI base units throughout (meters,
+// seconds, amperes, volts, hertz); these constants make call sites read like
+// the datasheet values they come from: `100 * units::um`, `48 * units::MHz`.
+#pragma once
+
+namespace emts::units {
+
+// Length (meters).
+inline constexpr double m = 1.0;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// Time (seconds).
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// Frequency (hertz).
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// Current (amperes).
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+
+// Voltage (volts).
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double uV = 1e-6;
+inline constexpr double nV = 1e-9;
+
+// Physical constants.
+inline constexpr double mu0 = 1.25663706212e-6;  // vacuum permeability, H/m
+inline constexpr double pi = 3.14159265358979323846;
+
+}  // namespace emts::units

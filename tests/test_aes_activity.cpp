@@ -1,0 +1,149 @@
+#include "aes/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aes/gate_model.hpp"
+#include "util/rng.hpp"
+
+namespace emts::aes {
+namespace {
+
+Key random_key(std::uint64_t seed) {
+  emts::Rng rng{seed};
+  Key k{};
+  for (auto& b : k) b = static_cast<std::uint8_t>(rng.next_u32());
+  return k;
+}
+
+Block random_block(emts::Rng& rng) {
+  Block b{};
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.next_u32());
+  return b;
+}
+
+TEST(AesActivity, ProducesOneRecordPerCycle) {
+  const AesActivityModel model{random_key(1)};
+  emts::Rng rng{2};
+  const auto cycles = model.encrypt_activity(random_block(rng));
+  EXPECT_EQ(cycles.size(), kCyclesPerEncryption);
+}
+
+TEST(AesActivity, CiphertextOutMatchesCipher) {
+  const Key key = random_key(3);
+  const AesActivityModel model{key};
+  emts::Rng rng{4};
+  const Block pt = random_block(rng);
+  Block ct{};
+  model.encrypt_activity(pt, &ct);
+  EXPECT_EQ(ct, encrypt(key, pt));
+}
+
+TEST(AesActivity, RoundCyclesHaveSboxActivity) {
+  const AesActivityModel model{random_key(5)};
+  emts::Rng rng{6};
+  const auto cycles = model.encrypt_activity(random_block(rng));
+  for (std::size_t c = 1; c <= 10; ++c) {
+    EXPECT_GT(cycles[c][static_cast<std::size_t>(AesUnit::kSboxArray)].toggles, 0.0)
+        << "cycle " << c;
+    EXPECT_GT(cycles[c][static_cast<std::size_t>(AesUnit::kStateRegisters)].toggles, 0.0);
+  }
+}
+
+TEST(AesActivity, FinalRoundSkipsMixColumns) {
+  const AesActivityModel model{random_key(7)};
+  emts::Rng rng{8};
+  const auto cycles = model.encrypt_activity(random_block(rng));
+  EXPECT_DOUBLE_EQ(cycles[10][static_cast<std::size_t>(AesUnit::kMixColumns)].toggles, 0.0);
+  EXPECT_GT(cycles[5][static_cast<std::size_t>(AesUnit::kMixColumns)].toggles, 0.0);
+}
+
+TEST(AesActivity, ControlUnitAlwaysActive) {
+  const AesActivityModel model{random_key(9)};
+  emts::Rng rng{10};
+  const auto cycles = model.encrypt_activity(random_block(rng));
+  for (const auto& c : cycles) {
+    EXPECT_GT(c[static_cast<std::size_t>(AesUnit::kControl)].toggles, 0.0);
+  }
+}
+
+TEST(AesActivity, IdleCycleOnlyClocksControl) {
+  const auto idle = AesActivityModel::idle_cycle();
+  EXPECT_GT(idle[static_cast<std::size_t>(AesUnit::kControl)].toggles, 0.0);
+  for (std::size_t u = 0; u < kAesUnitCount; ++u) {
+    if (u == static_cast<std::size_t>(AesUnit::kControl)) continue;
+    EXPECT_DOUBLE_EQ(idle[u].toggles, 0.0);
+  }
+}
+
+TEST(AesActivity, ActivityIsDataDependent) {
+  const AesActivityModel model{random_key(11)};
+  emts::Rng rng{12};
+  const auto a = model.encrypt_activity(random_block(rng));
+  const auto b = model.encrypt_activity(random_block(rng));
+  // At least one round cycle must differ in S-box toggles between two random
+  // plaintexts — that's the whole basis of side-channel fingerprinting.
+  bool differs = false;
+  for (std::size_t c = 1; c <= 10 && !differs; ++c) {
+    differs = a[c][static_cast<std::size_t>(AesUnit::kSboxArray)].toggles !=
+              b[c][static_cast<std::size_t>(AesUnit::kSboxArray)].toggles;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(AesActivity, SameInputsGiveIdenticalActivity) {
+  const Key key = random_key(13);
+  const AesActivityModel model{key};
+  emts::Rng rng{14};
+  const Block pt = random_block(rng);
+  const auto a = model.encrypt_activity(pt);
+  const auto b = model.encrypt_activity(pt);
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    for (std::size_t u = 0; u < kAesUnitCount; ++u) {
+      EXPECT_DOUBLE_EQ(a[c][u].toggles, b[c][u].toggles);
+    }
+  }
+}
+
+TEST(AesActivity, TimingOrdersRegistersBeforeCombinational) {
+  const AesActivityModel model{random_key(15)};
+  emts::Rng rng{16};
+  const auto cycles = model.encrypt_activity(random_block(rng));
+  const auto& round = cycles[4];
+  const double reg_onset = round[static_cast<std::size_t>(AesUnit::kStateRegisters)].onset_ps;
+  const double sbox_onset = round[static_cast<std::size_t>(AesUnit::kSboxArray)].onset_ps;
+  const double mc_onset = round[static_cast<std::size_t>(AesUnit::kMixColumns)].onset_ps;
+  EXPECT_LT(reg_onset, sbox_onset);
+  EXPECT_LT(sbox_onset, mc_onset);
+}
+
+TEST(AesActivity, UnitNamesAreDistinct) {
+  for (std::size_t i = 0; i < kAesUnitCount; ++i) {
+    for (std::size_t j = i + 1; j < kAesUnitCount; ++j) {
+      EXPECT_STRNE(unit_name(static_cast<AesUnit>(i)), unit_name(static_cast<AesUnit>(j)));
+    }
+  }
+}
+
+TEST(AesGateModel, TotalsMatchPaperTableOne) {
+  const auto model = default_aes_gate_model();
+  EXPECT_EQ(model.total_cells, 33083u);  // Table I AES gate count
+  EXPECT_GT(model.total_area_um2, 0.0);
+}
+
+TEST(AesGateModel, SboxArrayDominates) {
+  const auto model = default_aes_gate_model();
+  EXPECT_GT(model.unit(AesUnit::kSboxArray).cells, model.total_cells / 2);
+  for (std::size_t u = 0; u < kAesUnitCount; ++u) {
+    EXPECT_GT(model.units[u].cells, 0u) << "unit " << u;
+  }
+}
+
+TEST(AesGateModel, UnitCellsSumToTotal) {
+  const auto model = default_aes_gate_model();
+  std::size_t sum = 0;
+  for (const auto& u : model.units) sum += u.cells;
+  EXPECT_EQ(sum, model.total_cells);
+}
+
+}  // namespace
+}  // namespace emts::aes

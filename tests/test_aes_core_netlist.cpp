@@ -1,0 +1,130 @@
+// The substrate's flagship validation: a complete AES-128 encryption runs
+// through the gate-level core — 16 synthesized S-boxes, ShiftRows wiring,
+// MixColumns XOR networks, AddRoundKey, 128 flops — one round per clock
+// edge on the event-driven simulator, and the result matches FIPS-197.
+#include <gtest/gtest.h>
+
+#include "aes/aes128.hpp"
+#include "aes/datapath_netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace emts::aes {
+namespace {
+
+using netlist::Simulator;
+
+// Runs one gate-level encryption: load + 10 round edges.
+Block gate_level_encrypt(const AesCoreNetlist& core, Simulator& sim, const Key& key,
+                         const Block& plaintext) {
+  const auto round_keys = expand_key(key);
+  const auto set_block = [&](const std::vector<netlist::NetId>& bus, const Block& value) {
+    for (int i = 0; i < 128; ++i) {
+      sim.set_input(bus[static_cast<std::size_t>(i)],
+                    ((value[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u) != 0);
+    }
+  };
+
+  set_block(core.plaintext, plaintext);
+  set_block(core.round_key, round_keys[0]);
+  sim.set_input(core.load, true);
+  sim.set_input(core.final_round, false);
+  sim.clock_edge();  // state <- pt ^ k0
+
+  sim.set_input(core.load, false);
+  for (int round = 1; round <= 10; ++round) {
+    set_block(core.round_key, round_keys[static_cast<std::size_t>(round)]);
+    sim.set_input(core.final_round, round == 10);
+    sim.clock_edge();
+  }
+
+  Block out{};
+  for (int i = 0; i < 128; ++i) {
+    if (sim.value(core.state_q[static_cast<std::size_t>(i)])) {
+      out[static_cast<std::size_t>(i / 8)] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  return out;
+}
+
+struct CoreFixture {
+  AesCoreNetlist core = build_aes_core_netlist();
+  Simulator sim{core.netlist};
+};
+
+CoreFixture& fixture() {
+  static CoreFixture instance;  // building 16 S-boxes once is enough
+  return instance;
+}
+
+TEST(AesCoreNetlist, FipsAppendixBVectorGateByGate) {
+  const Key key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const Block pt{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  auto& f = fixture();
+  f.sim.reset();
+  EXPECT_EQ(gate_level_encrypt(f.core, f.sim, key, pt), encrypt(key, pt));
+}
+
+TEST(AesCoreNetlist, RandomVectorsMatchReferenceCipher) {
+  auto& f = fixture();
+  emts::Rng rng{2026};
+  for (int trial = 0; trial < 3; ++trial) {
+    Key key{};
+    Block pt{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u32());
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u32());
+    f.sim.reset();
+    EXPECT_EQ(gate_level_encrypt(f.core, f.sim, key, pt), encrypt(key, pt)) << "trial " << trial;
+  }
+}
+
+TEST(AesCoreNetlist, BackToBackEncryptionsNeedNoReset) {
+  // A fresh load must fully re-initialize the state — run two encryptions
+  // through the same simulator instance without reset().
+  auto& f = fixture();
+  f.sim.reset();
+  const Key key{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  Block pt1{};
+  Block pt2{};
+  pt1.fill(0x11);
+  pt2.fill(0xee);
+  EXPECT_EQ(gate_level_encrypt(f.core, f.sim, key, pt1), encrypt(key, pt1));
+  EXPECT_EQ(gate_level_encrypt(f.core, f.sim, key, pt2), encrypt(key, pt2));
+}
+
+TEST(AesCoreNetlist, CellCountIsInTheSynthesisModelRange) {
+  const auto report = fixture().core.netlist.gate_count();
+  // Our BDD-style synthesizer shares sub-functions aggressively (~430 cells
+  // per S-box vs the paper-era flat-LUT ~1,290), so the datapath core lands
+  // below the calibrated 33k-cell chip model but in the same regime.
+  EXPECT_GT(report.cell_count, 5000u);
+  EXPECT_LT(report.cell_count, 40000u);
+  EXPECT_EQ(fixture().core.netlist.flops().size(), 128u);
+}
+
+TEST(AesCoreNetlist, SwitchingActivityIsDataDependent) {
+  // Gate-level confirmation of the activity model's core premise: different
+  // plaintexts toggle different numbers of gates per round.
+  auto& f = fixture();
+  const Key key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  Block pt_a{};
+  Block pt_b{};
+  pt_b.fill(0x5a);
+
+  f.sim.reset();
+  gate_level_encrypt(f.core, f.sim, key, pt_a);
+  const auto toggles_a = f.sim.total_toggles();
+  f.sim.reset();
+  gate_level_encrypt(f.core, f.sim, key, pt_b);
+  const auto toggles_b = f.sim.total_toggles();
+
+  EXPECT_NE(toggles_a, toggles_b);
+  EXPECT_GT(toggles_a, 10000u) << "a full encryption toggles tens of thousands of gates";
+}
+
+}  // namespace
+}  // namespace emts::aes

@@ -1,0 +1,41 @@
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emts {
+namespace {
+
+TEST(Require, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(EMTS_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Require, FailingConditionThrowsPreconditionError) {
+  EXPECT_THROW(EMTS_REQUIRE(false, "must fail"), precondition_error);
+}
+
+TEST(Require, MessageAndExpressionAreReported) {
+  try {
+    EMTS_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(Require, PreconditionErrorIsInvalidArgument) {
+  EXPECT_THROW(EMTS_REQUIRE(false, "x"), std::invalid_argument);
+}
+
+TEST(Assert, PassingAssertDoesNotAbort) {
+  EMTS_ASSERT(true);
+  SUCCEED();
+}
+
+TEST(AssertDeathTest, FailingAssertAborts) {
+  EXPECT_DEATH(EMTS_ASSERT(false), "invariant violated");
+}
+
+}  // namespace
+}  // namespace emts

@@ -1,0 +1,153 @@
+#include "attack/cpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/chip.hpp"
+#include "util/assert.hpp"
+
+namespace emts::attack {
+namespace {
+
+TEST(InvShift, MatchesShiftRowsGeometry) {
+  // Row 0 is not shifted; row r of column c comes from column (c + r) % 4.
+  EXPECT_EQ(inv_shift_position(0), 0u);    // r0 c0
+  EXPECT_EQ(inv_shift_position(4), 4u);    // r0 c1
+  EXPECT_EQ(inv_shift_position(1), 5u);    // r1 c0 <- c1
+  EXPECT_EQ(inv_shift_position(13), 1u);   // r1 c3 <- c0
+  EXPECT_EQ(inv_shift_position(2), 10u);   // r2 c0 <- c2
+  EXPECT_EQ(inv_shift_position(3), 15u);   // r3 c0 <- c3
+}
+
+TEST(InvShift, IsAPermutation) {
+  std::array<int, 16> seen{};
+  for (std::size_t j = 0; j < 16; ++j) ++seen[inv_shift_position(j)];
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(InvShift, ConsistentWithCipherTrace) {
+  // For a real encryption, state10[j] ^ k10[j] must equal
+  // sbox(state9[inv_shift_position(j)]).
+  const aes::Key key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  aes::Block pt{};
+  for (std::size_t i = 0; i < 16; ++i) pt[i] = static_cast<std::uint8_t>(3 * i + 1);
+  const auto trace = aes::encrypt_traced(key, pt);
+  for (std::size_t j = 0; j < 16; ++j) {
+    const std::uint8_t expected = aes::sbox(trace.state[9][inv_shift_position(j)]);
+    EXPECT_EQ(static_cast<std::uint8_t>(trace.state[10][j] ^ trace.round_key[10][j]), expected)
+        << "byte " << j;
+  }
+}
+
+TEST(KeySchedule, InvertRecoversMasterKey) {
+  const aes::Key key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const auto round_keys = aes::expand_key(key);
+  EXPECT_EQ(aes::invert_key_schedule(round_keys[10]), key);
+}
+
+TEST(KeySchedule, InvertRoundTripsRandomKeys) {
+  emts::Rng rng{42};
+  for (int trial = 0; trial < 20; ++trial) {
+    aes::Key key{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u32());
+    const auto k10 = aes::expand_key(key)[10];
+    EXPECT_EQ(aes::invert_key_schedule(k10), key);
+  }
+}
+
+TEST(SliceEncryptions, CutsWindowsCorrectly) {
+  core::TraceSet windows;
+  windows.sample_rate = 1e6;
+  core::Trace w(20);
+  for (std::size_t i = 0; i < 20; ++i) w[i] = static_cast<double>(i);
+  windows.add(w);
+  aes::Block ct_a{};
+  ct_a[0] = 0xaa;
+  aes::Block ct_b{};
+  ct_b[0] = 0xbb;
+  const auto segments = slice_encryptions(windows, {{ct_a, ct_b}}, 8);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[0].samples[0], 0.0);
+  EXPECT_DOUBLE_EQ(segments[1].samples[0], 8.0);
+  EXPECT_EQ(segments[0].ciphertext[0], 0xaa);
+  EXPECT_EQ(segments[1].ciphertext[0], 0xbb);
+}
+
+TEST(SliceEncryptions, RejectsShortWindows) {
+  core::TraceSet windows;
+  windows.sample_rate = 1e6;
+  windows.add(core::Trace(10, 0.0));
+  EXPECT_THROW(slice_encryptions(windows, {{aes::Block{}, aes::Block{}}}, 8),
+               emts::precondition_error);
+  EXPECT_THROW(slice_encryptions(windows, {{}, {}}, 8), emts::precondition_error);
+}
+
+TEST(Cpa, RejectsDegenerateInputs) {
+  std::vector<EncryptionTrace> few(4);
+  EXPECT_THROW(last_round_cpa(few), emts::precondition_error);
+  std::vector<EncryptionTrace> short_traces(8);
+  for (auto& t : short_traces) t.samples.assign(16, 0.0);
+  EXPECT_THROW(last_round_cpa(short_traces), emts::precondition_error);
+}
+
+// The headline: key recovery from the simulated on-chip sensor traces.
+TEST(Cpa, RecoversKeyFromSensorTraces) {
+  sim::ChipConfig config = sim::make_default_config();
+  config.fixed_challenge_workload = false;  // the attacker needs varied data
+  sim::Chip chip{config};
+  const auto k10 = aes::expand_key(config.key)[10];
+
+  constexpr std::size_t kWindows = 40;
+  core::TraceSet captures;
+  captures.sample_rate = chip.sample_rate();
+  std::vector<std::vector<aes::Block>> ciphertexts;
+  for (std::uint64_t w = 0; w < kWindows; ++w) {
+    captures.add(chip.capture(true, w).onchip_v);
+    std::vector<aes::Block> cts;
+    for (const auto& pt : chip.window_plaintexts(w)) {
+      cts.push_back(aes::encrypt(config.key, pt));
+    }
+    ciphertexts.push_back(std::move(cts));
+  }
+
+  const std::size_t samples_per_encryption =
+      aes::kCyclesPerEncryption * config.clock.samples_per_cycle;
+  const auto segments = slice_encryptions(captures, ciphertexts, samples_per_encryption);
+  const auto result = last_round_cpa(segments);
+
+  EXPECT_GE(result.correct_bytes(k10), 14u) << "CPA should recover (nearly) all key bytes";
+  // And with a correct round-10 key, the master key falls out.
+  if (result.correct_bytes(k10) == 16u) {
+    EXPECT_EQ(result.master_key, config.key);
+  }
+}
+
+TEST(Cpa, CorrectGuessOutranksWrongGuesses) {
+  sim::ChipConfig config = sim::make_default_config();
+  config.fixed_challenge_workload = false;
+  sim::Chip chip{config};
+  const auto k10 = aes::expand_key(config.key)[10];
+
+  core::TraceSet captures;
+  captures.sample_rate = chip.sample_rate();
+  std::vector<std::vector<aes::Block>> ciphertexts;
+  for (std::uint64_t w = 0; w < 25; ++w) {
+    captures.add(chip.capture(true, 500 + w).onchip_v);
+    std::vector<aes::Block> cts;
+    for (const auto& pt : chip.window_plaintexts(500 + w)) {
+      cts.push_back(aes::encrypt(config.key, pt));
+    }
+    ciphertexts.push_back(std::move(cts));
+  }
+  const auto segments = slice_encryptions(
+      captures, ciphertexts, aes::kCyclesPerEncryption * config.clock.samples_per_cycle);
+  const auto result = last_round_cpa(segments);
+  // Even where the top guess is wrong, the truth must rank near the top.
+  for (std::size_t j = 0; j < 16; ++j) {
+    EXPECT_LT(result.bytes[j].rank_of(k10[j]), 8u) << "byte " << j;
+  }
+}
+
+}  // namespace
+}  // namespace emts::attack

@@ -1,0 +1,110 @@
+#include "dsp/demod.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace emts::dsp {
+namespace {
+
+// The attacker's end-to-end path for Trojan T1: OOK-modulate bits on the
+// 750 kHz carrier, demodulate, slice, compare.
+TEST(AmDemod, RecoversOokBitsCleanChannel) {
+  const std::vector<int> bits{1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+  const double fs = 384e6 / 16.0;  // decimated rate keeps the test fast
+  const double carrier = 750e3;
+  const std::size_t samples_per_bit = 2048;
+  const auto tx = ook_modulate(bits, carrier, fs, samples_per_bit);
+
+  AmDemodOptions opt;
+  opt.carrier_hz = carrier;
+  opt.sample_rate = fs;
+  const auto envelope = am_demodulate(tx, opt);
+  const auto rx = slice_bits(envelope, fs, fs / static_cast<double>(samples_per_bit));
+  ASSERT_EQ(rx.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) EXPECT_EQ(rx[i], bits[i]) << "bit " << i;
+}
+
+TEST(AmDemod, RecoversBitsThroughModerateNoise) {
+  emts::Rng rng{404};
+  const std::vector<int> bits{1, 1, 0, 1, 0, 0, 0, 1};
+  const double fs = 24e6;
+  const double carrier = 750e3;
+  const std::size_t samples_per_bit = 4096;
+  auto tx = ook_modulate(bits, carrier, fs, samples_per_bit);
+  for (double& v : tx) v += rng.gaussian(0.0, 0.3);
+
+  AmDemodOptions opt;
+  opt.carrier_hz = carrier;
+  opt.sample_rate = fs;
+  const auto rx = slice_bits(am_demodulate(tx, opt), fs, fs / static_cast<double>(samples_per_bit));
+  ASSERT_EQ(rx.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) EXPECT_EQ(rx[i], bits[i]) << "bit " << i;
+}
+
+TEST(AmDemod, EnvelopeTracksCarrierAmplitude) {
+  const double fs = 10e6;
+  const double carrier = 500e3;
+  std::vector<double> tx(1 << 15);
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    tx[i] = 0.7 * std::sin(2.0 * 3.14159265358979 * carrier * static_cast<double>(i) / fs);
+  }
+  AmDemodOptions opt;
+  opt.carrier_hz = carrier;
+  opt.sample_rate = fs;
+  const auto env = am_demodulate(tx, opt);
+  // After settling, envelope ~ amplitude.
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = env.size() / 2; i < env.size(); ++i) {
+    acc += env[i];
+    ++n;
+  }
+  EXPECT_NEAR(acc / static_cast<double>(n), 0.7, 0.07);
+}
+
+TEST(AmDemod, RejectsSubNyquistSampleRate) {
+  AmDemodOptions opt;
+  opt.carrier_hz = 1e6;
+  opt.sample_rate = 1.5e6;
+  EXPECT_THROW(am_demodulate(std::vector<double>(64, 0.0), opt), emts::precondition_error);
+}
+
+TEST(OokModulate, SilentForZeroBits) {
+  const auto tx = ook_modulate({0, 0, 0}, 1e6, 10e6, 100);
+  for (double v : tx) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(OokModulate, OutputLengthIsBitsTimesSamples) {
+  const auto tx = ook_modulate({1, 0, 1}, 1e6, 10e6, 128);
+  EXPECT_EQ(tx.size(), 3u * 128u);
+}
+
+TEST(OokModulate, AmplitudeScales) {
+  const auto tx = ook_modulate({1}, 1e6, 16e6, 64, 2.5);
+  double peak = 0.0;
+  for (double v : tx) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 2.5, 0.05);
+}
+
+TEST(SliceBits, RejectsBadRates) {
+  EXPECT_THROW(slice_bits({1.0, 2.0}, 100.0, 0.0), emts::precondition_error);
+  EXPECT_THROW(slice_bits({1.0, 2.0}, 100.0, 80.0), emts::precondition_error);
+}
+
+TEST(SliceBits, ThresholdsAgainstMidpoint) {
+  // 4 samples/bit: low, low, high, high.
+  const std::vector<double> env{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1};
+  const auto bits = slice_bits(env, 16.0, 4.0);
+  ASSERT_EQ(bits.size(), 4u);
+  EXPECT_EQ(bits[0], 0);
+  EXPECT_EQ(bits[1], 0);
+  EXPECT_EQ(bits[2], 1);
+  EXPECT_EQ(bits[3], 1);
+}
+
+}  // namespace
+}  // namespace emts::dsp

@@ -1,0 +1,191 @@
+// Option-surface tests for the detector stack: every knob the Options
+// structs expose must actually change behaviour the way its doc comment
+// promises.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::core {
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 2048;
+
+Trace golden_trace(emts::Rng& rng) {
+  Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] = std::sin(2.0 * units::pi * 48e6 * static_cast<double>(i) / kFs) +
+           rng.gaussian(0.0, 0.08);
+  }
+  return t;
+}
+
+TraceSet golden_set(std::size_t n, std::uint64_t seed) {
+  emts::Rng rng{seed};
+  TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) set.add(golden_trace(rng));
+  return set;
+}
+
+TraceSet toned_set(std::size_t n, std::uint64_t seed, double amp, double freq) {
+  TraceSet set = golden_set(n, seed);
+  for (Trace& t : set.traces) {
+    for (std::size_t i = 0; i < kLen; ++i) {
+      t[i] += amp * std::sin(2.0 * units::pi * freq * static_cast<double>(i) / kFs);
+    }
+  }
+  return set;
+}
+
+// ---------- spectral options ----------
+
+TEST(SpectralOptions, AmplificationRatioGatesAmplifiedSpots) {
+  const auto golden = golden_set(12, 1);
+  // Suspect: clock tone grown by ~40%.
+  const auto suspect = toned_set(8, 2, 0.4, 48e6);
+
+  SpectralDetector::Options strict;
+  strict.amplification_ratio = 2.0;  // 1.4x growth must NOT trip
+  EXPECT_FALSE(SpectralDetector::calibrate(golden, strict).analyze(suspect).anomalous());
+
+  SpectralDetector::Options loose;
+  loose.amplification_ratio = 1.2;  // 1.4x growth must trip
+  const auto report = SpectralDetector::calibrate(golden, loose).analyze(suspect);
+  ASSERT_TRUE(report.anomalous());
+  EXPECT_EQ(report.anomalies.front().kind, SpectralAnomalyKind::kAmplifiedSpot);
+}
+
+TEST(SpectralOptions, MatchBinsControlsSpotMatching) {
+  const auto golden = golden_set(12, 3);
+  // Tone slightly off the clock bin: with a wide match window it reads as an
+  // amplified clock spot; with zero tolerance it becomes a new spot.
+  const double off_clock = 48e6 + 3.0 * kFs / static_cast<double>(kLen);
+  const auto suspect = toned_set(8, 4, 0.9, off_clock);
+
+  SpectralDetector::Options wide;
+  wide.match_bins = 8;
+  const auto report_wide = SpectralDetector::calibrate(golden, wide).analyze(suspect);
+  SpectralDetector::Options narrow;
+  narrow.match_bins = 0;
+  const auto report_narrow = SpectralDetector::calibrate(golden, narrow).analyze(suspect);
+
+  bool narrow_has_new = false;
+  for (const auto& a : report_narrow.anomalies) {
+    narrow_has_new |= (a.kind == SpectralAnomalyKind::kNewSpot);
+  }
+  EXPECT_TRUE(narrow_has_new);
+  bool wide_has_new_near_clock = false;
+  for (const auto& a : report_wide.anomalies) {
+    if (a.kind == SpectralAnomalyKind::kNewSpot && std::abs(a.frequency_hz - off_clock) < 1e6) {
+      wide_has_new_near_clock = true;
+    }
+  }
+  EXPECT_FALSE(wide_has_new_near_clock) << "wide matching should absorb the near-clock tone";
+}
+
+TEST(SpectralOptions, NewSpotFactorSetsSensitivity) {
+  const auto golden = golden_set(12, 5);
+  const auto suspect = toned_set(8, 6, 0.05, 100e6);  // weak new tone
+
+  SpectralDetector::Options sensitive;
+  sensitive.new_spot_factor = 2.0;
+  SpectralDetector::Options deaf;
+  deaf.new_spot_factor = 500.0;
+  EXPECT_TRUE(SpectralDetector::calibrate(golden, sensitive).analyze(suspect).anomalous());
+  EXPECT_FALSE(SpectralDetector::calibrate(golden, deaf).analyze(suspect).anomalous());
+}
+
+// ---------- evaluator verdict matrix ----------
+
+TEST(EvaluatorVerdicts, DistanceOnlyAnomalyIsSuspicious) {
+  const auto golden = golden_set(24, 7);
+  const auto eval = TrustEvaluator::calibrate(golden);
+  // Slow drift raises distances but creates no clean spectral peak: a large
+  // DC-ish offset (mean removal kills it spectrally; features keep shape
+  // change via a low-frequency ramp).
+  TraceSet suspect = golden_set(10, 8);
+  for (Trace& t : suspect.traces) {
+    for (std::size_t i = 0; i < kLen; ++i) {
+      t[i] += 0.8 * static_cast<double>(i) / static_cast<double>(kLen);  // ramp
+    }
+  }
+  const auto report = eval.evaluate(suspect);
+  EXPECT_GT(report.anomalous_fraction, 0.9);
+  EXPECT_EQ(report.verdict, report.spectral.anomalous() ? Verdict::kCompromised
+                                                        : Verdict::kSuspicious);
+}
+
+TEST(EvaluatorVerdicts, BothStagesFiringIsCompromised) {
+  const auto golden = golden_set(24, 9);
+  const auto eval = TrustEvaluator::calibrate(golden);
+  // Big slow tone: survives decimation (distance) and is a clean new
+  // spectral spot.
+  const auto suspect = toned_set(10, 10, 0.5, 3e6);
+  const auto report = eval.evaluate(suspect);
+  EXPECT_EQ(report.verdict, Verdict::kCompromised) << report.summary();
+}
+
+TEST(EvaluatorVerdicts, AlarmFractionKnobChangesVerdict) {
+  const auto golden = golden_set(24, 11);
+  // A suspect set where only some traces are anomalous.
+  TraceSet mixed = golden_set(8, 12);
+  {
+    emts::Rng rng{13};
+    TraceSet bad = toned_set(2, 14, 0.5, 3e6);
+    for (auto& t : bad.traces) mixed.add(std::move(t));
+    (void)rng;
+  }
+
+  TrustEvaluator::Options tolerant;
+  tolerant.anomalous_fraction_alarm = 0.5;  // 20% anomalous -> calm
+  TrustEvaluator::Options strict;
+  strict.anomalous_fraction_alarm = 0.05;  // 20% anomalous -> alarmed
+
+  const auto verdict_tolerant =
+      TrustEvaluator::calibrate(golden, tolerant).evaluate(mixed).verdict;
+  const auto report_strict = TrustEvaluator::calibrate(golden, strict).evaluate(mixed);
+  EXPECT_GE(static_cast<int>(report_strict.verdict), static_cast<int>(verdict_tolerant));
+  EXPECT_NE(report_strict.verdict, Verdict::kTrusted);
+}
+
+// ---------- preprocessing knobs ----------
+
+TEST(PreprocessOptions, NormalizationHidesAmplitudeAnomalies) {
+  const auto golden = golden_set(24, 15);
+  TraceSet louder = golden_set(10, 16);
+  for (Trace& t : louder.traces) {
+    for (double& v : t) v *= 3.0;  // strong amplitude increase (a la T4)
+  }
+
+  EuclideanDetector::Options raw;
+  raw.preprocess.normalize_rms = false;
+  EuclideanDetector::Options normalized;
+  normalized.preprocess.normalize_rms = true;
+
+  const auto det_raw = EuclideanDetector::calibrate(golden, raw);
+  const auto det_norm = EuclideanDetector::calibrate(golden, normalized);
+  const double margin_raw = det_raw.population_distance(louder) / det_raw.threshold();
+  const double margin_norm = det_norm.population_distance(louder) / det_norm.threshold();
+  EXPECT_GT(margin_raw, 1.0);
+  EXPECT_LT(margin_norm, 0.5 * margin_raw)
+      << "RMS normalization must blunt a pure amplitude signature";
+}
+
+TEST(PreprocessOptions, DecimationTradesDimensionForNoise) {
+  const auto golden = golden_set(24, 17);
+  for (std::size_t dec : {4u, 16u, 64u}) {
+    EuclideanDetector::Options opt;
+    opt.preprocess.decimation = dec;
+    const auto det = EuclideanDetector::calibrate(golden, opt);
+    EXPECT_GT(det.threshold(), 0.0) << "decimation " << dec;
+  }
+}
+
+}  // namespace
+}  // namespace emts::core

@@ -1,0 +1,256 @@
+// Detector tests on synthetic traces with known structure — the detectors
+// never see the chip simulator here, proving the core library stands alone.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/euclidean.hpp"
+#include "core/spectral.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::core {
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 4096;
+
+// Golden trace: clock-like tone + harmonic + noise.
+Trace golden_trace(emts::Rng& rng) {
+  Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    const double x = static_cast<double>(i);
+    t[i] = 1.0 * std::sin(2.0 * units::pi * 48e6 * x / kFs) +
+           0.4 * std::sin(2.0 * units::pi * 96e6 * x / kFs) + rng.gaussian(0.0, 0.1);
+  }
+  return t;
+}
+
+TraceSet golden_set(std::size_t n, std::uint64_t seed = 1) {
+  emts::Rng rng{seed};
+  TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) set.add(golden_trace(rng));
+  return set;
+}
+
+// Anomalous trace: golden plus an extra tone of given amplitude/frequency.
+Trace infected_trace(emts::Rng& rng, double amp, double freq) {
+  Trace t = golden_trace(rng);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] += amp * std::sin(2.0 * units::pi * freq * static_cast<double>(i) / kFs);
+  }
+  return t;
+}
+
+// ---------- EuclideanDetector ----------
+
+TEST(EuclideanDetector, GoldenTracesScoreBelowThreshold) {
+  const auto det = EuclideanDetector::calibrate(golden_set(40));
+  emts::Rng rng{99};
+  std::size_t beyond = 0;
+  for (int i = 0; i < 50; ++i) {
+    beyond += det.is_anomalous(golden_trace(rng));
+  }
+  // Eq. 1 (max pairwise) is conservative; fresh golden traces should very
+  // rarely exceed it.
+  EXPECT_LE(beyond, 3u);
+}
+
+TEST(EuclideanDetector, StrongAnomalyScoresAboveThreshold) {
+  const auto det = EuclideanDetector::calibrate(golden_set(40));
+  emts::Rng rng{100};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(det.is_anomalous(infected_trace(rng, 0.5, 31e6))) << i;
+  }
+}
+
+TEST(EuclideanDetector, ScoreGrowsWithAnomalyAmplitude) {
+  const auto det = EuclideanDetector::calibrate(golden_set(40));
+  emts::Rng rng{101};
+  double prev = 0.0;
+  for (double amp : {0.05, 0.2, 0.8}) {
+    const double s = det.score(infected_trace(rng, amp, 31e6));
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(EuclideanDetector, ThresholdIsMaxPairwiseGoldenDistance) {
+  // With 3 known feature vectors the Eq. 1 threshold is hand-checkable.
+  TraceSet tiny;
+  tiny.sample_rate = 1e6;
+  tiny.add(Trace{1, 0, 0, 0});
+  tiny.add(Trace{0, 1, 0, 0});
+  tiny.add(Trace{0, 0, 2, 0});
+  EuclideanDetector::Options opt;
+  opt.preprocess.decimation = 1;
+  opt.preprocess.remove_mean = false;
+  opt.preprocess.normalize_rms = false;
+  opt.pca_components = 3;
+  opt.include_residual = false;
+  const auto det = EuclideanDetector::calibrate(tiny, opt);
+  // Full-rank PCA preserves distances; max pairwise: between traces 2 and 3:
+  // sqrt(1 + 4) = sqrt(5).
+  EXPECT_NEAR(det.threshold(), std::sqrt(5.0), 1e-9);
+}
+
+TEST(EuclideanDetector, ResidualCatchesOutOfSubspaceAnomaly) {
+  // Golden variation confined to feature 0; anomaly lives on feature 3.
+  emts::Rng rng{7};
+  TraceSet golden;
+  golden.sample_rate = 1e6;
+  for (int i = 0; i < 30; ++i) {
+    Trace t(8, 0.0);
+    t[0] = rng.gaussian();
+    golden.add(t);
+  }
+  EuclideanDetector::Options opt;
+  opt.preprocess.decimation = 1;
+  opt.preprocess.remove_mean = false;
+  opt.preprocess.normalize_rms = false;
+  opt.pca_components = 1;
+
+  opt.include_residual = true;
+  const auto with_residual = EuclideanDetector::calibrate(golden, opt);
+  opt.include_residual = false;
+  const auto without = EuclideanDetector::calibrate(golden, opt);
+
+  Trace anomaly(8, 0.0);
+  anomaly[3] = 10.0;  // orthogonal to golden variation
+  EXPECT_TRUE(with_residual.is_anomalous(anomaly));
+  EXPECT_FALSE(without.is_anomalous(anomaly))
+      << "pure projection is blind to orthogonal shifts — the residual term exists for this";
+}
+
+TEST(EuclideanDetector, PopulationDistanceSeparatesShiftedSets) {
+  const auto det = EuclideanDetector::calibrate(golden_set(30));
+  emts::Rng rng{11};
+  TraceSet clean;
+  clean.sample_rate = kFs;
+  TraceSet shifted;
+  shifted.sample_rate = kFs;
+  for (int i = 0; i < 20; ++i) {
+    clean.add(golden_trace(rng));
+    shifted.add(infected_trace(rng, 0.3, 31e6));
+  }
+  EXPECT_GT(det.population_distance(shifted), 4.0 * det.population_distance(clean));
+}
+
+TEST(EuclideanDetector, CalibrationRequiresThreeTraces) {
+  TraceSet two;
+  two.sample_rate = 1e6;
+  two.add(Trace{1, 2});
+  two.add(Trace{2, 1});
+  EXPECT_THROW(EuclideanDetector::calibrate(two), emts::precondition_error);
+}
+
+TEST(EuclideanDetector, ScoreAllMatchesScore) {
+  const auto det = EuclideanDetector::calibrate(golden_set(20));
+  const auto set = golden_set(5, 77);
+  const auto scores = det.score_all(set);
+  ASSERT_EQ(scores.size(), 5u);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], det.score(set.traces[i]));
+  }
+}
+
+// ---------- SpectralDetector ----------
+
+TEST(SpectralDetector, GoldenSpotsFoundAtClockAndHarmonic) {
+  const auto det = SpectralDetector::calibrate(golden_set(16));
+  ASSERT_GE(det.golden_spots().size(), 2u);
+  // Strongest two spots: 48 MHz and 96 MHz.
+  EXPECT_NEAR(det.golden_spots()[0].frequency, 48e6, 1e6);
+  EXPECT_NEAR(det.golden_spots()[1].frequency, 96e6, 1e6);
+}
+
+TEST(SpectralDetector, CleanSuspectRaisesNoAnomaly) {
+  const auto det = SpectralDetector::calibrate(golden_set(16));
+  const auto report = det.analyze(golden_set(8, 55));
+  EXPECT_FALSE(report.anomalous());
+}
+
+TEST(SpectralDetector, NewToneReportedAsNewSpot) {
+  const auto det = SpectralDetector::calibrate(golden_set(16));
+  emts::Rng rng{5};
+  TraceSet suspect;
+  suspect.sample_rate = kFs;
+  for (int i = 0; i < 8; ++i) suspect.add(infected_trace(rng, 0.3, 72e6));
+  const auto report = det.analyze(suspect);
+  ASSERT_TRUE(report.anomalous());
+  bool found = false;
+  for (const auto& a : report.anomalies) {
+    if (a.kind == SpectralAnomalyKind::kNewSpot && std::abs(a.frequency_hz - 72e6) < 1e6) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpectralDetector, AmplifiedCarrierReportedAsAmplifiedSpot) {
+  const auto det = SpectralDetector::calibrate(golden_set(16));
+  emts::Rng rng{6};
+  TraceSet suspect;
+  suspect.sample_rate = kFs;
+  for (int i = 0; i < 8; ++i) {
+    suspect.add(infected_trace(rng, 1.2, 48e6));  // doubles the clock tone
+  }
+  const auto report = det.analyze(suspect);
+  ASSERT_TRUE(report.anomalous());
+  bool found = false;
+  for (const auto& a : report.anomalies) {
+    if (a.kind == SpectralAnomalyKind::kAmplifiedSpot && std::abs(a.frequency_hz - 48e6) < 1e6) {
+      found = true;
+      EXPECT_GT(a.ratio, 1.6);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpectralDetector, WeakToneBelowFloorIgnored) {
+  const auto det = SpectralDetector::calibrate(golden_set(16));
+  emts::Rng rng{8};
+  TraceSet suspect;
+  suspect.sample_rate = kFs;
+  for (int i = 0; i < 8; ++i) suspect.add(infected_trace(rng, 0.002, 72e6));
+  EXPECT_FALSE(det.analyze(suspect).anomalous());
+}
+
+TEST(SpectralDetector, AnomaliesSortedByRatio) {
+  const auto det = SpectralDetector::calibrate(golden_set(16));
+  emts::Rng rng{9};
+  TraceSet suspect;
+  suspect.sample_rate = kFs;
+  for (int i = 0; i < 8; ++i) {
+    Trace t = infected_trace(rng, 0.5, 72e6);
+    for (std::size_t k = 0; k < kLen; ++k) {
+      t[k] += 0.15 * std::sin(2.0 * units::pi * 31e6 * static_cast<double>(k) / kFs);
+    }
+    suspect.add(t);
+  }
+  const auto report = det.analyze(suspect);
+  ASSERT_GE(report.anomalies.size(), 2u);
+  for (std::size_t i = 1; i < report.anomalies.size(); ++i) {
+    EXPECT_GE(report.anomalies[i - 1].ratio, report.anomalies[i].ratio);
+  }
+}
+
+TEST(SpectralDetector, RejectsMismatchedSampleRate) {
+  const auto det = SpectralDetector::calibrate(golden_set(4));
+  TraceSet wrong;
+  wrong.sample_rate = kFs / 2.0;
+  wrong.add(Trace(kLen, 0.0));
+  EXPECT_THROW(det.analyze(wrong), emts::precondition_error);
+}
+
+TEST(SpectralDetector, SingleTraceAnalyzeOverloadWorks) {
+  const auto det = SpectralDetector::calibrate(golden_set(8));
+  emts::Rng rng{10};
+  const auto report = det.analyze(infected_trace(rng, 0.5, 72e6));
+  EXPECT_TRUE(report.anomalous());
+}
+
+}  // namespace
+}  // namespace emts::core

@@ -1,0 +1,112 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace emts::linalg {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrixReturnsSortedDiagonal) {
+  const auto m = Matrix::from_rows({{1, 0, 0}, {0, 5, 0}, {0, 0, 3}});
+  const auto eig = symmetric_eigen(m);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const auto m = Matrix::from_rows({{2, 1}, {1, 2}});
+  const auto eig = symmetric_eigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-12);
+  // Eigenvector for λ=3 is (1,1)/sqrt(2) up to sign.
+  const double ratio = eig.eigenvectors(0, 0) / eig.eigenvectors(1, 0);
+  EXPECT_NEAR(ratio, 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, RejectsNonSquare) {
+  EXPECT_THROW(symmetric_eigen(Matrix{2, 3}), emts::precondition_error);
+}
+
+TEST(SymmetricEigen, RejectsAsymmetric) {
+  const auto m = Matrix::from_rows({{1, 2}, {0, 1}});
+  EXPECT_THROW(symmetric_eigen(m), emts::precondition_error);
+}
+
+class RandomSymmetricEigen : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomSymmetricEigen, SatisfiesDefinitionAndOrthonormality) {
+  const std::size_t n = GetParam();
+  emts::Rng rng{emts::mix64(n)};
+  Matrix a{n, n};
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) {
+      const double v = rng.uniform(-2.0, 2.0);
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+
+  const auto eig = symmetric_eigen(a);
+
+  // A v_j = λ_j v_j for every pair.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = eig.eigenvectors(i, j);
+    const auto av = a * v;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], eig.eigenvalues[j] * v[i], 1e-8) << "n=" << n << " j=" << j;
+    }
+  }
+
+  // Columns orthonormal.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j; k < n; ++k) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += eig.eigenvectors(i, j) * eig.eigenvectors(i, k);
+      EXPECT_NEAR(acc, j == k ? 1.0 : 0.0, 1e-9);
+    }
+  }
+
+  // Eigenvalues descending and trace preserved.
+  double trace = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += eig.eigenvalues[i];
+    if (i > 0) {
+      EXPECT_GE(eig.eigenvalues[i - 1], eig.eigenvalues[i] - 1e-12);
+    }
+  }
+  EXPECT_NEAR(trace, sum, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSymmetricEigen,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 16, 40));
+
+TEST(SymmetricEigen, RankDeficientMatrixHasZeroEigenvalues) {
+  // Outer product u u^T has rank 1: one eigenvalue ||u||^2, rest 0.
+  const std::vector<double> u{1, 2, 3};
+  Matrix m{3, 3};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = u[r] * u[c];
+  const auto eig = symmetric_eigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 14.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 0.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[2], 0.0, 1e-10);
+}
+
+TEST(SymmetricEigen, NegativeEigenvaluesHandled) {
+  const auto m = Matrix::from_rows({{0, 1}, {1, 0}});
+  const auto eig = symmetric_eigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace emts::linalg

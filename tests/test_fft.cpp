@@ -1,0 +1,160 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::dsp {
+namespace {
+
+TEST(FftHelpers, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(FftHelpers, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<cplx> data(8, cplx{0, 0});
+  data[0] = cplx{1, 0};
+  fft_in_place(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantSignalHasOnlyDc) {
+  std::vector<cplx> data(16, cplx{2.5, 0});
+  fft_in_place(data);
+  EXPECT_NEAR(data[0].real(), 40.0, 1e-10);
+  for (std::size_t k = 1; k < data.size(); ++k) EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-10);
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  const std::size_t n = 256;
+  const std::size_t tone_bin = 19;
+  std::vector<cplx> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase =
+        2.0 * units::pi * static_cast<double>(tone_bin * i) / static_cast<double>(n);
+    data[i] = cplx{std::cos(phase), 0.0};
+  }
+  fft_in_place(data);
+  // cos tone of amplitude 1 -> N/2 in bins +/- tone.
+  EXPECT_NEAR(std::abs(data[tone_bin]), static_cast<double>(n) / 2.0, 1e-8);
+  EXPECT_NEAR(std::abs(data[n - tone_bin]), static_cast<double>(n) / 2.0, 1e-8);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == tone_bin || k == n - tone_bin) continue;
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-8);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cplx> data(12);
+  EXPECT_THROW(fft_in_place(data), emts::precondition_error);
+}
+
+TEST(Fft, LinearityHolds) {
+  emts::Rng rng{314};
+  const std::size_t n = 64;
+  std::vector<cplx> a(n);
+  std::vector<cplx> b(n);
+  std::vector<cplx> combo(n);
+  const cplx alpha{2.0, -1.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = cplx{rng.gaussian(), rng.gaussian()};
+    b[i] = cplx{rng.gaussian(), rng.gaussian()};
+    combo[i] = alpha * a[i] + b[i];
+  }
+  fft_in_place(a);
+  fft_in_place(b);
+  fft_in_place(combo);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx expected = alpha * a[k] + b[k];
+    EXPECT_NEAR(std::abs(combo[k] - expected), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConserved) {
+  emts::Rng rng{2718};
+  const std::size_t n = 512;
+  std::vector<cplx> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = cplx{rng.gaussian(), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft_in_place(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6 * time_energy);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  emts::Rng rng{emts::mix64(n)};
+  std::vector<cplx> original(n);
+  for (auto& x : original) x = cplx{rng.gaussian(), rng.gaussian()};
+  auto data = original;
+  fft_in_place(data);
+  ifft_in_place(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8, 64, 1024, 4096));
+
+TEST(FftReal, ZeroPadsToPowerOfTwo) {
+  const std::vector<double> sig(100, 1.0);
+  const auto spec = fft_real(sig);
+  EXPECT_EQ(spec.size(), 128u);
+  EXPECT_NEAR(spec[0].real(), 100.0, 1e-10);
+}
+
+TEST(FftReal, RealInputHasConjugateSymmetry) {
+  emts::Rng rng{99};
+  std::vector<double> sig(128);
+  for (double& v : sig) v = rng.gaussian();
+  const auto spec = fft_real(sig);
+  const std::size_t n = spec.size();
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    EXPECT_NEAR(spec[k].real(), spec[n - k].real(), 1e-9);
+    EXPECT_NEAR(spec[k].imag(), -spec[n - k].imag(), 1e-9);
+  }
+}
+
+TEST(FftReal, RejectsEmptyInput) {
+  EXPECT_THROW(fft_real({}), emts::precondition_error);
+}
+
+TEST(IfftReal, RoundTripsRealSignal) {
+  emts::Rng rng{321};
+  std::vector<double> sig(256);
+  for (double& v : sig) v = rng.gaussian();
+  const auto back = ifft_real(fft_real(sig));
+  ASSERT_EQ(back.size(), 256u);
+  for (std::size_t i = 0; i < sig.size(); ++i) EXPECT_NEAR(back[i], sig[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace emts::dsp

@@ -1,0 +1,87 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace emts::stats {
+namespace {
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEdges) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(1.0);  // hi edge clamps into last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, TotalAlwaysEqualsInsertions) {
+  emts::Rng rng{21};
+  Histogram h{-1.0, 1.0, 16};
+  for (int i = 0; i < 1000; ++i) h.add(rng.gaussian());
+  std::size_t sum = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.count(b);
+  EXPECT_EQ(sum, 1000u);
+  EXPECT_EQ(h.total(), 1000u);
+}
+
+TEST(Histogram, BinEdgesAndCenters) {
+  Histogram h{0.0, 4.0, 4};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 2.5);
+}
+
+TEST(Histogram, ModeFindsFullestBin) {
+  Histogram h{0.0, 3.0, 3};
+  h.add_all({0.1, 1.5, 1.6, 1.7, 2.5});
+  EXPECT_EQ(h.mode_bin(), 1u);
+  EXPECT_DOUBLE_EQ(h.mode(), 1.5);
+}
+
+TEST(Histogram, RejectsEmptyRangeOrZeroBins) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), emts::precondition_error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), emts::precondition_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), emts::precondition_error);
+}
+
+TEST(Histogram, RenderMentionsEveryBin) {
+  Histogram h{0.0, 2.0, 2};
+  h.add_all({0.5, 1.5, 1.6});
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(text.find("[1, 2)"), std::string::npos);
+}
+
+TEST(Histogram, RenderPairRequiresSharedBinning) {
+  Histogram a{0.0, 1.0, 4};
+  Histogram b{0.0, 2.0, 4};
+  EXPECT_THROW(Histogram::render_pair(a, b), emts::precondition_error);
+}
+
+TEST(Histogram, RenderPairShowsBothSeries) {
+  Histogram red{0.0, 1.0, 2};
+  Histogram blue{0.0, 1.0, 2};
+  red.add(0.25);
+  blue.add(0.75);
+  const std::string text = Histogram::render_pair(red, blue, 10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emts::stats

@@ -1,0 +1,151 @@
+#include "layout/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/power_grid.hpp"
+#include "util/assert.hpp"
+
+namespace emts::layout {
+namespace {
+
+TEST(Geometry, RectBasics) {
+  const Rect r{1.0, 2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.cx(), 2.5);
+  EXPECT_DOUBLE_EQ(r.cy(), 4.0);
+  EXPECT_TRUE(r.contains(2.0, 3.0));
+  EXPECT_FALSE(r.contains(0.0, 3.0));
+}
+
+TEST(Geometry, RectOverlap) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 3, 3};
+  const Rect c{2.1, 0, 3, 1};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Geometry, TouchingRectsDoNotOverlap) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{1, 0, 2, 1};
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Geometry, Vec3Algebra) {
+  const Vec3 a{1, 0, 0};
+  const Vec3 b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.z, 1.0);
+  EXPECT_DOUBLE_EQ((a + b).norm(), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ((a * 3.0).norm(), 3.0);
+}
+
+TEST(Geometry, SegmentLengthAndMidpoint) {
+  const Segment s{Vec3{0, 0, 0}, Vec3{3, 4, 0}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_DOUBLE_EQ(s.midpoint().x, 1.5);
+}
+
+TEST(Floorplan, RejectsBadDieSpec) {
+  DieSpec bad{};
+  bad.core_width = 0.0;
+  EXPECT_THROW(Floorplan{bad}, emts::precondition_error);
+  DieSpec inverted{};
+  inverted.sensor_z = inverted.cell_z / 2.0;
+  EXPECT_THROW(Floorplan{inverted}, emts::precondition_error);
+}
+
+TEST(Floorplan, PlaceAndLookup) {
+  Floorplan fp{DieSpec{}};
+  fp.place("mod_a", Rect{0, 0, 1e-4, 1e-4}, 100.0);
+  EXPECT_TRUE(fp.has_module("mod_a"));
+  EXPECT_FALSE(fp.has_module("mod_b"));
+  EXPECT_DOUBLE_EQ(fp.module("mod_a").area_um2, 100.0);
+  EXPECT_THROW(fp.module("mod_b"), emts::precondition_error);
+}
+
+TEST(Floorplan, RejectsOverlapAndDuplicates) {
+  Floorplan fp{DieSpec{}};
+  fp.place("a", Rect{0, 0, 1e-4, 1e-4}, 1.0);
+  EXPECT_THROW(fp.place("b", Rect{5e-5, 5e-5, 2e-4, 2e-4}, 1.0), emts::precondition_error);
+  EXPECT_THROW(fp.place("a", Rect{5e-4, 5e-4, 6e-4, 6e-4}, 1.0), emts::precondition_error);
+}
+
+TEST(Floorplan, RejectsOutOfCoreRegions) {
+  Floorplan fp{DieSpec{}};
+  EXPECT_THROW(fp.place("a", Rect{-1e-5, 0, 1e-4, 1e-4}, 1.0), emts::precondition_error);
+  EXPECT_THROW(fp.place("b", Rect{0, 0, 5e-3, 1e-4}, 1.0), emts::precondition_error);
+}
+
+TEST(ReferenceFloorplan, ContainsAllElevenModules) {
+  const auto fp = reference_floorplan(DieSpec{});
+  namespace mn = module_names;
+  for (const char* name : {mn::kAesState, mn::kAesKeyRegs, mn::kAesSbox, mn::kAesMixColumns,
+                           mn::kAesKeySchedule, mn::kAesControl, mn::kTrojan1, mn::kTrojan2,
+                           mn::kTrojan3, mn::kTrojan4, mn::kTrojanA2}) {
+    EXPECT_TRUE(fp.has_module(name)) << name;
+  }
+  EXPECT_EQ(fp.modules().size(), 11u);
+}
+
+TEST(ReferenceFloorplan, TrojansSitRightOfAes) {
+  const auto fp = reference_floorplan(DieSpec{});
+  namespace mn = module_names;
+  const double aes_right = fp.module(mn::kAesSbox).region.x1;
+  for (const char* t : {mn::kTrojan1, mn::kTrojan2, mn::kTrojan3, mn::kTrojan4, mn::kTrojanA2}) {
+    EXPECT_GT(fp.module(t).region.x0, aes_right) << t;
+  }
+}
+
+TEST(PadRing, PadsOnLeftEdgeAtGridHeight) {
+  const DieSpec spec{};
+  const auto pads = PadRing::for_die(spec);
+  EXPECT_DOUBLE_EQ(pads.vdd.x, 0.0);
+  EXPECT_DOUBLE_EQ(pads.vss.x, 0.0);
+  EXPECT_DOUBLE_EQ(pads.vdd.z, spec.grid_z);
+  EXPECT_GT(pads.vdd.y, pads.vss.y);
+}
+
+TEST(SupplyLoop, IsClosedAndSpansModule) {
+  const DieSpec spec{};
+  const auto fp = reference_floorplan(spec);
+  const auto pads = PadRing::for_die(spec);
+  for (const auto& m : fp.modules()) {
+    const auto loop = supply_loop(spec, pads, m);
+    EXPECT_LT(loop.closure_error(), 1e-12) << m.name;
+    EXPECT_GE(loop.segments.size(), 6u);
+    EXPECT_GT(loop.total_length(), m.region.height()) << m.name;
+    EXPECT_EQ(loop.module_name, m.name);
+  }
+}
+
+TEST(SupplyLoop, CrossingRunsAtCellLevelThroughModuleCenter) {
+  const DieSpec spec{};
+  const auto fp = reference_floorplan(spec);
+  const auto pads = PadRing::for_die(spec);
+  const auto& m = fp.module(module_names::kTrojan2);
+  const auto loop = supply_loop(spec, pads, m);
+  bool found_crossing = false;
+  for (const Segment& s : loop.segments) {
+    if (s.a.z == spec.cell_z && s.b.z == spec.cell_z) {
+      found_crossing = true;
+      EXPECT_NEAR(s.a.x, m.region.cx(), 1e-12);
+      EXPECT_NEAR(std::abs(s.a.y - s.b.y), m.region.height(), 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_crossing);
+}
+
+TEST(SupplyLoops, OnePerModule) {
+  const DieSpec spec{};
+  const auto fp = reference_floorplan(spec);
+  const auto loops = supply_loops(fp, PadRing::for_die(spec));
+  EXPECT_EQ(loops.size(), fp.modules().size());
+}
+
+}  // namespace
+}  // namespace emts::layout

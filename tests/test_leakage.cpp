@@ -1,0 +1,104 @@
+#include "core/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace emts::core {
+namespace {
+
+TraceSet noise_set(std::size_t n, std::size_t len, double mean, std::uint64_t seed) {
+  emts::Rng rng{seed};
+  TraceSet set;
+  set.sample_rate = 1e6;
+  for (std::size_t t = 0; t < n; ++t) {
+    Trace trace(len);
+    for (double& v : trace) v = rng.gaussian(mean, 1.0);
+    set.add(trace);
+  }
+  return set;
+}
+
+TEST(Tvla, IdenticalPopulationsDoNotLeak) {
+  const auto a = noise_set(100, 64, 0.0, 1);
+  const auto b = noise_set(100, 64, 0.0, 2);
+  const auto report = tvla(a, b);
+  EXPECT_FALSE(report.leaks());
+  EXPECT_LT(report.max_abs_t, 4.5);
+}
+
+TEST(Tvla, MeanShiftAtOneSampleDetected) {
+  auto a = noise_set(200, 64, 0.0, 3);
+  const auto b = noise_set(200, 64, 0.0, 4);
+  for (Trace& t : a.traces) t[17] += 1.5;  // strong localized leak
+  const auto report = tvla(a, b);
+  EXPECT_TRUE(report.leaks());
+  EXPECT_EQ(report.max_abs_t_sample, 17u);
+  EXPECT_GT(report.max_abs_t, 4.5);
+}
+
+TEST(Tvla, TStatisticSignFollowsDirection) {
+  auto hi = noise_set(200, 8, 0.0, 5);
+  const auto lo = noise_set(200, 8, 0.0, 6);
+  for (Trace& t : hi.traces) t[3] += 2.0;
+  const auto report = tvla(hi, lo);
+  EXPECT_GT(report.t_statistic[3], 4.5);  // fixed - random > 0
+}
+
+TEST(Tvla, TGrowsWithPopulation) {
+  // 16x the traces should raise t by ~4x; accept > 2x to stay robust to the
+  // sampling noise of the estimate itself.
+  const double shift = 0.4;
+  double t_small = 0.0;
+  double t_large = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t n = pass == 0 ? 100 : 1600;
+    auto a = noise_set(n, 4, 0.0, 7);
+    const auto b = noise_set(n, 4, 0.0, 9);
+    for (Trace& t : a.traces) t[0] += shift;
+    const double t_stat = std::abs(tvla(a, b).t_statistic[0]);
+    (pass == 0 ? t_small : t_large) = t_stat;
+  }
+  EXPECT_GT(t_large, 2.0 * t_small);
+}
+
+TEST(Tvla, ConstantSamplesGiveZeroT) {
+  TraceSet a;
+  a.sample_rate = 1e6;
+  TraceSet b;
+  b.sample_rate = 1e6;
+  for (int i = 0; i < 4; ++i) {
+    a.add(Trace{1.0, 1.0});
+    b.add(Trace{1.0, 1.0});
+  }
+  const auto report = tvla(a, b);
+  EXPECT_DOUBLE_EQ(report.t_statistic[0], 0.0);
+  EXPECT_FALSE(report.leaks());
+}
+
+TEST(Tvla, CustomThresholdRespected) {
+  auto a = noise_set(100, 8, 0.0, 11);
+  const auto b = noise_set(100, 8, 0.0, 12);
+  for (Trace& t : a.traces) t[1] += 0.8;
+  const auto strict = tvla(a, b, 1e6);
+  EXPECT_FALSE(strict.leaks());
+  const auto loose = tvla(a, b, 2.0);
+  EXPECT_TRUE(loose.leaks());
+}
+
+TEST(Tvla, RejectsBadInputs) {
+  const auto ok = noise_set(4, 8, 0.0, 13);
+  TraceSet one;
+  one.sample_rate = 1e6;
+  one.add(Trace(8, 0.0));
+  EXPECT_THROW(tvla(one, ok), emts::precondition_error);
+  const auto other_len = noise_set(4, 16, 0.0, 14);
+  EXPECT_THROW(tvla(ok, other_len), emts::precondition_error);
+  EXPECT_THROW(tvla(ok, ok, 0.0), emts::precondition_error);
+}
+
+}  // namespace
+}  // namespace emts::core

@@ -1,0 +1,157 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace emts::linalg {
+namespace {
+
+TEST(Matrix, ConstructedWithFill) {
+  Matrix m{2, 3, 1.5};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, FromRowsRoundTrips) {
+  const auto m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, FromRowsRejectsRaggedInput) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), emts::precondition_error);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const auto eye = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const auto m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  const auto a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const auto p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductRejectsMismatchedShapes) {
+  const Matrix a{2, 3};
+  const Matrix b{2, 3};
+  EXPECT_THROW(a * b, emts::precondition_error);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  const auto m = Matrix::from_rows({{1, -2, 0.5}, {3, 4, -1}, {0, 7, 2}});
+  const auto eye = Matrix::identity(3);
+  const auto left = eye * m;
+  const auto right = m * eye;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(left(r, c), m(r, c));
+      EXPECT_DOUBLE_EQ(right(r, c), m(r, c));
+    }
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const auto m = Matrix::from_rows({{1, 0, 2}, {0, 3, -1}});
+  const std::vector<double> v{2, 1, 4};
+  const auto out = m * v;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(Matrix, AdditionAndSubtraction) {
+  const auto a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto b = Matrix::from_rows({{10, 20}, {30, 40}});
+  const auto sum = a + b;
+  const auto diff = b - a;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+}
+
+TEST(Matrix, ScalarScale) {
+  auto m = Matrix::from_rows({{1, -2}});
+  m *= 3.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), -6.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const auto m = Matrix::from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, SymmetryDetection) {
+  const auto sym = Matrix::from_rows({{2, 1}, {1, 5}});
+  const auto asym = Matrix::from_rows({{2, 1}, {0, 5}});
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_FALSE(asym.is_symmetric());
+  EXPECT_FALSE((Matrix{2, 3}.is_symmetric()));
+}
+
+TEST(Matrix, MaxOffDiagonal) {
+  const auto m = Matrix::from_rows({{9, -4}, {2, 9}});
+  EXPECT_DOUBLE_EQ(m.max_off_diagonal(), 4.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const std::vector<double> a{1, 2, 2};
+  EXPECT_DOUBLE_EQ(dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+}
+
+TEST(VectorOps, EuclideanDistance) {
+  const std::vector<double> a{0, 0};
+  const std::vector<double> b{3, 4};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, a), 0.0);
+}
+
+TEST(VectorOps, EuclideanDistanceIsSymmetric) {
+  const std::vector<double> a{1, -2, 0.5};
+  const std::vector<double> b{-3, 4, 2};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), euclidean_distance(b, a));
+}
+
+TEST(VectorOps, SizeMismatchRejected) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW(dot(a, b), emts::precondition_error);
+  EXPECT_THROW(euclidean_distance(a, b), emts::precondition_error);
+  EXPECT_THROW(add(a, b), emts::precondition_error);
+  EXPECT_THROW(subtract(a, b), emts::precondition_error);
+}
+
+TEST(VectorOps, AddSubtractScale) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{10, 20};
+  const auto s = add(a, b);
+  const auto d = subtract(b, a);
+  const auto sc = scaled(a, -2.0);
+  EXPECT_DOUBLE_EQ(s[1], 22.0);
+  EXPECT_DOUBLE_EQ(d[0], 9.0);
+  EXPECT_DOUBLE_EQ(sc[1], -4.0);
+}
+
+}  // namespace
+}  // namespace emts::linalg

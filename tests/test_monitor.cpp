@@ -1,0 +1,200 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::core {
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 2048;
+
+Trace golden_trace(emts::Rng& rng) {
+  Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] = std::sin(2.0 * units::pi * 48e6 * static_cast<double>(i) / kFs) +
+           rng.gaussian(0.0, 0.08);
+  }
+  return t;
+}
+
+Trace infected_trace(emts::Rng& rng) {
+  Trace t = golden_trace(rng);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    // A fast tone (spectral signature) plus a slow component that survives
+    // the preprocessor's 16x decimation (distance signature).
+    t[i] += 0.6 * std::sin(2.0 * units::pi * 72e6 * static_cast<double>(i) / kFs) +
+            0.3 * std::sin(2.0 * units::pi * 3e6 * static_cast<double>(i) / kFs);
+  }
+  return t;
+}
+
+RuntimeMonitor::Options small_options() {
+  RuntimeMonitor::Options opt;
+  opt.calibration_traces = 16;
+  opt.alarm_debounce = 3;
+  opt.spectral_window = 8;
+  return opt;
+}
+
+// ---------- TrustEvaluator ----------
+
+TraceSet make_set(std::size_t n, bool infected, std::uint64_t seed) {
+  emts::Rng rng{seed};
+  TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) {
+    set.add(infected ? infected_trace(rng) : golden_trace(rng));
+  }
+  return set;
+}
+
+TEST(TrustEvaluator, GoldenBatchIsTrusted) {
+  const auto eval = TrustEvaluator::calibrate(make_set(30, false, 1));
+  const auto report = eval.evaluate(make_set(20, false, 2));
+  EXPECT_EQ(report.verdict, Verdict::kTrusted);
+  EXPECT_LT(report.anomalous_fraction, 0.2);
+  EXPECT_FALSE(report.spectral.anomalous());
+}
+
+TEST(TrustEvaluator, InfectedBatchIsCompromised) {
+  const auto eval = TrustEvaluator::calibrate(make_set(30, false, 3));
+  const auto report = eval.evaluate(make_set(20, true, 4));
+  // Both stages fire: distance and new spectral spot.
+  EXPECT_EQ(report.verdict, Verdict::kCompromised);
+  EXPECT_GT(report.anomalous_fraction, 0.9);
+  EXPECT_TRUE(report.spectral.anomalous());
+  EXPECT_GT(report.mean_distance, report.threshold);
+}
+
+TEST(TrustEvaluator, SummaryMentionsVerdict) {
+  const auto eval = TrustEvaluator::calibrate(make_set(30, false, 5));
+  const auto report = eval.evaluate(make_set(10, true, 6));
+  EXPECT_NE(report.summary().find(verdict_label(report.verdict)), std::string::npos);
+}
+
+TEST(TrustEvaluator, RejectsBadAlarmFraction) {
+  TrustEvaluator::Options opt;
+  opt.anomalous_fraction_alarm = 0.0;
+  EXPECT_THROW(TrustEvaluator::calibrate(make_set(10, false, 7), opt),
+               emts::precondition_error);
+}
+
+TEST(VerdictLabels, AreDistinct) {
+  EXPECT_STRNE(verdict_label(Verdict::kTrusted), verdict_label(Verdict::kSuspicious));
+  EXPECT_STRNE(verdict_label(Verdict::kSuspicious), verdict_label(Verdict::kCompromised));
+}
+
+// ---------- RuntimeMonitor ----------
+
+TEST(RuntimeMonitor, CalibratesThenMonitors) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{10};
+  EXPECT_EQ(monitor.state(), MonitorState::kCalibrating);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(monitor.push(golden_trace(rng)), MonitorState::kCalibrating);
+  }
+  EXPECT_EQ(monitor.push(golden_trace(rng)), MonitorState::kMonitoring);
+  EXPECT_NE(monitor.evaluator(), nullptr);
+}
+
+TEST(RuntimeMonitor, StaysCalmOnGoldenStream) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{11};
+  for (int i = 0; i < 60; ++i) monitor.push(golden_trace(rng));
+  EXPECT_NE(monitor.state(), MonitorState::kAlarm);
+  EXPECT_EQ(monitor.traces_seen(), 60u);
+}
+
+TEST(RuntimeMonitor, AlarmsAfterDebouncedAnomalies) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{12};
+  for (int i = 0; i < 20; ++i) monitor.push(golden_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+  // The Trojan activates: alarm after exactly `debounce` anomalous captures.
+  monitor.push(infected_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+  monitor.push(infected_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+  monitor.push(infected_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kAlarm);
+}
+
+TEST(RuntimeMonitor, SingleGlitchDoesNotAlarm) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{13};
+  for (int i = 0; i < 20; ++i) monitor.push(golden_trace(rng));
+  monitor.push(infected_trace(rng));  // one-off glitch
+  for (int i = 0; i < 10; ++i) monitor.push(golden_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+}
+
+TEST(RuntimeMonitor, AlarmCallbackFiresOnce) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{14};
+  int fired = 0;
+  monitor.on_alarm([&](const TrustReport& report) {
+    ++fired;
+    EXPECT_EQ(report.verdict, Verdict::kCompromised);
+  });
+  for (int i = 0; i < 20; ++i) monitor.push(golden_trace(rng));
+  for (int i = 0; i < 8; ++i) monitor.push(infected_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kAlarm);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RuntimeMonitor, AcknowledgeResumesMonitoring) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{15};
+  for (int i = 0; i < 20; ++i) monitor.push(golden_trace(rng));
+  for (int i = 0; i < 5; ++i) monitor.push(infected_trace(rng));
+  ASSERT_EQ(monitor.state(), MonitorState::kAlarm);
+  monitor.acknowledge_alarm();
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+  // Re-alarms if the Trojan persists.
+  for (int i = 0; i < 5; ++i) monitor.push(infected_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kAlarm);
+}
+
+TEST(RuntimeMonitor, AcknowledgeWithoutAlarmRejected) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  EXPECT_THROW(monitor.acknowledge_alarm(), emts::precondition_error);
+}
+
+TEST(RuntimeMonitor, LastScoreTracksMostRecentCapture) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{16};
+  for (int i = 0; i < 16; ++i) monitor.push(golden_trace(rng));
+  EXPECT_FALSE(monitor.last_score().has_value());  // still calibrating at 16th
+  monitor.push(golden_trace(rng));
+  ASSERT_TRUE(monitor.last_score().has_value());
+  const double golden_score = *monitor.last_score();
+  monitor.push(infected_trace(rng));
+  EXPECT_GT(*monitor.last_score(), golden_score);
+}
+
+TEST(RuntimeMonitor, RejectsBadOptions) {
+  RuntimeMonitor::Options bad = small_options();
+  bad.calibration_traces = 2;
+  EXPECT_THROW((RuntimeMonitor{kFs, bad}), emts::precondition_error);
+  bad = small_options();
+  bad.alarm_debounce = 0;
+  EXPECT_THROW((RuntimeMonitor{kFs, bad}), emts::precondition_error);
+  EXPECT_THROW((RuntimeMonitor{0.0, small_options()}), emts::precondition_error);
+}
+
+TEST(RuntimeMonitor, StateLabelsAreDistinct) {
+  EXPECT_STRNE(monitor_state_label(MonitorState::kCalibrating),
+               monitor_state_label(MonitorState::kMonitoring));
+  EXPECT_STRNE(monitor_state_label(MonitorState::kMonitoring),
+               monitor_state_label(MonitorState::kAlarm));
+}
+
+}  // namespace
+}  // namespace emts::core

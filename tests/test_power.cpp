@@ -1,0 +1,162 @@
+#include "power/current_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace emts::power {
+namespace {
+
+TEST(ClockSpec, DefaultsMatchDesignDoc) {
+  const ClockSpec clock{};
+  EXPECT_DOUBLE_EQ(clock.frequency, 48e6);
+  EXPECT_EQ(clock.samples_per_cycle, 8u);
+  EXPECT_DOUBLE_EQ(clock.sample_rate(), 384e6);
+  // T1's divide-by-64 carrier must land exactly on 750 kHz.
+  EXPECT_DOUBLE_EQ(clock.frequency / 64.0, 750e3);
+}
+
+TEST(ClockSpec, ValidateRejectsBadSpecs) {
+  ClockSpec bad{};
+  bad.frequency = 0.0;
+  EXPECT_THROW(bad.validate(), emts::precondition_error);
+  ClockSpec few{};
+  few.samples_per_cycle = 1;
+  EXPECT_THROW(few.validate(), emts::precondition_error);
+}
+
+TEST(ClockSpec, CycleStartSample) {
+  const ClockSpec clock{};
+  EXPECT_EQ(clock.cycle_start_sample(0), 0u);
+  EXPECT_EQ(clock.cycle_start_sample(10), 80u);
+}
+
+TEST(CurrentTrace, StartsAtZero) {
+  const CurrentTrace trace{ClockSpec{}, 16};
+  EXPECT_EQ(trace.samples().size(), 128u);
+  for (double v : trace.samples()) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(trace.total_charge(), 0.0);
+}
+
+TEST(CurrentTrace, PulseConservesCharge) {
+  CurrentTrace trace{ClockSpec{}, 16};
+  // 100 toggles x 10 fC = 1 pC.
+  trace.add_pulse({3, 100.0, 500.0, 2000.0}, 10.0);
+  EXPECT_NEAR(trace.total_charge(), 1e-12, 1e-18);
+}
+
+TEST(CurrentTrace, PulseLandsInItsCycle) {
+  CurrentTrace trace{ClockSpec{}, 16};
+  trace.add_pulse({5, 10.0, 100.0, 1000.0}, 10.0);
+  const auto& s = trace.samples();
+  // Cycle 5 spans samples 40..47.
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_DOUBLE_EQ(s[i], 0.0) << i;
+  double in_cycle = 0.0;
+  for (std::size_t i = 40; i < 48; ++i) in_cycle += std::abs(s[i]);
+  EXPECT_GT(in_cycle, 0.0);
+  for (std::size_t i = 48; i < s.size(); ++i) EXPECT_DOUBLE_EQ(s[i], 0.0) << i;
+}
+
+TEST(CurrentTrace, LateOnsetSpillsIntoChosenSamples) {
+  CurrentTrace trace{ClockSpec{}, 4};
+  // Onset one sample in, spread one sample: sample 1 carries (essentially)
+  // all the charge; boundary rounding may leave slivers in the neighbours.
+  const double dt_ps = 1e12 / ClockSpec{}.sample_rate();
+  trace.add_pulse({0, 1.0, dt_ps, dt_ps}, 10.0);
+  const auto& s = trace.samples();
+  const double dt_s = 1.0 / trace.sample_rate();
+  const double total = trace.total_charge();
+  EXPECT_GT(s[1] * dt_s, 0.9 * total);
+  EXPECT_LT(s[0] * dt_s, 0.1 * total);
+  EXPECT_LT(s[3], 1e-12);
+}
+
+TEST(CurrentTrace, OutOfWindowPulseClipped) {
+  CurrentTrace trace{ClockSpec{}, 4};
+  trace.add_pulse({3, 10.0, 2000.0, 100000.0}, 10.0);  // spills past the end
+  const double captured = trace.total_charge();
+  const double full = 10.0 * 10.0e-15;
+  EXPECT_GT(captured, 0.0);
+  EXPECT_LT(captured, full);  // the spilled tail is dropped
+}
+
+TEST(CurrentTrace, ZeroTogglesIsNoOp) {
+  CurrentTrace trace{ClockSpec{}, 4};
+  trace.add_pulse({0, 0.0, 0.0, 100.0}, 10.0);
+  EXPECT_DOUBLE_EQ(trace.total_charge(), 0.0);
+}
+
+TEST(CurrentTrace, RejectsZeroSpread) {
+  CurrentTrace trace{ClockSpec{}, 4};
+  EXPECT_THROW(trace.add_pulse({0, 1.0, 0.0, 0.0}, 10.0), emts::precondition_error);
+}
+
+TEST(CurrentTrace, NegativeChargeModelsDischarge) {
+  CurrentTrace trace{ClockSpec{}, 4};
+  trace.add_pulse({0, 1.0, 100.0, 1000.0}, 10.0);
+  trace.add_pulse({2, 1.0, 100.0, 1000.0}, -10.0);
+  EXPECT_NEAR(trace.total_charge(), 0.0, 1e-20);
+  double min_v = 0.0;
+  for (double v : trace.samples()) min_v = std::min(min_v, v);
+  EXPECT_LT(min_v, 0.0);
+}
+
+TEST(CurrentTrace, DcAddsUniformly) {
+  CurrentTrace trace{ClockSpec{}, 8};
+  trace.add_dc(1e-3);
+  for (double v : trace.samples()) EXPECT_DOUBLE_EQ(v, 1e-3);
+  const double window_s = 8.0 / 48e6;
+  EXPECT_NEAR(trace.total_charge(), 1e-3 * window_s, 1e-15);
+}
+
+TEST(CurrentTrace, AddSamplesAccumulates) {
+  CurrentTrace trace{ClockSpec{}, 1};
+  std::vector<double> extra(8, 0.5);
+  trace.add_samples(extra);
+  trace.add_samples(extra);
+  for (double v : trace.samples()) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_THROW(trace.add_samples(std::vector<double>(5, 0.0)), emts::precondition_error);
+}
+
+TEST(CurrentTrace, DerivativeOfStepIsSpike) {
+  CurrentTrace trace{ClockSpec{}, 2};
+  std::vector<double> step(16, 0.0);
+  for (std::size_t i = 8; i < 16; ++i) step[i] = 1e-3;
+  trace.add_samples(step);
+  const auto d = trace.derivative();
+  ASSERT_EQ(d.size(), 16u);
+  EXPECT_NEAR(d[8], 1e-3 * trace.sample_rate(), 1e-3);
+  EXPECT_NEAR(d[9], 0.0, 1e-9);
+}
+
+TEST(CurrentTrace, PulsesSuperpose) {
+  CurrentTrace a{ClockSpec{}, 8};
+  a.add_pulse({1, 50.0, 200.0, 1500.0}, 10.0);
+  a.add_pulse({1, 30.0, 800.0, 900.0}, 10.0);
+
+  CurrentTrace b1{ClockSpec{}, 8};
+  b1.add_pulse({1, 50.0, 200.0, 1500.0}, 10.0);
+  CurrentTrace b2{ClockSpec{}, 8};
+  b2.add_pulse({1, 30.0, 800.0, 900.0}, 10.0);
+
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_NEAR(a.samples()[i], b1.samples()[i] + b2.samples()[i], 1e-18);
+  }
+}
+
+class ChargeConservation : public ::testing::TestWithParam<double> {};
+
+// Property: deposited charge equals integrated current for any spread.
+TEST_P(ChargeConservation, HoldsForAllSpreads) {
+  CurrentTrace trace{ClockSpec{}, 32};
+  trace.add_pulse({10, 123.0, 350.0, GetParam()}, 7.5);
+  EXPECT_NEAR(trace.total_charge(), 123.0 * 7.5e-15, 1e-20 + 1e-9 * 123.0 * 7.5e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spreads, ChargeConservation,
+                         ::testing::Values(50.0, 500.0, 2604.0, 8000.0, 20000.0));
+
+}  // namespace
+}  // namespace emts::power

@@ -1,0 +1,115 @@
+#include "sim/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace emts::sim {
+namespace {
+
+Chip& chip() {
+  static Chip instance{make_default_config()};
+  instance.disarm_all();
+  return instance;
+}
+
+ScanSpec coarse_spec() {
+  ScanSpec spec;
+  spec.nx = 12;
+  spec.ny = 12;
+  spec.traces = 1;
+  return spec;
+}
+
+TEST(NearFieldScan, MapGeometryMatchesSpec) {
+  const auto map = near_field_scan(chip(), coarse_spec(), true, 0);
+  EXPECT_EQ(map.nx, 12u);
+  EXPECT_EQ(map.ny, 12u);
+  EXPECT_EQ(map.rms.size(), 144u);
+  EXPECT_DOUBLE_EQ(map.x1, chip().config().die.core_width);
+  EXPECT_GT(map.z, chip().config().die.sensor_z);
+  EXPECT_GT(map.max_value(), 0.0);
+}
+
+TEST(NearFieldScan, EncryptingChipIsHotterThanIdle) {
+  const auto active = near_field_scan(chip(), coarse_spec(), true, 0);
+  const auto idle = near_field_scan(chip(), coarse_spec(), false, 0);
+  EXPECT_GT(active.max_value(), 3.0 * idle.max_value());
+}
+
+TEST(NearFieldScan, DeterministicForSameWindow) {
+  const auto a = near_field_scan(chip(), coarse_spec(), true, 5);
+  const auto b = near_field_scan(chip(), coarse_spec(), true, 5);
+  for (std::size_t i = 0; i < a.rms.size(); ++i) ASSERT_DOUBLE_EQ(a.rms[i], b.rms[i]);
+}
+
+TEST(NearFieldScan, RejectsDegenerateSpecs) {
+  ScanSpec bad = coarse_spec();
+  bad.nx = 1;
+  EXPECT_THROW(near_field_scan(chip(), bad, true, 0), emts::precondition_error);
+  bad = coarse_spec();
+  bad.coil_radius = 0.0;
+  EXPECT_THROW(near_field_scan(chip(), bad, true, 0), emts::precondition_error);
+  bad = coarse_spec();
+  bad.traces = 0;
+  EXPECT_THROW(near_field_scan(chip(), bad, true, 0), emts::precondition_error);
+}
+
+TEST(Localization, GoldenVsGoldenHasNoContrastSpike) {
+  const auto golden = near_field_scan(chip(), coarse_spec(), true, 0);
+  const auto again = near_field_scan(chip(), coarse_spec(), true, 0);
+  const auto result = localize_anomaly(golden, again, chip().floorplan(), chip().config().die);
+  EXPECT_DOUBLE_EQ(result.peak_delta, 0.0);
+}
+
+class LocalizeTrojan : public ::testing::TestWithParam<trojan::TrojanKind> {};
+
+TEST_P(LocalizeTrojan, PeakLandsOnTheTrojanColumn) {
+  Chip& c = chip();
+  const auto spec = coarse_spec();
+  const auto golden = near_field_scan(c, spec, true, 0);
+  c.arm(GetParam());
+  const auto suspect = near_field_scan(c, spec, true, 0);
+  c.disarm_all();
+
+  const auto result = localize_anomaly(golden, suspect, c.floorplan(), c.config().die);
+  EXPECT_GT(result.peak_delta, 0.0);
+  // The Trojan column occupies the right ~25% of the die; any anomaly peak
+  // landing there (or resolving to a trojan/* module) counts as localized.
+  const bool in_column = result.peak_x > 0.70 * c.config().die.core_width;
+  const bool named = result.module_name.rfind("trojan/", 0) == 0;
+  EXPECT_TRUE(in_column || named)
+      << "peak at (" << result.peak_x << ", " << result.peak_y << ") -> "
+      << result.module_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LocalizeTrojan,
+                         ::testing::Values(trojan::TrojanKind::kT1AmLeak,
+                                           trojan::TrojanKind::kT2Leakage,
+                                           trojan::TrojanKind::kT4PowerHog,
+                                           trojan::TrojanKind::kA2Analog));
+
+TEST(Localization, T4ResolvesToItsOwnModule) {
+  Chip& c = chip();
+  ScanSpec spec = coarse_spec();
+  spec.nx = 20;
+  spec.ny = 20;
+  const auto golden = near_field_scan(c, spec, true, 0);
+  c.arm(trojan::TrojanKind::kT4PowerHog);
+  const auto suspect = near_field_scan(c, spec, true, 0);
+  c.disarm_all();
+  const auto result = localize_anomaly(golden, suspect, c.floorplan(), c.config().die);
+  EXPECT_EQ(result.module_name, layout::module_names::kTrojan4);
+  EXPECT_GT(result.contrast, 2.0);
+}
+
+TEST(Localization, RejectsMismatchedGrids) {
+  const auto a = near_field_scan(chip(), coarse_spec(), true, 0);
+  ScanSpec other = coarse_spec();
+  other.nx = 8;
+  const auto b = near_field_scan(chip(), other, true, 0);
+  EXPECT_THROW(localize_anomaly(a, b, chip().floorplan(), chip().config().die), emts::precondition_error);
+}
+
+}  // namespace
+}  // namespace emts::sim

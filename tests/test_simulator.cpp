@@ -1,0 +1,341 @@
+#include "netlist/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builders.hpp"
+#include "util/assert.hpp"
+
+namespace emts::netlist {
+namespace {
+
+TEST(Simulator, TieCellsSettleAtConstruction) {
+  Netlist nl;
+  const NetId hi = nl.add_net("hi");
+  const NetId lo = nl.add_net("lo");
+  nl.add_cell(CellType::kTieHi, {}, hi);
+  nl.add_cell(CellType::kTieLo, {}, lo);
+  Simulator sim{nl};
+  EXPECT_TRUE(sim.value(hi));
+  EXPECT_FALSE(sim.value(lo));
+}
+
+TEST(Simulator, InverterChainPropagates) {
+  Netlist nl;
+  const NetId in = nl.add_net("in");
+  NetId prev = in;
+  std::vector<NetId> stages;
+  for (int i = 0; i < 5; ++i) {
+    const NetId out = nl.add_net();
+    nl.add_cell(CellType::kInv, {prev}, out);
+    stages.push_back(out);
+    prev = out;
+  }
+  Simulator sim{nl};
+  // in=0 -> stages alternate 1,0,1,0,1.
+  EXPECT_TRUE(sim.value(stages[0]));
+  EXPECT_FALSE(sim.value(stages[1]));
+  EXPECT_TRUE(sim.value(stages[4]));
+
+  sim.set_input(in, true);
+  sim.settle();
+  EXPECT_FALSE(sim.value(stages[0]));
+  EXPECT_TRUE(sim.value(stages[1]));
+  EXPECT_FALSE(sim.value(stages[4]));
+}
+
+TEST(Simulator, SetInputRejectsDrivenNet) {
+  Netlist nl;
+  const NetId in = nl.add_net();
+  const NetId out = nl.add_net();
+  nl.add_cell(CellType::kInv, {in}, out);
+  Simulator sim{nl};
+  EXPECT_THROW(sim.set_input(out, true), emts::precondition_error);
+}
+
+TEST(Simulator, CombinationalLoopDetected) {
+  // Cross-coupled inverters form an oscillator when poked.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_cell(CellType::kInv, {a}, b);
+  EXPECT_THROW(
+      {
+        nl.add_cell(CellType::kInv, {b}, a);
+        Simulator sim{nl};
+      },
+      emts::precondition_error);
+}
+
+TEST(Simulator, DffSamplesOnClockEdgeOnly) {
+  Netlist nl;
+  const NetId d = nl.add_net("d");
+  const NetId q = nl.add_net("q");
+  nl.add_cell(CellType::kDff, {d}, q);
+  Simulator sim{nl};
+  sim.set_input(d, true);
+  sim.settle();
+  EXPECT_FALSE(sim.value(q)) << "flop must not update without a clock edge";
+  sim.clock_edge();
+  EXPECT_TRUE(sim.value(q));
+  sim.set_input(d, false);
+  sim.clock_edge();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(Simulator, TwoPhaseEdgeSemanticsInShiftChain) {
+  // A 3-deep shift chain must move exactly one stage per edge; a simulator
+  // that updates flops in order would shoot the bit through in one edge.
+  Netlist nl;
+  const NetId in = nl.add_net("in");
+  const auto sr = build_shift_register(nl, 3, in);
+  Simulator sim{nl};
+  sim.set_input(in, true);
+  sim.settle();
+  sim.clock_edge();
+  EXPECT_TRUE(sim.value(sr.q[0]));
+  EXPECT_FALSE(sim.value(sr.q[1]));
+  EXPECT_FALSE(sim.value(sr.q[2]));
+  sim.set_input(in, false);
+  sim.clock_edge();
+  EXPECT_FALSE(sim.value(sr.q[0]));
+  EXPECT_TRUE(sim.value(sr.q[1]));
+  sim.clock_edge();
+  EXPECT_TRUE(sim.value(sr.q[2]));
+}
+
+TEST(Simulator, ReadWriteWord) {
+  Netlist nl;
+  std::vector<NetId> bus;
+  for (int i = 0; i < 8; ++i) bus.push_back(nl.add_net());
+  Simulator sim{nl};
+  sim.set_word(bus, 0xa5);
+  sim.settle();
+  EXPECT_EQ(sim.read_word(bus), 0xa5u);
+}
+
+TEST(Simulator, ToggleCountingTracksActivity) {
+  Netlist nl;
+  const NetId in = nl.add_net();
+  const NetId out = nl.add_net();
+  nl.add_cell(CellType::kInv, {in}, out);
+  Simulator sim{nl};
+  const auto base = sim.total_toggles();
+  sim.set_input(in, true);
+  sim.settle();
+  EXPECT_EQ(sim.total_toggles(), base + 1);
+  sim.set_input(in, true);  // no change -> no toggle
+  sim.settle();
+  EXPECT_EQ(sim.total_toggles(), base + 1);
+}
+
+TEST(Simulator, CycleTogglesResetOnClockEdge) {
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  const auto bank = build_toggle_bank(nl, 4, en);
+  Simulator sim{nl};
+  sim.set_input(en, true);
+  sim.settle();
+  sim.clock_edge();
+  // 4 flops toggled plus 4 XOR gates recomputed.
+  EXPECT_GE(sim.last_cycle_toggles().size(), 8u);
+  EXPECT_GT(sim.last_cycle_charge_fc(), 0.0);
+  sim.set_input(en, false);
+  sim.clock_edge();
+  sim.clock_edge();
+  EXPECT_EQ(sim.last_cycle_toggles().size(), 0u);
+  (void)bank;
+}
+
+TEST(Simulator, ToggleTimesFollowLogicDepth) {
+  Netlist nl;
+  const NetId in = nl.add_net();
+  const NetId mid = nl.add_net();
+  const NetId out = nl.add_net();
+  nl.add_cell(CellType::kInv, {in}, mid);
+  nl.add_cell(CellType::kInv, {mid}, out);
+  Simulator sim{nl};
+  sim.clock_edge();  // clear cycle toggles
+  sim.set_input(in, true);
+  sim.settle();
+  const auto& toggles = sim.last_cycle_toggles();
+  ASSERT_EQ(toggles.size(), 2u);
+  EXPECT_LT(toggles[0].time_ps, toggles[1].time_ps);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Netlist nl;
+  const NetId d = nl.add_net();
+  const NetId q = nl.add_net();
+  nl.add_cell(CellType::kDff, {d}, q);
+  Simulator sim{nl};
+  sim.set_input(d, true);
+  sim.clock_edge();
+  EXPECT_TRUE(sim.value(q));
+  sim.reset();
+  EXPECT_FALSE(sim.value(q));
+  EXPECT_EQ(sim.cycle_count(), 0u);
+  EXPECT_EQ(sim.last_cycle_toggles().size(), 0u);
+}
+
+// ---- builders ----
+
+TEST(Builders, CounterCountsBinary) {
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  const auto cnt = build_counter(nl, 4, en);
+  Simulator sim{nl};
+  sim.set_input(en, true);
+  sim.settle();
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    sim.clock_edge();
+    EXPECT_EQ(sim.read_word(cnt.bits), i & 0xf) << "cycle " << i;
+  }
+}
+
+TEST(Builders, CounterHoldsWhenDisabled) {
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  const auto cnt = build_counter(nl, 3, en);
+  Simulator sim{nl};
+  sim.set_input(en, true);
+  sim.settle();
+  sim.clock_edge();
+  sim.clock_edge();
+  sim.set_input(en, false);
+  sim.settle();
+  const auto held = sim.read_word(cnt.bits);
+  for (int i = 0; i < 5; ++i) sim.clock_edge();
+  EXPECT_EQ(sim.read_word(cnt.bits), held);
+}
+
+TEST(Builders, CounterBitKDividesByTwoToKPlusOne) {
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  const auto cnt = build_counter(nl, 6, en);
+  Simulator sim{nl};
+  sim.set_input(en, true);
+  sim.settle();
+  // bit 2 toggles every 4 cycles -> period 8 cycles.
+  std::vector<bool> bit2;
+  for (int i = 0; i < 32; ++i) {
+    sim.clock_edge();
+    bit2.push_back(sim.value(cnt.bits[2]));
+  }
+  int transitions = 0;
+  for (std::size_t i = 1; i < bit2.size(); ++i) transitions += (bit2[i] != bit2[i - 1]);
+  EXPECT_EQ(transitions, 8);  // 32 cycles / 4 per half-period
+}
+
+TEST(Builders, LfsrLeavesZeroStateAndHasLongPeriod) {
+  Netlist nl;
+  const auto lfsr = build_lfsr(nl, 8, {3, 4, 5, 7});
+  Simulator sim{nl};
+  const auto zero = sim.read_word(lfsr.state);
+  EXPECT_EQ(zero, 0u);
+  std::vector<std::uint64_t> seen;
+  std::uint64_t period = 0;
+  for (std::uint64_t i = 1; i <= 300; ++i) {
+    sim.clock_edge();
+    const auto s = sim.read_word(lfsr.state);
+    if (s == zero) {
+      period = i;
+      break;
+    }
+  }
+  EXPECT_GT(period, 50u) << "LFSR period suspiciously short";
+}
+
+TEST(Builders, LfsrIsDeterministic) {
+  Netlist nl1;
+  const auto l1 = build_lfsr(nl1, 8, {3, 4, 5, 7});
+  Netlist nl2;
+  const auto l2 = build_lfsr(nl2, 8, {3, 4, 5, 7});
+  Simulator s1{nl1};
+  Simulator s2{nl2};
+  for (int i = 0; i < 50; ++i) {
+    s1.clock_edge();
+    s2.clock_edge();
+    EXPECT_EQ(s1.read_word(l1.state), s2.read_word(l2.state));
+  }
+}
+
+TEST(Builders, ToggleBankFlipsEveryCycleWhenEnabled) {
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  const auto bank = build_toggle_bank(nl, 8, en);
+  Simulator sim{nl};
+  sim.set_input(en, true);
+  sim.settle();
+  sim.clock_edge();
+  EXPECT_EQ(sim.read_word(bank.q), 0xffu);
+  sim.clock_edge();
+  EXPECT_EQ(sim.read_word(bank.q), 0x00u);
+  sim.clock_edge();
+  EXPECT_EQ(sim.read_word(bank.q), 0xffu);
+}
+
+TEST(Builders, AndOrXorTrees) {
+  Netlist nl;
+  std::vector<NetId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(nl.add_net());
+  const NetId and_out = build_and_tree(nl, ins);
+  const NetId or_out = build_or_tree(nl, ins);
+  const NetId xor_out = build_xor_tree(nl, ins);
+  Simulator sim{nl};
+
+  sim.set_word(ins, 0x1f);
+  sim.settle();
+  EXPECT_TRUE(sim.value(and_out));
+  EXPECT_TRUE(sim.value(or_out));
+  EXPECT_TRUE(sim.value(xor_out));  // 5 ones -> odd parity
+
+  sim.set_word(ins, 0x03);
+  sim.settle();
+  EXPECT_FALSE(sim.value(and_out));
+  EXPECT_TRUE(sim.value(or_out));
+  EXPECT_FALSE(sim.value(xor_out));  // 2 ones -> even parity
+
+  sim.set_word(ins, 0x00);
+  sim.settle();
+  EXPECT_FALSE(sim.value(or_out));
+}
+
+TEST(Builders, SingleInputTreesAreIdentity) {
+  Netlist nl;
+  const NetId in = nl.add_net();
+  EXPECT_EQ(build_and_tree(nl, {in}), in);
+  EXPECT_EQ(build_xor_tree(nl, {in}), in);
+}
+
+class EqualsConstCase : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EqualsConstCase, FiresOnlyOnExactMatch) {
+  const std::uint64_t target = GetParam();
+  Netlist nl;
+  std::vector<NetId> bits;
+  for (int i = 0; i < 8; ++i) bits.push_back(nl.add_net());
+  const NetId hit = build_equals_const(nl, bits, target);
+  Simulator sim{nl};
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    sim.set_word(bits, v);
+    sim.settle();
+    EXPECT_EQ(sim.value(hit), v == target) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, EqualsConstCase,
+                         ::testing::Values<std::uint64_t>(0x00, 0x01, 0x80, 0xa5, 0xff));
+
+TEST(Builders, RejectDegenerateParameters) {
+  Netlist nl;
+  const NetId n = nl.add_net();
+  EXPECT_THROW(build_shift_register(nl, 0, n), emts::precondition_error);
+  EXPECT_THROW(build_lfsr(nl, 1, {}), emts::precondition_error);
+  EXPECT_THROW(build_lfsr(nl, 4, {9}), emts::precondition_error);
+  EXPECT_THROW(build_counter(nl, 0, n), emts::precondition_error);
+  EXPECT_THROW(build_and_tree(nl, {}), emts::precondition_error);
+  EXPECT_THROW(build_equals_const(nl, {}, 0), emts::precondition_error);
+}
+
+}  // namespace
+}  // namespace emts::netlist

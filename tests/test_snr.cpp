@@ -1,0 +1,57 @@
+#include "stats/snr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace emts::stats {
+namespace {
+
+TEST(Snr, VoltageRatioOfKnownRms) {
+  // Signal RMS 2, noise RMS 0.5 -> ratio 4, i.e. ~12.04 dB.
+  const std::vector<double> signal{2, -2, 2, -2};
+  const std::vector<double> noise{0.5, -0.5, 0.5, -0.5};
+  EXPECT_DOUBLE_EQ(snr_voltage(signal, noise), 4.0);
+  EXPECT_NEAR(snr_db(signal, noise), 20.0 * std::log10(4.0), 1e-12);
+}
+
+TEST(Snr, DbOfUnityRatioIsZero) {
+  EXPECT_DOUBLE_EQ(snr_db_from_voltage_ratio(1.0), 0.0);
+}
+
+TEST(Snr, TwentyDbPerDecade) {
+  EXPECT_NEAR(snr_db_from_voltage_ratio(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(snr_db_from_voltage_ratio(100.0), 40.0, 1e-12);
+}
+
+TEST(Snr, RejectsZeroNoise) {
+  EXPECT_THROW(snr_voltage({1.0}, {0.0}), emts::precondition_error);
+}
+
+TEST(Snr, RejectsNonPositiveRatio) {
+  EXPECT_THROW(snr_db_from_voltage_ratio(0.0), emts::precondition_error);
+  EXPECT_THROW(snr_db_from_voltage_ratio(-3.0), emts::precondition_error);
+}
+
+TEST(Snr, GaussianNoiseRatioMatchesStddevRatio) {
+  emts::Rng rng{10};
+  const auto signal = rng.gaussian_vector(100000, 3.0);
+  const auto noise = rng.gaussian_vector(100000, 0.3);
+  EXPECT_NEAR(snr_voltage(signal, noise), 10.0, 0.2);
+  EXPECT_NEAR(snr_db(signal, noise), 20.0, 0.2);
+}
+
+// The paper's measurement recipe: the "signal" capture contains signal plus
+// noise, so very weak signals bottom out at 0 dB rather than going negative.
+TEST(Snr, SignalPlusNoiseCaptureFloorsNearZeroDb) {
+  emts::Rng rng{11};
+  const auto noise = rng.gaussian_vector(50000, 1.0);
+  auto capture = rng.gaussian_vector(50000, 1.0);  // no signal at all
+  EXPECT_NEAR(snr_db(capture, noise), 0.0, 0.2);
+}
+
+}  // namespace
+}  // namespace emts::stats

@@ -1,0 +1,146 @@
+#include "dsp/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::dsp {
+namespace {
+
+std::vector<double> tone(double freq, double fs, std::size_t n, double amplitude) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = amplitude * std::sin(2.0 * units::pi * freq * static_cast<double>(i) / fs);
+  }
+  return out;
+}
+
+TEST(Spectrum, ToneAmplitudeRecoveredAtItsBin) {
+  const double fs = 1000.0;
+  const std::size_t n = 1024;
+  // Bin-exact tone: 125 Hz = bin 128 of 1024 at fs 1000.
+  const auto sig = tone(125.0, fs, n, 3.0);
+  const auto spec = amplitude_spectrum(sig, fs);
+  const std::size_t k = spec.bin_of(125.0);
+  EXPECT_NEAR(spec.frequency[k], 125.0, 1e-9);
+  EXPECT_NEAR(spec.amplitude[k], 3.0, 0.01);
+}
+
+TEST(Spectrum, AmplitudeCorrectForAllWindows) {
+  const double fs = 1024.0;
+  const std::size_t n = 1024;
+  const auto sig = tone(64.0, fs, n, 2.0);
+  for (auto kind : {WindowKind::kRectangular, WindowKind::kHann, WindowKind::kHamming,
+                    WindowKind::kBlackman}) {
+    SpectrumOptions opt;
+    opt.window = kind;
+    const auto spec = amplitude_spectrum(sig, fs, opt);
+    EXPECT_NEAR(spec.amplitude[spec.bin_of(64.0)], 2.0, 0.05)
+        << "window kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(Spectrum, DcRemovedByDefault) {
+  std::vector<double> sig(512, 5.0);
+  const auto spec = amplitude_spectrum(sig, 100.0);
+  EXPECT_NEAR(spec.amplitude[0], 0.0, 1e-9);
+}
+
+TEST(Spectrum, DcKeptWhenRequested) {
+  std::vector<double> sig(512, 5.0);
+  SpectrumOptions opt;
+  opt.remove_mean = false;
+  opt.window = WindowKind::kRectangular;
+  const auto spec = amplitude_spectrum(sig, 100.0, opt);
+  EXPECT_NEAR(spec.amplitude[0], 5.0, 1e-9);
+}
+
+TEST(Spectrum, FrequencyAxisSpansToNyquist) {
+  const auto spec = amplitude_spectrum(tone(10.0, 1000.0, 256, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(spec.frequency.front(), 0.0);
+  EXPECT_DOUBLE_EQ(spec.frequency.back(), 500.0);
+  EXPECT_EQ(spec.size(), 129u);
+}
+
+TEST(Spectrum, BinOfClampsOutOfRange) {
+  const auto spec = amplitude_spectrum(tone(10.0, 1000.0, 256, 1.0), 1000.0);
+  EXPECT_EQ(spec.bin_of(-5.0), 0u);
+  EXPECT_EQ(spec.bin_of(1e9), spec.size() - 1);
+}
+
+TEST(Spectrum, TwoTonesBothVisible) {
+  const double fs = 1024.0;
+  const std::size_t n = 2048;
+  auto sig = tone(64.0, fs, n, 1.0);
+  const auto t2 = tone(200.0, fs, n, 0.5);
+  for (std::size_t i = 0; i < n; ++i) sig[i] += t2[i];
+  const auto spec = amplitude_spectrum(sig, fs);
+  EXPECT_NEAR(spec.amplitude[spec.bin_of(64.0)], 1.0, 0.05);
+  EXPECT_NEAR(spec.amplitude[spec.bin_of(200.0)], 0.5, 0.05);
+}
+
+TEST(Spectrum, MeanSpectrumAveragesNoiseDown) {
+  emts::Rng rng{55};
+  const double fs = 1000.0;
+  const std::size_t n = 512;
+  std::vector<std::vector<double>> noisy;
+  for (int t = 0; t < 32; ++t) {
+    auto sig = tone(125.0, fs, n, 1.0);
+    for (double& v : sig) v += rng.gaussian(0.0, 1.0);
+    noisy.push_back(std::move(sig));
+  }
+  const auto avg = mean_spectrum(noisy, fs);
+  const auto single = amplitude_spectrum(noisy.front(), fs);
+  // Tone preserved.
+  EXPECT_NEAR(avg.amplitude[avg.bin_of(125.0)], 1.0, 0.15);
+  // Averaged noise floor well below a tone amplitude.
+  double floor_sum = 0.0;
+  std::size_t floor_count = 0;
+  for (std::size_t k = 5; k < avg.size(); ++k) {
+    if (std::abs(avg.frequency[k] - 125.0) < 20.0) continue;
+    floor_sum += avg.amplitude[k];
+    ++floor_count;
+  }
+  EXPECT_LT(floor_sum / static_cast<double>(floor_count), 0.25);
+  (void)single;
+}
+
+TEST(Spectrum, MeanSpectrumRejectsRaggedInput) {
+  EXPECT_THROW(mean_spectrum({std::vector<double>(64, 0.0), std::vector<double>(32, 0.0)}, 1.0),
+               emts::precondition_error);
+}
+
+TEST(FindPeaks, DetectsInjectedTonesStrongestFirst) {
+  const double fs = 1024.0;
+  const std::size_t n = 2048;
+  auto sig = tone(64.0, fs, n, 1.0);
+  const auto t2 = tone(200.0, fs, n, 2.0);
+  for (std::size_t i = 0; i < n; ++i) sig[i] += t2[i];
+  const auto spec = amplitude_spectrum(sig, fs);
+  const auto peaks = find_peaks(spec, 0.2);
+  ASSERT_GE(peaks.size(), 2u);
+  EXPECT_NEAR(peaks[0].frequency, 200.0, 1.0);
+  EXPECT_NEAR(peaks[1].frequency, 64.0, 1.0);
+  EXPECT_GT(peaks[0].amplitude, peaks[1].amplitude);
+}
+
+TEST(FindPeaks, RespectsMaxPeaks) {
+  emts::Rng rng{77};
+  std::vector<double> sig(1024);
+  for (double& v : sig) v = rng.gaussian();
+  const auto spec = amplitude_spectrum(sig, 1000.0);
+  const auto peaks = find_peaks(spec, 0.0, 5);
+  EXPECT_LE(peaks.size(), 5u);
+}
+
+TEST(FindPeaks, EmptyWhenThresholdAboveEverything) {
+  const auto spec = amplitude_spectrum(tone(64.0, 1024.0, 1024, 1.0), 1024.0);
+  EXPECT_TRUE(find_peaks(spec, 100.0).empty());
+}
+
+}  // namespace
+}  // namespace emts::dsp

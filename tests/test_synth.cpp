@@ -1,0 +1,127 @@
+#include "netlist/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace emts::netlist {
+namespace {
+
+// Exhaustively checks a synthesized function against its truth tables.
+void verify(const Netlist& nl, const std::vector<NetId>& inputs,
+            const std::vector<NetId>& outputs, const std::vector<TruthTable>& truth) {
+  Simulator sim{nl};
+  const std::size_t combos = std::size_t{1} << inputs.size();
+  for (std::size_t v = 0; v < combos; ++v) {
+    sim.set_word(inputs, v);
+    sim.settle();
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      ASSERT_EQ(sim.value(outputs[o]), truth[o][v]) << "input " << v << " output " << o;
+    }
+  }
+}
+
+std::vector<NetId> make_inputs(Netlist& nl, std::size_t n) {
+  std::vector<NetId> in;
+  for (std::size_t i = 0; i < n; ++i) in.push_back(nl.add_net("in" + std::to_string(i)));
+  return in;
+}
+
+TEST(Synth, ConstantFunctions) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 2);
+  const std::vector<TruthTable> truth{{false, false, false, false}, {true, true, true, true}};
+  const auto out = synthesize_lut(nl, in, truth);
+  verify(nl, in, out, truth);
+}
+
+TEST(Synth, SingleLiteralCostsNoGates) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 3);
+  // f = in2 (the top Shannon variable).
+  TruthTable t(8, false);
+  for (std::size_t v = 0; v < 8; ++v) t[v] = (v & 4) != 0;
+  const auto out = synthesize_lut(nl, in, {t});
+  EXPECT_EQ(out[0], in[2]);
+  EXPECT_EQ(nl.cell_count(), 0u);
+}
+
+TEST(Synth, AndOrXorOfTwoVariables) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 2);
+  const std::vector<TruthTable> truth{
+      {false, false, false, true},  // AND
+      {false, true, true, true},    // OR
+      {false, true, true, false},   // XOR
+  };
+  const auto out = synthesize_lut(nl, in, truth);
+  verify(nl, in, out, truth);
+}
+
+TEST(Synth, ParityOfSixVariables) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 6);
+  TruthTable t(64);
+  for (std::size_t v = 0; v < 64; ++v) t[v] = (__builtin_popcountll(v) & 1) != 0;
+  const auto out = synthesize_lut(nl, in, {t});
+  verify(nl, in, out, {t});
+  // Parity shares aggressively: far fewer cells than the 63-mux naive tree.
+  EXPECT_LT(nl.cell_count(), 24u);
+}
+
+TEST(Synth, MajorityOfFive) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 5);
+  TruthTable t(32);
+  for (std::size_t v = 0; v < 32; ++v) t[v] = __builtin_popcountll(v) >= 3;
+  const auto out = synthesize_lut(nl, in, {t});
+  verify(nl, in, out, {t});
+}
+
+TEST(Synth, RedundantVariableIsSkipped) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 3);
+  // f = in0, independent of in1/in2.
+  TruthTable t(8);
+  for (std::size_t v = 0; v < 8; ++v) t[v] = (v & 1) != 0;
+  const auto out = synthesize_lut(nl, in, {t});
+  EXPECT_EQ(out[0], in[0]);
+}
+
+TEST(Synth, SharedSubfunctionsAcrossOutputs) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 4);
+  // Two outputs with identical truth tables must map to the same net.
+  TruthTable t(16);
+  emts::Rng rng{5};
+  for (std::size_t v = 0; v < 16; ++v) t[v] = rng.coin();
+  const auto out = synthesize_lut(nl, in, {t, t});
+  EXPECT_EQ(out[0], out[1]);
+}
+
+TEST(Synth, RandomFunctionsExhaustive) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Netlist nl;
+    const auto in = make_inputs(nl, 5);
+    emts::Rng rng{seed};
+    std::vector<TruthTable> truth(3, TruthTable(32));
+    for (auto& t : truth) {
+      for (std::size_t v = 0; v < 32; ++v) t[v] = rng.coin();
+    }
+    const auto out = synthesize_lut(nl, in, truth);
+    verify(nl, in, out, truth);
+  }
+}
+
+TEST(Synth, RejectsBadArguments) {
+  Netlist nl;
+  const auto in = make_inputs(nl, 2);
+  EXPECT_THROW(synthesize_lut(nl, {}, {TruthTable{true}}), emts::precondition_error);
+  EXPECT_THROW(synthesize_lut(nl, in, {}), emts::precondition_error);
+  EXPECT_THROW(synthesize_lut(nl, in, {TruthTable(3, false)}), emts::precondition_error);
+}
+
+}  // namespace
+}  // namespace emts::netlist

@@ -1,0 +1,113 @@
+#include "netlist/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aes/datapath_netlist.hpp"
+#include "netlist/builders.hpp"
+#include "util/assert.hpp"
+
+namespace emts::netlist {
+namespace {
+
+TEST(Timing, EmptyFabricHasZeroDelay) {
+  Netlist nl;
+  nl.add_net("floating");
+  const auto report = analyze_timing(nl);
+  EXPECT_DOUBLE_EQ(report.critical_delay_ps, 0.0);
+  EXPECT_TRUE(report.critical_path.empty());
+}
+
+TEST(Timing, InverterChainDelayAccumulates) {
+  Netlist nl;
+  NetId prev = nl.add_net("in");
+  nl.mark_primary_input(prev);
+  for (int i = 0; i < 5; ++i) {
+    const NetId out = nl.add_net();
+    nl.add_cell(CellType::kInv, {prev}, out);
+    prev = out;
+  }
+  nl.mark_primary_output(prev);
+  const auto report = analyze_timing(nl);
+  EXPECT_DOUBLE_EQ(report.critical_delay_ps, 5.0 * cell_info(CellType::kInv).delay_ps);
+  EXPECT_EQ(report.critical_path.size(), 5u);
+}
+
+TEST(Timing, WorstInputDominatesConvergence) {
+  // Two paths converge on an AND gate: one INV (60 ps) vs three INVs (180
+  // ps); arrival at the AND output = 180 + 120.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId short_path = nl.add_net();
+  nl.add_cell(CellType::kInv, {a}, short_path);
+  NetId long_path = b;
+  for (int i = 0; i < 3; ++i) {
+    const NetId n = nl.add_net();
+    nl.add_cell(CellType::kInv, {long_path}, n);
+    long_path = n;
+  }
+  const NetId out = nl.add_net("out");
+  nl.add_cell(CellType::kAnd2, {short_path, long_path}, out);
+  nl.mark_primary_output(out);
+
+  const auto report = analyze_timing(nl);
+  EXPECT_DOUBLE_EQ(report.critical_delay_ps,
+                   3.0 * cell_info(CellType::kInv).delay_ps +
+                       cell_info(CellType::kAnd2).delay_ps);
+  // Critical path: the three inverters then the AND.
+  EXPECT_EQ(report.critical_path.size(), 4u);
+}
+
+TEST(Timing, FlopsBreakTimingPaths) {
+  // in -> INV -> DFF -> INV -> out: two separate paths, each one INV deep
+  // (plus clk-to-Q on the launch side of the second).
+  Netlist nl;
+  const NetId in = nl.add_net("in");
+  const NetId d = nl.add_net();
+  nl.add_cell(CellType::kInv, {in}, d);
+  const NetId q = nl.add_net();
+  nl.add_cell(CellType::kDff, {d}, q);
+  const NetId out = nl.add_net("out");
+  nl.add_cell(CellType::kInv, {q}, out);
+  nl.mark_primary_output(out);
+
+  const auto report = analyze_timing(nl);
+  const double inv = cell_info(CellType::kInv).delay_ps;
+  const double clk_to_q = cell_info(CellType::kDff).delay_ps;
+  EXPECT_DOUBLE_EQ(report.critical_delay_ps, clk_to_q + inv);
+  // The D-pin endpoint sees only one INV.
+  EXPECT_DOUBLE_EQ(report.arrival_ps[d], inv);
+}
+
+TEST(Timing, RejectsCombinationalCycle) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_cell(CellType::kInv, {a}, b);
+  nl.add_cell(CellType::kInv, {b}, a);
+  EXPECT_THROW(analyze_timing(nl), emts::precondition_error);
+}
+
+TEST(Timing, CounterMeetsTheChipClock) {
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  build_counter(nl, 24, en);
+  const auto report = analyze_timing(nl);
+  EXPECT_GT(report.critical_delay_ps, 0.0);
+  EXPECT_TRUE(report.meets_period(1e12 / 48e6)) << report.critical_delay_ps << " ps";
+}
+
+TEST(Timing, SynthesizedAesCoreMeets48MHz) {
+  // The design decision behind the chip model's 48 MHz clock, verified
+  // against the actual synthesized round datapath: S-box tree + MixColumns
+  // + muxes + AddRoundKey must settle well inside the 20,833 ps period.
+  const auto core = aes::build_aes_core_netlist();
+  const auto report = analyze_timing(core.netlist);
+  EXPECT_GT(report.critical_delay_ps, 1000.0) << "a real round path is nanoseconds deep";
+  EXPECT_TRUE(report.meets_period(1e12 / 48e6, /*margin_ps=*/2000.0))
+      << "critical path " << report.critical_delay_ps << " ps vs 20833 ps period";
+  EXPECT_GE(report.critical_path.size(), 5u);
+}
+
+}  // namespace
+}  // namespace emts::netlist

@@ -1,0 +1,93 @@
+#include "io/trace_archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace emts::io {
+namespace {
+
+class TraceArchiveTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  core::TraceSet random_set(std::size_t n, std::size_t len, std::uint64_t seed) {
+    Rng rng{seed};
+    core::TraceSet set;
+    set.sample_rate = 384e6;
+    for (std::size_t t = 0; t < n; ++t) {
+      core::Trace trace(len);
+      for (double& v : trace) v = rng.gaussian();
+      set.add(trace);
+    }
+    return set;
+  }
+
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / "emts_archive_test.bin").string();
+};
+
+TEST_F(TraceArchiveTest, RoundTripPreservesEverything) {
+  const auto original = random_set(7, 256, 1);
+  save_trace_archive(path_, original);
+  const auto loaded = load_trace_archive(path_);
+  EXPECT_DOUBLE_EQ(loaded.sample_rate, original.sample_rate);
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.trace_length(), original.trace_length());
+  for (std::size_t t = 0; t < original.size(); ++t) {
+    for (std::size_t i = 0; i < original.trace_length(); ++i) {
+      ASSERT_DOUBLE_EQ(loaded.traces[t][i], original.traces[t][i]);
+    }
+  }
+}
+
+TEST_F(TraceArchiveTest, BitExactForExtremeValues) {
+  core::TraceSet set;
+  set.sample_rate = 1.0;
+  set.add(core::Trace{0.0, -0.0, 1e-308, 1e308, -3.141592653589793});
+  save_trace_archive(path_, set);
+  const auto loaded = load_trace_archive(path_);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(loaded.traces[0][i], set.traces[0][i]);
+  }
+}
+
+TEST_F(TraceArchiveTest, RejectsEmptySet) {
+  core::TraceSet empty;
+  empty.sample_rate = 1e6;
+  EXPECT_THROW(save_trace_archive(path_, empty), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsMissingFile) {
+  EXPECT_THROW(load_trace_archive("/nonexistent/emts.bin"), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsBadMagic) {
+  std::ofstream out{path_, std::ios::binary};
+  out << "NOT-AN-ARCHIVE-AT-ALL-1234567890123456789012345678901234567890";
+  out.close();
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsTruncatedPayload) {
+  const auto original = random_set(4, 128, 2);
+  save_trace_archive(path_, original);
+  // Chop the file short.
+  const auto full_size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full_size - 64);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsTruncatedHeader) {
+  std::ofstream out{path_, std::ios::binary};
+  out << "EM";
+  out.close();
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+}  // namespace
+}  // namespace emts::io

@@ -1,0 +1,166 @@
+// emsentry_cli — campaign driver for the trust-evaluation workflow.
+//
+// On real silicon the capture step is an oscilloscope; here it is the chip
+// simulator. Everything downstream (archives, calibration, evaluation) is
+// exactly what a deployment would run:
+//
+//   emsentry_cli capture golden.emta --windows 64
+//   emsentry_cli capture suspect.emta --windows 16 --trojan T2 --first 5000
+//   emsentry_cli evaluate golden.emta suspect.emta
+//   emsentry_cli snr signal.emta noise.emta
+//   emsentry_cli info golden.emta
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "io/trace_archive.hpp"
+#include "sim/chip.hpp"
+#include "sim/silicon.hpp"
+#include "stats/snr.hpp"
+#include "util/assert.hpp"
+
+using namespace emts;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  emsentry_cli capture <out.emta> [--windows N] [--trojan T1|T2|T3|T4|A2]\n"
+               "                [--pickup sensor|probe] [--silicon] [--idle] [--first N]\n"
+               "  emsentry_cli evaluate <golden.emta> <suspect.emta>\n"
+               "  emsentry_cli snr <signal.emta> <noise.emta>\n"
+               "  emsentry_cli info <archive.emta>\n");
+  return 2;
+}
+
+bool parse_trojan(const std::string& label, trojan::TrojanKind* kind) {
+  for (trojan::TrojanKind k : trojan::kAllTrojanKinds) {
+    if (label == trojan::kind_label(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_capture(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string out_path = args[0];
+
+  std::size_t windows = 32;
+  std::uint64_t first = 0;
+  bool silicon = false;
+  bool encrypting = true;
+  sim::Pickup pickup = sim::Pickup::kOnChipSensor;
+  bool has_trojan = false;
+  trojan::TrojanKind kind{};
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      EMTS_REQUIRE(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--windows") {
+      windows = std::stoul(next());
+    } else if (a == "--first") {
+      first = std::stoull(next());
+    } else if (a == "--silicon") {
+      silicon = true;
+    } else if (a == "--idle") {
+      encrypting = false;
+    } else if (a == "--pickup") {
+      const std::string& p = next();
+      EMTS_REQUIRE(p == "sensor" || p == "probe", "--pickup takes sensor|probe");
+      pickup = p == "sensor" ? sim::Pickup::kOnChipSensor : sim::Pickup::kExternalProbe;
+    } else if (a == "--trojan") {
+      EMTS_REQUIRE(parse_trojan(next(), &kind), "unknown trojan label");
+      has_trojan = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage();
+    }
+  }
+
+  sim::Chip chip{silicon ? sim::make_silicon_config(sim::SiliconOptions{})
+                         : sim::make_default_config()};
+  if (has_trojan) chip.arm(kind);
+
+  core::TraceSet set;
+  set.sample_rate = chip.sample_rate();
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    set.add(chip.capture(encrypting, first + w).of(pickup));
+  }
+  io::save_trace_archive(out_path, set);
+  std::printf("captured %zu %s windows (%s, %s%s) -> %s\n", windows,
+              encrypting ? "encrypting" : "idle",
+              pickup == sim::Pickup::kOnChipSensor ? "on-chip sensor" : "external probe",
+              silicon ? "silicon mode" : "simulation mode",
+              has_trojan ? (std::string(", trojan ") + trojan::kind_label(kind)).c_str() : "",
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const auto golden = io::load_trace_archive(args[0]);
+  const auto suspect = io::load_trace_archive(args[1]);
+
+  const auto evaluator = core::TrustEvaluator::calibrate(golden);
+  const auto report = evaluator.evaluate(suspect);
+
+  std::printf("golden : %zu traces x %zu samples @ %.3f MS/s\n", golden.size(),
+              golden.trace_length(), golden.sample_rate / 1e6);
+  std::printf("suspect: %zu traces\n\n", suspect.size());
+  std::printf("%s\n", report.summary().c_str());
+  for (const auto& anomaly : report.spectral.anomalies) {
+    std::printf("  spectral %s at %.3f MHz (x%.1f)\n",
+                anomaly.kind == core::SpectralAnomalyKind::kNewSpot ? "new spot" : "amplified",
+                anomaly.frequency_hz / 1e6, anomaly.ratio);
+  }
+  return report.verdict == core::Verdict::kTrusted ? 0 : 1;
+}
+
+int cmd_snr(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const auto signal = io::load_trace_archive(args[0]);
+  const auto noise = io::load_trace_archive(args[1]);
+  std::vector<double> s;
+  std::vector<double> n;
+  for (const auto& t : signal.traces) s.insert(s.end(), t.begin(), t.end());
+  for (const auto& t : noise.traces) n.insert(n.end(), t.begin(), t.end());
+  std::printf("SNR = %.4f dB\n", stats::snr_db(s, n));
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const auto set = io::load_trace_archive(args[0]);
+  std::printf("%s: %zu traces x %zu samples @ %.3f MS/s (%.2f us per trace)\n",
+              args[0].c_str(), set.size(), set.trace_length(), set.sample_rate / 1e6,
+              1e6 * static_cast<double>(set.trace_length()) / set.sample_rate);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (command == "capture") return cmd_capture(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "snr") return cmd_snr(args);
+    if (command == "info") return cmd_info(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+  return usage();
+}
