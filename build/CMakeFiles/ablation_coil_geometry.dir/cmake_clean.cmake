@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coil_geometry.dir/bench/ablation_coil_geometry.cpp.o"
+  "CMakeFiles/ablation_coil_geometry.dir/bench/ablation_coil_geometry.cpp.o.d"
+  "bench/ablation_coil_geometry"
+  "bench/ablation_coil_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coil_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

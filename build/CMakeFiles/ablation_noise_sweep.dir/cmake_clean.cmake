@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noise_sweep.dir/bench/ablation_noise_sweep.cpp.o"
+  "CMakeFiles/ablation_noise_sweep.dir/bench/ablation_noise_sweep.cpp.o.d"
+  "bench/ablation_noise_sweep"
+  "bench/ablation_noise_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noise_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pca_dims.dir/bench/ablation_pca_dims.cpp.o"
+  "CMakeFiles/ablation_pca_dims.dir/bench/ablation_pca_dims.cpp.o.d"
+  "bench/ablation_pca_dims"
+  "bench/ablation_pca_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pca_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_distance.dir/bench/ablation_probe_distance.cpp.o"
+  "CMakeFiles/ablation_probe_distance.dir/bench/ablation_probe_distance.cpp.o.d"
+  "bench/ablation_probe_distance"
+  "bench/ablation_probe_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workload.dir/bench/ablation_workload.cpp.o"
+  "CMakeFiles/ablation_workload.dir/bench/ablation_workload.cpp.o.d"
+  "bench/ablation_workload"
+  "bench/ablation_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

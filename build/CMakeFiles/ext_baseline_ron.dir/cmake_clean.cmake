@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_baseline_ron.dir/bench/ext_baseline_ron.cpp.o"
+  "CMakeFiles/ext_baseline_ron.dir/bench/ext_baseline_ron.cpp.o.d"
+  "bench/ext_baseline_ron"
+  "bench/ext_baseline_ron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_baseline_ron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

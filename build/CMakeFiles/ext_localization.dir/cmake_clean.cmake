@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_localization.dir/bench/ext_localization.cpp.o"
+  "CMakeFiles/ext_localization.dir/bench/ext_localization.cpp.o.d"
+  "bench/ext_localization"
+  "bench/ext_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

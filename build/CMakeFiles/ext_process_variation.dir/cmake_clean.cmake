@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_process_variation.dir/bench/ext_process_variation.cpp.o"
+  "CMakeFiles/ext_process_variation.dir/bench/ext_process_variation.cpp.o.d"
+  "bench/ext_process_variation"
+  "bench/ext_process_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_process_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

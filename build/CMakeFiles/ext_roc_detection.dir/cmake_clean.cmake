@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_roc_detection.dir/bench/ext_roc_detection.cpp.o"
+  "CMakeFiles/ext_roc_detection.dir/bench/ext_roc_detection.cpp.o.d"
+  "bench/ext_roc_detection"
+  "bench/ext_roc_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_roc_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sensor_tamper.dir/bench/ext_sensor_tamper.cpp.o"
+  "CMakeFiles/ext_sensor_tamper.dir/bench/ext_sensor_tamper.cpp.o.d"
+  "bench/ext_sensor_tamper"
+  "bench/ext_sensor_tamper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sensor_tamper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

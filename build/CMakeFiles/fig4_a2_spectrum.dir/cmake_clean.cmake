@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_a2_spectrum.dir/bench/fig4_a2_spectrum.cpp.o"
+  "CMakeFiles/fig4_a2_spectrum.dir/bench/fig4_a2_spectrum.cpp.o.d"
+  "bench/fig4_a2_spectrum"
+  "bench/fig4_a2_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_a2_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_floorplan.dir/bench/fig5_floorplan.cpp.o"
+  "CMakeFiles/fig5_floorplan.dir/bench/fig5_floorplan.cpp.o.d"
+  "bench/fig5_floorplan"
+  "bench/fig5_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

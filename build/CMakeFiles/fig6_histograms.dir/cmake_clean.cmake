@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_histograms.dir/bench/fig6_histograms.cpp.o"
+  "CMakeFiles/fig6_histograms.dir/bench/fig6_histograms.cpp.o.d"
+  "bench/fig6_histograms"
+  "bench/fig6_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_spectra.dir/bench/fig6_spectra.cpp.o"
+  "CMakeFiles/fig6_spectra.dir/bench/fig6_spectra.cpp.o.d"
+  "bench/fig6_spectra"
+  "bench/fig6_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4b_snr_simulation.dir/bench/sec4b_snr_simulation.cpp.o"
+  "CMakeFiles/sec4b_snr_simulation.dir/bench/sec4b_snr_simulation.cpp.o.d"
+  "bench/sec4b_snr_simulation"
+  "bench/sec4b_snr_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4b_snr_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

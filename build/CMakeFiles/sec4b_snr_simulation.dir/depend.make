@@ -1,0 +1,2 @@
+# Empty dependencies file for sec4b_snr_simulation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4c_euclidean_distances.dir/bench/sec4c_euclidean_distances.cpp.o"
+  "CMakeFiles/sec4c_euclidean_distances.dir/bench/sec4c_euclidean_distances.cpp.o.d"
+  "bench/sec4c_euclidean_distances"
+  "bench/sec4c_euclidean_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4c_euclidean_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5a_snr_measured.dir/bench/sec5a_snr_measured.cpp.o"
+  "CMakeFiles/sec5a_snr_measured.dir/bench/sec5a_snr_measured.cpp.o.d"
+  "bench/sec5a_snr_measured"
+  "bench/sec5a_snr_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5a_snr_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_trojan_sizes.dir/bench/table1_trojan_sizes.cpp.o"
+  "CMakeFiles/table1_trojan_sizes.dir/bench/table1_trojan_sizes.cpp.o.d"
+  "bench/table1_trojan_sizes"
+  "bench/table1_trojan_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trojan_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

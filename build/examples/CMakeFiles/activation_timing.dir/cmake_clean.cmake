@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activation_timing.dir/activation_timing.cpp.o"
+  "CMakeFiles/activation_timing.dir/activation_timing.cpp.o.d"
+  "activation_timing"
+  "activation_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activation_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

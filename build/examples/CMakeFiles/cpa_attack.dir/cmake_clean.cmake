@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_attack.dir/cpa_attack.cpp.o"
+  "CMakeFiles/cpa_attack.dir/cpa_attack.cpp.o.d"
+  "cpa_attack"
+  "cpa_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_exfiltration.dir/key_exfiltration.cpp.o"
+  "CMakeFiles/key_exfiltration.dir/key_exfiltration.cpp.o.d"
+  "key_exfiltration"
+  "key_exfiltration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_exfiltration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

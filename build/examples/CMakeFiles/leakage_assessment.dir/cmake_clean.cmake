@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_assessment.dir/leakage_assessment.cpp.o"
+  "CMakeFiles/leakage_assessment.dir/leakage_assessment.cpp.o.d"
+  "leakage_assessment"
+  "leakage_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_design_space.dir/sensor_design_space.cpp.o"
+  "CMakeFiles/sensor_design_space.dir/sensor_design_space.cpp.o.d"
+  "sensor_design_space"
+  "sensor_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

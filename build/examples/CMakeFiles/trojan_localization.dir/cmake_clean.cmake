@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_localization.dir/trojan_localization.cpp.o"
+  "CMakeFiles/trojan_localization.dir/trojan_localization.cpp.o.d"
+  "trojan_localization"
+  "trojan_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trojan_sweep.cpp" "examples/CMakeFiles/trojan_sweep.dir/trojan_sweep.cpp.o" "gcc" "examples/CMakeFiles/trojan_sweep.dir/trojan_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/emsentry_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/emsentry_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emsentry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emsentry_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/emsentry_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/emsentry_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/emsentry_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/emsentry_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/emsentry_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/emsentry_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/emsentry_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emsentry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsentry_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsentry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/emsentry_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

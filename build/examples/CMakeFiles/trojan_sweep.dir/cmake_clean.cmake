@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_sweep.dir/trojan_sweep.cpp.o"
+  "CMakeFiles/trojan_sweep.dir/trojan_sweep.cpp.o.d"
+  "trojan_sweep"
+  "trojan_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

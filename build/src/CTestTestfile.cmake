@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("dsp")
+subdirs("stats")
+subdirs("netlist")
+subdirs("aes")
+subdirs("layout")
+subdirs("power")
+subdirs("em")
+subdirs("trojan")
+subdirs("sensor")
+subdirs("sim")
+subdirs("core")
+subdirs("attack")
+subdirs("baseline")
+subdirs("io")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_aes.dir/activity.cpp.o"
+  "CMakeFiles/emsentry_aes.dir/activity.cpp.o.d"
+  "CMakeFiles/emsentry_aes.dir/aes128.cpp.o"
+  "CMakeFiles/emsentry_aes.dir/aes128.cpp.o.d"
+  "CMakeFiles/emsentry_aes.dir/datapath_netlist.cpp.o"
+  "CMakeFiles/emsentry_aes.dir/datapath_netlist.cpp.o.d"
+  "CMakeFiles/emsentry_aes.dir/gate_model.cpp.o"
+  "CMakeFiles/emsentry_aes.dir/gate_model.cpp.o.d"
+  "libemsentry_aes.a"
+  "libemsentry_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_attack.dir/cpa.cpp.o"
+  "CMakeFiles/emsentry_attack.dir/cpa.cpp.o.d"
+  "libemsentry_attack.a"
+  "libemsentry_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemsentry_attack.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_baseline.dir/ron.cpp.o"
+  "CMakeFiles/emsentry_baseline.dir/ron.cpp.o.d"
+  "libemsentry_baseline.a"
+  "libemsentry_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/euclidean.cpp" "src/core/CMakeFiles/emsentry_core.dir/euclidean.cpp.o" "gcc" "src/core/CMakeFiles/emsentry_core.dir/euclidean.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/emsentry_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/emsentry_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/leakage.cpp" "src/core/CMakeFiles/emsentry_core.dir/leakage.cpp.o" "gcc" "src/core/CMakeFiles/emsentry_core.dir/leakage.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/emsentry_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/emsentry_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/emsentry_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/emsentry_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/spectral.cpp" "src/core/CMakeFiles/emsentry_core.dir/spectral.cpp.o" "gcc" "src/core/CMakeFiles/emsentry_core.dir/spectral.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/emsentry_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/emsentry_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsentry_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsentry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/emsentry_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_core.dir/euclidean.cpp.o"
+  "CMakeFiles/emsentry_core.dir/euclidean.cpp.o.d"
+  "CMakeFiles/emsentry_core.dir/evaluator.cpp.o"
+  "CMakeFiles/emsentry_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/emsentry_core.dir/leakage.cpp.o"
+  "CMakeFiles/emsentry_core.dir/leakage.cpp.o.d"
+  "CMakeFiles/emsentry_core.dir/monitor.cpp.o"
+  "CMakeFiles/emsentry_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/emsentry_core.dir/preprocess.cpp.o"
+  "CMakeFiles/emsentry_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/emsentry_core.dir/spectral.cpp.o"
+  "CMakeFiles/emsentry_core.dir/spectral.cpp.o.d"
+  "CMakeFiles/emsentry_core.dir/trace.cpp.o"
+  "CMakeFiles/emsentry_core.dir/trace.cpp.o.d"
+  "libemsentry_core.a"
+  "libemsentry_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_dsp.dir/demod.cpp.o"
+  "CMakeFiles/emsentry_dsp.dir/demod.cpp.o.d"
+  "CMakeFiles/emsentry_dsp.dir/fft.cpp.o"
+  "CMakeFiles/emsentry_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/emsentry_dsp.dir/filter.cpp.o"
+  "CMakeFiles/emsentry_dsp.dir/filter.cpp.o.d"
+  "CMakeFiles/emsentry_dsp.dir/resample.cpp.o"
+  "CMakeFiles/emsentry_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/emsentry_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/emsentry_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/emsentry_dsp.dir/stft.cpp.o"
+  "CMakeFiles/emsentry_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/emsentry_dsp.dir/window.cpp.o"
+  "CMakeFiles/emsentry_dsp.dir/window.cpp.o.d"
+  "libemsentry_dsp.a"
+  "libemsentry_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/biot_savart.cpp" "src/em/CMakeFiles/emsentry_em.dir/biot_savart.cpp.o" "gcc" "src/em/CMakeFiles/emsentry_em.dir/biot_savart.cpp.o.d"
+  "/root/repo/src/em/coil.cpp" "src/em/CMakeFiles/emsentry_em.dir/coil.cpp.o" "gcc" "src/em/CMakeFiles/emsentry_em.dir/coil.cpp.o.d"
+  "/root/repo/src/em/field_map.cpp" "src/em/CMakeFiles/emsentry_em.dir/field_map.cpp.o" "gcc" "src/em/CMakeFiles/emsentry_em.dir/field_map.cpp.o.d"
+  "/root/repo/src/em/mutual.cpp" "src/em/CMakeFiles/emsentry_em.dir/mutual.cpp.o" "gcc" "src/em/CMakeFiles/emsentry_em.dir/mutual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/emsentry_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

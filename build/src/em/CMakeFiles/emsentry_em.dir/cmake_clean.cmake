@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_em.dir/biot_savart.cpp.o"
+  "CMakeFiles/emsentry_em.dir/biot_savart.cpp.o.d"
+  "CMakeFiles/emsentry_em.dir/coil.cpp.o"
+  "CMakeFiles/emsentry_em.dir/coil.cpp.o.d"
+  "CMakeFiles/emsentry_em.dir/field_map.cpp.o"
+  "CMakeFiles/emsentry_em.dir/field_map.cpp.o.d"
+  "CMakeFiles/emsentry_em.dir/mutual.cpp.o"
+  "CMakeFiles/emsentry_em.dir/mutual.cpp.o.d"
+  "libemsentry_em.a"
+  "libemsentry_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

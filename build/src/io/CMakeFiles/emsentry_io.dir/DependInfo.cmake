@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/emsentry_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/emsentry_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/emsentry_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/emsentry_io.dir/table.cpp.o.d"
+  "/root/repo/src/io/trace_archive.cpp" "src/io/CMakeFiles/emsentry_io.dir/trace_archive.cpp.o" "gcc" "src/io/CMakeFiles/emsentry_io.dir/trace_archive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emsentry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsentry_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsentry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/emsentry_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

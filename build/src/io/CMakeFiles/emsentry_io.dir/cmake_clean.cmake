@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_io.dir/csv.cpp.o"
+  "CMakeFiles/emsentry_io.dir/csv.cpp.o.d"
+  "CMakeFiles/emsentry_io.dir/table.cpp.o"
+  "CMakeFiles/emsentry_io.dir/table.cpp.o.d"
+  "CMakeFiles/emsentry_io.dir/trace_archive.cpp.o"
+  "CMakeFiles/emsentry_io.dir/trace_archive.cpp.o.d"
+  "libemsentry_io.a"
+  "libemsentry_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_layout.dir/floorplan.cpp.o"
+  "CMakeFiles/emsentry_layout.dir/floorplan.cpp.o.d"
+  "CMakeFiles/emsentry_layout.dir/geometry.cpp.o"
+  "CMakeFiles/emsentry_layout.dir/geometry.cpp.o.d"
+  "CMakeFiles/emsentry_layout.dir/power_grid.cpp.o"
+  "CMakeFiles/emsentry_layout.dir/power_grid.cpp.o.d"
+  "libemsentry_layout.a"
+  "libemsentry_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/emsentry_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/emsentry_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/emsentry_linalg.dir/matrix.cpp.o.d"
+  "libemsentry_linalg.a"
+  "libemsentry_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

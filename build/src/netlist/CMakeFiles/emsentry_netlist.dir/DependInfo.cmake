@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/builders.cpp" "src/netlist/CMakeFiles/emsentry_netlist.dir/builders.cpp.o" "gcc" "src/netlist/CMakeFiles/emsentry_netlist.dir/builders.cpp.o.d"
+  "/root/repo/src/netlist/cell.cpp" "src/netlist/CMakeFiles/emsentry_netlist.dir/cell.cpp.o" "gcc" "src/netlist/CMakeFiles/emsentry_netlist.dir/cell.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/emsentry_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/emsentry_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/simulator.cpp" "src/netlist/CMakeFiles/emsentry_netlist.dir/simulator.cpp.o" "gcc" "src/netlist/CMakeFiles/emsentry_netlist.dir/simulator.cpp.o.d"
+  "/root/repo/src/netlist/synth.cpp" "src/netlist/CMakeFiles/emsentry_netlist.dir/synth.cpp.o" "gcc" "src/netlist/CMakeFiles/emsentry_netlist.dir/synth.cpp.o.d"
+  "/root/repo/src/netlist/timing.cpp" "src/netlist/CMakeFiles/emsentry_netlist.dir/timing.cpp.o" "gcc" "src/netlist/CMakeFiles/emsentry_netlist.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_netlist.dir/builders.cpp.o"
+  "CMakeFiles/emsentry_netlist.dir/builders.cpp.o.d"
+  "CMakeFiles/emsentry_netlist.dir/cell.cpp.o"
+  "CMakeFiles/emsentry_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/emsentry_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/emsentry_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/emsentry_netlist.dir/simulator.cpp.o"
+  "CMakeFiles/emsentry_netlist.dir/simulator.cpp.o.d"
+  "CMakeFiles/emsentry_netlist.dir/synth.cpp.o"
+  "CMakeFiles/emsentry_netlist.dir/synth.cpp.o.d"
+  "CMakeFiles/emsentry_netlist.dir/timing.cpp.o"
+  "CMakeFiles/emsentry_netlist.dir/timing.cpp.o.d"
+  "libemsentry_netlist.a"
+  "libemsentry_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/clock.cpp" "src/power/CMakeFiles/emsentry_power.dir/clock.cpp.o" "gcc" "src/power/CMakeFiles/emsentry_power.dir/clock.cpp.o.d"
+  "/root/repo/src/power/current_trace.cpp" "src/power/CMakeFiles/emsentry_power.dir/current_trace.cpp.o" "gcc" "src/power/CMakeFiles/emsentry_power.dir/current_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsentry_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

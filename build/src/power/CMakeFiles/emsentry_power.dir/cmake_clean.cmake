@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_power.dir/clock.cpp.o"
+  "CMakeFiles/emsentry_power.dir/clock.cpp.o.d"
+  "CMakeFiles/emsentry_power.dir/current_trace.cpp.o"
+  "CMakeFiles/emsentry_power.dir/current_trace.cpp.o.d"
+  "libemsentry_power.a"
+  "libemsentry_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_sensor.dir/measurement.cpp.o"
+  "CMakeFiles/emsentry_sensor.dir/measurement.cpp.o.d"
+  "libemsentry_sensor.a"
+  "libemsentry_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_sim.dir/chip.cpp.o"
+  "CMakeFiles/emsentry_sim.dir/chip.cpp.o.d"
+  "CMakeFiles/emsentry_sim.dir/scan.cpp.o"
+  "CMakeFiles/emsentry_sim.dir/scan.cpp.o.d"
+  "CMakeFiles/emsentry_sim.dir/silicon.cpp.o"
+  "CMakeFiles/emsentry_sim.dir/silicon.cpp.o.d"
+  "libemsentry_sim.a"
+  "libemsentry_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/emsentry_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/emsentry_stats.dir/histogram.cpp.o"
+  "CMakeFiles/emsentry_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/emsentry_stats.dir/pca.cpp.o"
+  "CMakeFiles/emsentry_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/emsentry_stats.dir/separation.cpp.o"
+  "CMakeFiles/emsentry_stats.dir/separation.cpp.o.d"
+  "CMakeFiles/emsentry_stats.dir/snr.cpp.o"
+  "CMakeFiles/emsentry_stats.dir/snr.cpp.o.d"
+  "libemsentry_stats.a"
+  "libemsentry_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

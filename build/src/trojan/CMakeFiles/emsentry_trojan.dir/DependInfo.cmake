@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trojan/a2_analog.cpp" "src/trojan/CMakeFiles/emsentry_trojan.dir/a2_analog.cpp.o" "gcc" "src/trojan/CMakeFiles/emsentry_trojan.dir/a2_analog.cpp.o.d"
+  "/root/repo/src/trojan/t1_am_leak.cpp" "src/trojan/CMakeFiles/emsentry_trojan.dir/t1_am_leak.cpp.o" "gcc" "src/trojan/CMakeFiles/emsentry_trojan.dir/t1_am_leak.cpp.o.d"
+  "/root/repo/src/trojan/t2_leakage.cpp" "src/trojan/CMakeFiles/emsentry_trojan.dir/t2_leakage.cpp.o" "gcc" "src/trojan/CMakeFiles/emsentry_trojan.dir/t2_leakage.cpp.o.d"
+  "/root/repo/src/trojan/t3_cdma.cpp" "src/trojan/CMakeFiles/emsentry_trojan.dir/t3_cdma.cpp.o" "gcc" "src/trojan/CMakeFiles/emsentry_trojan.dir/t3_cdma.cpp.o.d"
+  "/root/repo/src/trojan/t4_power_hog.cpp" "src/trojan/CMakeFiles/emsentry_trojan.dir/t4_power_hog.cpp.o" "gcc" "src/trojan/CMakeFiles/emsentry_trojan.dir/t4_power_hog.cpp.o.d"
+  "/root/repo/src/trojan/trojan.cpp" "src/trojan/CMakeFiles/emsentry_trojan.dir/trojan.cpp.o" "gcc" "src/trojan/CMakeFiles/emsentry_trojan.dir/trojan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/emsentry_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/emsentry_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/emsentry_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsentry_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_trojan.dir/a2_analog.cpp.o"
+  "CMakeFiles/emsentry_trojan.dir/a2_analog.cpp.o.d"
+  "CMakeFiles/emsentry_trojan.dir/t1_am_leak.cpp.o"
+  "CMakeFiles/emsentry_trojan.dir/t1_am_leak.cpp.o.d"
+  "CMakeFiles/emsentry_trojan.dir/t2_leakage.cpp.o"
+  "CMakeFiles/emsentry_trojan.dir/t2_leakage.cpp.o.d"
+  "CMakeFiles/emsentry_trojan.dir/t3_cdma.cpp.o"
+  "CMakeFiles/emsentry_trojan.dir/t3_cdma.cpp.o.d"
+  "CMakeFiles/emsentry_trojan.dir/t4_power_hog.cpp.o"
+  "CMakeFiles/emsentry_trojan.dir/t4_power_hog.cpp.o.d"
+  "CMakeFiles/emsentry_trojan.dir/trojan.cpp.o"
+  "CMakeFiles/emsentry_trojan.dir/trojan.cpp.o.d"
+  "libemsentry_trojan.a"
+  "libemsentry_trojan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_trojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

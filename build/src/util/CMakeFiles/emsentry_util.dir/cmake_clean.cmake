@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_util.dir/assert.cpp.o"
+  "CMakeFiles/emsentry_util.dir/assert.cpp.o.d"
+  "CMakeFiles/emsentry_util.dir/rng.cpp.o"
+  "CMakeFiles/emsentry_util.dir/rng.cpp.o.d"
+  "libemsentry_util.a"
+  "libemsentry_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

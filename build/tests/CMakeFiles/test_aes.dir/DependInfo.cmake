@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes128.cpp" "tests/CMakeFiles/test_aes.dir/test_aes128.cpp.o" "gcc" "tests/CMakeFiles/test_aes.dir/test_aes128.cpp.o.d"
+  "/root/repo/tests/test_aes_activity.cpp" "tests/CMakeFiles/test_aes.dir/test_aes_activity.cpp.o" "gcc" "tests/CMakeFiles/test_aes.dir/test_aes_activity.cpp.o.d"
+  "/root/repo/tests/test_aes_core_netlist.cpp" "tests/CMakeFiles/test_aes.dir/test_aes_core_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_aes.dir/test_aes_core_netlist.cpp.o.d"
+  "/root/repo/tests/test_datapath_netlist.cpp" "tests/CMakeFiles/test_aes.dir/test_datapath_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_aes.dir/test_datapath_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aes/CMakeFiles/emsentry_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/emsentry_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

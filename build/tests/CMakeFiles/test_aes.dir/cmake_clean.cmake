@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aes.dir/test_aes128.cpp.o"
+  "CMakeFiles/test_aes.dir/test_aes128.cpp.o.d"
+  "CMakeFiles/test_aes.dir/test_aes_activity.cpp.o"
+  "CMakeFiles/test_aes.dir/test_aes_activity.cpp.o.d"
+  "CMakeFiles/test_aes.dir/test_aes_core_netlist.cpp.o"
+  "CMakeFiles/test_aes.dir/test_aes_core_netlist.cpp.o.d"
+  "CMakeFiles/test_aes.dir/test_datapath_netlist.cpp.o"
+  "CMakeFiles/test_aes.dir/test_datapath_netlist.cpp.o.d"
+  "test_aes"
+  "test_aes.pdb"
+  "test_aes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

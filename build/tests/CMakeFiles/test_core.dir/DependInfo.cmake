@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_trace.cpp" "tests/CMakeFiles/test_core.dir/test_core_trace.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_trace.cpp.o.d"
+  "/root/repo/tests/test_detector_options.cpp" "tests/CMakeFiles/test_core.dir/test_detector_options.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_detector_options.cpp.o.d"
+  "/root/repo/tests/test_detectors.cpp" "tests/CMakeFiles/test_core.dir/test_detectors.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_detectors.cpp.o.d"
+  "/root/repo/tests/test_leakage.cpp" "tests/CMakeFiles/test_core.dir/test_leakage.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_leakage.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/test_core.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emsentry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emsentry_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/emsentry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/emsentry_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

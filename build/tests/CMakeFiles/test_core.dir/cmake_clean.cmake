@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_trace.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_trace.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_detector_options.cpp.o"
+  "CMakeFiles/test_core.dir/test_detector_options.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_detectors.cpp.o"
+  "CMakeFiles/test_core.dir/test_detectors.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_leakage.cpp.o"
+  "CMakeFiles/test_core.dir/test_leakage.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/test_monitor.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_demod.cpp" "tests/CMakeFiles/test_dsp.dir/test_demod.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_demod.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/test_dsp.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/test_dsp.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_resample.cpp" "tests/CMakeFiles/test_dsp.dir/test_resample.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_resample.cpp.o.d"
+  "/root/repo/tests/test_spectrum.cpp" "tests/CMakeFiles/test_dsp.dir/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_spectrum.cpp.o.d"
+  "/root/repo/tests/test_stft.cpp" "tests/CMakeFiles/test_dsp.dir/test_stft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_stft.cpp.o.d"
+  "/root/repo/tests/test_window.cpp" "tests/CMakeFiles/test_dsp.dir/test_window.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/emsentry_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_archive.dir/test_trace_archive.cpp.o"
+  "CMakeFiles/test_io_archive.dir/test_trace_archive.cpp.o.d"
+  "test_io_archive"
+  "test_io_archive.pdb"
+  "test_io_archive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/test_stats.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_pca.cpp" "tests/CMakeFiles/test_stats.dir/test_pca.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_pca.cpp.o.d"
+  "/root/repo/tests/test_separation.cpp" "tests/CMakeFiles/test_stats.dir/test_separation.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_separation.cpp.o.d"
+  "/root/repo/tests/test_snr.cpp" "tests/CMakeFiles/test_stats.dir/test_snr.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_snr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/emsentry_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/emsentry_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emsentry_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/test_descriptive.cpp.o"
+  "CMakeFiles/test_stats.dir/test_descriptive.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_pca.cpp.o"
+  "CMakeFiles/test_stats.dir/test_pca.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_separation.cpp.o"
+  "CMakeFiles/test_stats.dir/test_separation.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_snr.cpp.o"
+  "CMakeFiles/test_stats.dir/test_snr.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

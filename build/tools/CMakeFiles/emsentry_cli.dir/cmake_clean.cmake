@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emsentry_cli.dir/emsentry_cli.cpp.o"
+  "CMakeFiles/emsentry_cli.dir/emsentry_cli.cpp.o.d"
+  "emsentry_cli"
+  "emsentry_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emsentry_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
