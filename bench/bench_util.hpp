@@ -1,6 +1,6 @@
-// Shared helpers for the reproduction benches: batch capture, SNR per the
-// paper's recipe, and a tiny PASS/FAIL shape-checker so each bench verifies
-// its table's qualitative claims programmatically.
+// Shared helpers for the reproduction benches: batch capture and SNR via the
+// parallel CaptureEngine, and a tiny PASS/FAIL shape-checker so each bench
+// verifies its table's qualitative claims programmatically.
 #pragma once
 
 #include <cstdio>
@@ -9,33 +9,30 @@
 
 #include "core/trace.hpp"
 #include "sim/chip.hpp"
-#include "stats/snr.hpp"
+#include "sim/engine.hpp"
 
 namespace emts::bench {
 
-inline core::TraceSet capture_set(sim::Chip& chip, sim::Pickup pickup, std::size_t count,
+/// Batch capture through the shared worker pool (EMTS_THREADS knob). Output
+/// is byte-identical to the serial capture loop for every thread count.
+inline core::TraceSet capture_set(const sim::Chip& chip, sim::Pickup pickup, std::size_t count,
                                   std::uint64_t first_index, bool encrypting = true) {
-  core::TraceSet set;
-  set.sample_rate = chip.sample_rate();
-  for (std::uint64_t t = 0; t < count; ++t) {
-    set.add(chip.capture(encrypting, first_index + t).of(pickup));
-  }
-  return set;
+  return sim::CaptureEngine::shared().capture_batch(chip, pickup, count, first_index,
+                                                    encrypting);
+}
+
+/// Both pickups of the same physical windows in one pass — half the physics
+/// work of two capture_set calls for sensor-vs-probe comparisons.
+inline sim::PairBatch capture_pair_set(const sim::Chip& chip, std::size_t count,
+                                       std::uint64_t first_index, bool encrypting = true) {
+  return sim::CaptureEngine::shared().capture_pair_batch(chip, count, first_index, encrypting);
 }
 
 /// SNR exactly as the paper measures it (Sec. V-A): signal captured while
 /// encrypting, noise captured while the chip idles, RMS ratio in dB.
-inline double measured_snr_db(sim::Chip& chip, sim::Pickup pickup, std::size_t windows = 8,
-                              std::uint64_t base = 100) {
-  std::vector<double> signal;
-  std::vector<double> noise;
-  for (std::uint64_t t = 0; t < windows; ++t) {
-    const auto s = chip.capture(true, base + t).of(pickup);
-    const auto n = chip.capture(false, base + windows + t).of(pickup);
-    signal.insert(signal.end(), s.begin(), s.end());
-    noise.insert(noise.end(), n.begin(), n.end());
-  }
-  return stats::snr_db(signal, noise);
+inline double measured_snr_db(const sim::Chip& chip, sim::Pickup pickup,
+                              std::size_t windows = 8, std::uint64_t base = 100) {
+  return sim::CaptureEngine::shared().snr_batch(chip, pickup, windows, base);
 }
 
 /// Records one shape assertion; prints PASS/FAIL and tracks the exit code.

@@ -47,15 +47,13 @@ int main() {
   sim::Chip chip{sim::make_silicon_config(sim::SiliconOptions{})};
   constexpr std::size_t kTraces = 150;
 
-  const auto det_sensor = core::EuclideanDetector::calibrate(
-      bench::capture_set(chip, sim::Pickup::kOnChipSensor, 60, 0));
-  const auto det_probe = core::EuclideanDetector::calibrate(
-      bench::capture_set(chip, sim::Pickup::kExternalProbe, 60, 0));
+  const auto calib = bench::capture_pair_set(chip, 60, 0);
+  const auto det_sensor = core::EuclideanDetector::calibrate(calib.onchip);
+  const auto det_probe = core::EuclideanDetector::calibrate(calib.external);
 
-  const auto golden_sensor =
-      det_sensor.score_all(bench::capture_set(chip, sim::Pickup::kOnChipSensor, kTraces, 3000));
-  const auto golden_probe =
-      det_probe.score_all(bench::capture_set(chip, sim::Pickup::kExternalProbe, kTraces, 3000));
+  const auto golden = bench::capture_pair_set(chip, kTraces, 3000);
+  const auto golden_sensor = det_sensor.score_all(golden.onchip);
+  const auto golden_probe = det_probe.score_all(golden.external);
 
   io::Table table{{"trojan", "sensor AUC", "sensor TPR@1%FPR", "probe AUC", "probe TPR@1%FPR"}};
   bench::ShapeChecks checks;
@@ -65,11 +63,10 @@ int main() {
         trojan::TrojanKind::kT3Cdma, trojan::TrojanKind::kT4PowerHog}) {
     chip.arm(kind);
     const auto base = 10000 + 1000 * static_cast<std::uint64_t>(kind);
-    const auto t_sensor =
-        det_sensor.score_all(bench::capture_set(chip, sim::Pickup::kOnChipSensor, kTraces, base));
-    const auto t_probe =
-        det_probe.score_all(bench::capture_set(chip, sim::Pickup::kExternalProbe, kTraces, base));
+    const auto infected = bench::capture_pair_set(chip, kTraces, base);
     chip.disarm_all();
+    const auto t_sensor = det_sensor.score_all(infected.onchip);
+    const auto t_probe = det_probe.score_all(infected.external);
 
     const double auc_sensor = auc(golden_sensor, t_sensor);
     const double auc_probe = auc(golden_probe, t_probe);

@@ -33,8 +33,9 @@ int main() {
   sim::ChipConfig intact_config = sim::make_default_config();
   sim::Chip intact{intact_config};
   std::vector<double> golden_rms;
-  for (std::uint64_t t = 0; t < 48; ++t) {
-    golden_rms.push_back(stats::rms(intact.capture(true, t).onchip_v));
+  for (const auto& trace :
+       bench::capture_set(intact, sim::Pickup::kOnChipSensor, 48, 0).traces) {
+    golden_rms.push_back(stats::rms(trace));
   }
   const double rms_mean = stats::mean(golden_rms);
   const double rms_sd = stats::stddev(golden_rms);
@@ -57,12 +58,13 @@ int main() {
                  io::Table::num(100.0 * (r_tampered - r_intact) / r_intact, 3) + "%"});
 
   // RMS health check on fresh traffic through both sensors.
+  const auto clean_set = bench::capture_set(intact, sim::Pickup::kOnChipSensor, 16, 5000);
+  const auto tampered_set = bench::capture_set(tampered, sim::Pickup::kOnChipSensor, 16, 5000);
   std::vector<double> clean_z;
   std::vector<double> tampered_z;
-  for (std::uint64_t t = 0; t < 16; ++t) {
-    clean_z.push_back((stats::rms(intact.capture(true, 5000 + t).onchip_v) - rms_mean) / rms_sd);
-    tampered_z.push_back(
-        (stats::rms(tampered.capture(true, 5000 + t).onchip_v) - rms_mean) / rms_sd);
+  for (std::size_t t = 0; t < 16; ++t) {
+    clean_z.push_back((stats::rms(clean_set.traces[t]) - rms_mean) / rms_sd);
+    tampered_z.push_back((stats::rms(tampered_set.traces[t]) - rms_mean) / rms_sd);
   }
   const double clean_worst = std::max(std::abs(stats::min_value(clean_z)),
                                       std::abs(stats::max_value(clean_z)));

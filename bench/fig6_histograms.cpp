@@ -30,16 +30,27 @@ struct Panel {
   double mode_sep = 0.0;
 };
 
-Panel make_panel(sim::Chip& chip, const core::EuclideanDetector& det, sim::Pickup pickup,
-                 trojan::TrojanKind kind, std::uint64_t base) {
+Panel finish_panel(const core::EuclideanDetector& det, const core::TraceSet& golden,
+                   const core::TraceSet& trojan) {
   Panel panel;
-  panel.golden = det.score_all(bench::capture_set(chip, pickup, kPerCondition, base));
-  chip.arm(kind);
-  panel.trojan = det.score_all(bench::capture_set(chip, pickup, kPerCondition, base + 5000));
-  chip.disarm_all();
+  panel.golden = det.score_all(golden);
+  panel.trojan = det.score_all(trojan);
   panel.overlap = stats::overlap_coefficient(panel.golden, panel.trojan);
   panel.mode_sep = stats::mode_separation(panel.golden, panel.trojan);
   return panel;
+}
+
+// Probe (top row) and sensor (middle row) panels of one Trojan come from the
+// same physical windows: one pair batch per condition feeds both.
+void make_panels(sim::Chip& chip, const core::EuclideanDetector& det_probe,
+                 const core::EuclideanDetector& det_sensor, trojan::TrojanKind kind,
+                 std::uint64_t base, Panel* probe_panel, Panel* sensor_panel) {
+  const auto golden = bench::capture_pair_set(chip, kPerCondition, base);
+  chip.arm(kind);
+  const auto trojan = bench::capture_pair_set(chip, kPerCondition, base + 5000);
+  chip.disarm_all();
+  *probe_panel = finish_panel(det_probe, golden.external, trojan.external);
+  *sensor_panel = finish_panel(det_sensor, golden.onchip, trojan.onchip);
 }
 
 void print_panel(const char* label, const Panel& panel) {
@@ -61,10 +72,9 @@ int main() {
               kPerCondition);
 
   sim::Chip chip{sim::make_silicon_config(sim::SiliconOptions{})};
-  const auto det_probe = core::EuclideanDetector::calibrate(
-      bench::capture_set(chip, sim::Pickup::kExternalProbe, kCalib, 0));
-  const auto det_sensor = core::EuclideanDetector::calibrate(
-      bench::capture_set(chip, sim::Pickup::kOnChipSensor, kCalib, 0));
+  const auto calib = bench::capture_pair_set(chip, kCalib, 0);
+  const auto det_probe = core::EuclideanDetector::calibrate(calib.external);
+  const auto det_sensor = core::EuclideanDetector::calibrate(calib.onchip);
 
   const trojan::TrojanKind kinds[] = {
       trojan::TrojanKind::kT1AmLeak, trojan::TrojanKind::kT2Leakage,
@@ -74,8 +84,8 @@ int main() {
   Panel sensor_panels[4];
   for (int i = 0; i < 4; ++i) {
     const auto base = static_cast<std::uint64_t>(20000 + 10000 * i);
-    probe_panels[i] = make_panel(chip, det_probe, sim::Pickup::kExternalProbe, kinds[i], base);
-    sensor_panels[i] = make_panel(chip, det_sensor, sim::Pickup::kOnChipSensor, kinds[i], base);
+    make_panels(chip, det_probe, det_sensor, kinds[i], base, &probe_panels[i],
+                &sensor_panels[i]);
   }
 
   for (int i = 0; i < 4; ++i) {

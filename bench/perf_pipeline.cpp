@@ -9,6 +9,7 @@
 #include "em/mutual.hpp"
 #include "layout/power_grid.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 #include "stats/pca.hpp"
 #include "util/rng.hpp"
 
@@ -22,11 +23,8 @@ sim::Chip& shared_chip() {
 }
 
 core::TraceSet shared_golden() {
-  sim::Chip& chip = shared_chip();
-  core::TraceSet set;
-  set.sample_rate = chip.sample_rate();
-  for (std::uint64_t t = 0; t < 48; ++t) set.add(chip.capture(true, t).onchip_v);
-  return set;
+  return sim::CaptureEngine::shared().capture_batch(shared_chip(),
+                                                    sim::Pickup::kOnChipSensor, 48, 0);
 }
 
 void BM_FftForward(benchmark::State& state) {
@@ -79,6 +77,56 @@ void BM_ChipCapture(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChipCapture);
+
+// Acquisition throughput, serial vs. parallel: items_per_second is
+// traces/sec, so BENCH_*.json tracks the CaptureEngine speedup directly.
+// Arg = worker threads (1 = the serial inline path).
+void BM_CaptureBatch(benchmark::State& state) {
+  sim::EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  sim::CaptureEngine engine{options};
+  const sim::Chip& chip = shared_chip();
+  constexpr std::size_t kBatch = 16;
+  std::uint64_t index = 2000000;
+  for (auto _ : state) {
+    const auto set =
+        engine.capture_batch(chip, sim::Pickup::kOnChipSensor, kBatch, index);
+    index += kBatch;
+    benchmark::DoNotOptimize(set.traces.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CaptureBatch)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Both pickups of the same windows in one pass (the Fig. 6 campaign shape).
+void BM_CapturePairBatch(benchmark::State& state) {
+  sim::EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  sim::CaptureEngine engine{options};
+  const sim::Chip& chip = shared_chip();
+  constexpr std::size_t kBatch = 16;
+  std::uint64_t index = 3000000;
+  for (auto _ : state) {
+    const auto pair = engine.capture_pair_batch(chip, kBatch, index);
+    index += kBatch;
+    benchmark::DoNotOptimize(pair.onchip.traces.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CapturePairBatch)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DetectorCalibrate(benchmark::State& state) {
   const auto golden = shared_golden();

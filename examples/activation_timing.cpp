@@ -7,24 +7,33 @@
 
 #include "dsp/stft.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
 int main() {
   sim::Chip chip{sim::make_default_config()};
+  const auto& engine = sim::CaptureEngine::shared();
 
   constexpr std::size_t kWindows = 24;
   constexpr std::size_t kActivateAt = 14;  // T1 armed from this window on
 
   std::printf("recording %zu consecutive windows; T1 activates at window %zu\n\n", kWindows,
               kActivateAt);
-  std::vector<double> stream;
-  for (std::uint64_t w = 0; w < kWindows; ++w) {
-    if (w == kActivateAt) chip.arm(trojan::TrojanKind::kT1AmLeak);
-    const auto capture = chip.capture(true, w).onchip_v;
-    stream.insert(stream.end(), capture.begin(), capture.end());
-  }
+  // One batch per armed state (the engine captures under a fixed condition),
+  // concatenated in window order into the recorded stream.
+  const auto clean = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, kActivateAt, 0);
+  chip.arm(trojan::TrojanKind::kT1AmLeak);
+  const auto active = engine.capture_batch(chip, sim::Pickup::kOnChipSensor,
+                                           kWindows - kActivateAt, kActivateAt);
   chip.disarm_all();
+  std::vector<double> stream;
+  stream.reserve(kWindows * chip.samples_per_trace());
+  for (const auto& set : {&clean, &active}) {
+    for (const auto& trace : set->traces) {
+      stream.insert(stream.end(), trace.begin(), trace.end());
+    }
+  }
 
   dsp::StftOptions options;
   options.window_length = 4096;  // one capture window per frame column

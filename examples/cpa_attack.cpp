@@ -12,6 +12,7 @@
 
 #include "attack/cpa.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
@@ -25,11 +26,10 @@ int main() {
   std::printf("capturing %zu sensor windows (%zu encryptions)...\n", kWindows,
               kWindows * 42);
 
-  core::TraceSet captures;
-  captures.sample_rate = chip.sample_rate();
+  const auto captures = sim::CaptureEngine::shared().capture_batch(
+      chip, sim::Pickup::kOnChipSensor, kWindows, 0);
   std::vector<std::vector<aes::Block>> ciphertexts;
   for (std::uint64_t w = 0; w < kWindows; ++w) {
-    captures.add(chip.capture(true, w).onchip_v);
     std::vector<aes::Block> cts;
     for (const auto& pt : chip.window_plaintexts(w)) {
       cts.push_back(aes::encrypt(config.key, pt));  // attacker observes outputs

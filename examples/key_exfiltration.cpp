@@ -15,30 +15,29 @@
 #include "core/spectral.hpp"
 #include "dsp/demod.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 #include "trojan/t1_am_leak.hpp"
 
 using namespace emts;
 
 int main() {
   sim::Chip chip{sim::make_default_config()};
+  const auto& engine = sim::CaptureEngine::shared();
   const auto& key = chip.config().key;
 
   // ---- defender: calibrate the spectral detector on the clean chip ----
-  core::TraceSet golden;
-  golden.sample_rate = chip.sample_rate();
-  for (std::uint64_t t = 0; t < 16; ++t) golden.add(chip.capture(true, t).onchip_v);
+  const auto golden = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 16, 0);
   const auto spectral = core::SpectralDetector::calibrate(golden);
 
   // ---- attacker: activate T1 and record a long contiguous stream ----
   chip.arm(trojan::TrojanKind::kT1AmLeak);
-  std::vector<double> stream;
-  core::TraceSet infected;
-  infected.sample_rate = chip.sample_rate();
   const std::size_t windows = 24;  // 24 x 10.67 us = 4 key bits per window
-  for (std::uint64_t t = 0; t < windows; ++t) {
-    const auto v = chip.capture(true, 1000 + t).onchip_v;
+  const auto infected =
+      engine.capture_batch(chip, sim::Pickup::kOnChipSensor, windows, 1000);
+  std::vector<double> stream;
+  stream.reserve(windows * chip.samples_per_trace());
+  for (const auto& v : infected.traces) {
     stream.insert(stream.end(), v.begin(), v.end());
-    infected.add(v);
   }
 
   // Radio receiver: coherent AM demodulation at 750 kHz, then bit slicing at

@@ -11,17 +11,15 @@
 
 #include "core/leakage.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
 namespace {
 
-core::TraceSet collect(sim::Chip& chip, sim::Pickup pickup, std::size_t n,
+core::TraceSet collect(const sim::Chip& chip, sim::Pickup pickup, std::size_t n,
                        std::uint64_t base) {
-  core::TraceSet set;
-  set.sample_rate = chip.sample_rate();
-  for (std::uint64_t t = 0; t < n; ++t) set.add(chip.capture(true, base + t).of(pickup));
-  return set;
+  return sim::CaptureEngine::shared().capture_batch(chip, pickup, n, base);
 }
 
 }  // namespace

@@ -9,20 +9,19 @@
 
 #include "core/evaluator.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
 namespace {
 
-core::TraceSet capture_batch(sim::Chip& chip, std::size_t count, std::uint64_t first_index) {
-  core::TraceSet set;
-  set.sample_rate = chip.sample_rate();
-  for (std::uint64_t t = 0; t < count; ++t) {
-    // Each capture records one 4096-sample window from the on-chip sensor
-    // while the AES core encrypts the challenge workload.
-    set.add(chip.capture(/*encrypting=*/true, first_index + t).onchip_v);
-  }
-  return set;
+// Each capture records one 4096-sample window from the on-chip sensor while
+// the AES core encrypts the challenge workload; the shared engine spreads
+// the windows over a worker pool (EMTS_THREADS controls the width).
+core::TraceSet capture_batch(const sim::Chip& chip, std::size_t count,
+                             std::uint64_t first_index) {
+  return sim::CaptureEngine::shared().capture_batch(chip, sim::Pickup::kOnChipSensor, count,
+                                                    first_index);
 }
 
 }  // namespace

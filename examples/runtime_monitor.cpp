@@ -8,11 +8,13 @@
 #include "core/monitor.hpp"
 #include "io/table.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
 int main() {
   sim::Chip chip{sim::make_default_config()};
+  const auto& engine = sim::CaptureEngine::shared();
 
   core::RuntimeMonitor::Options options;
   options.calibration_traces = 32;
@@ -26,9 +28,13 @@ int main() {
   std::printf("runtime monitor demo — T2 activates at capture 60\n");
   std::printf("%-8s %-12s %-10s %s\n", "capture", "state", "score", "note");
 
+  // The sensor hardware records windows continuously; the engine drains each
+  // phase's windows as one parallel batch and the monitor consumes them in
+  // stream order (its scoring is strictly per-trace, so batching the
+  // acquisition changes nothing downstream).
   std::uint64_t index = 0;
-  const auto step = [&](const char* note) {
-    const auto state = monitor.push(chip.capture(true, index).onchip_v);
+  const auto step = [&](const core::Trace& trace, const char* note) {
+    const auto state = monitor.push(trace);
     if (index % 10 == 0 || state == core::MonitorState::kAlarm) {
       std::printf("%-8llu %-12s %-10s %s\n", static_cast<unsigned long long>(index),
                   core::monitor_state_label(state),
@@ -42,12 +48,17 @@ int main() {
   };
 
   // Phase 1: trusted bring-up (calibration) and normal operation.
-  while (index < 60) step(index < 32 ? "calibrating" : "normal operation");
+  const auto bring_up = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 60, 0);
+  for (const auto& trace : bring_up.traces) {
+    step(trace, index < 32 ? "calibrating" : "normal operation");
+  }
 
   // Phase 2: the Trojan activates in the field.
   chip.arm(trojan::TrojanKind::kT2Leakage);
-  while (index < 80 && monitor.state() != core::MonitorState::kAlarm) {
-    step("T2 active");
+  const auto infected = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 20, 60);
+  for (const auto& trace : infected.traces) {
+    if (monitor.state() == core::MonitorState::kAlarm) break;
+    step(trace, "T2 active");
   }
 
   if (monitor.state() != core::MonitorState::kAlarm) {
@@ -59,7 +70,8 @@ int main() {
   chip.disarm_all();
   monitor.acknowledge_alarm();
   std::printf("alarm acknowledged; resuming monitoring\n");
-  for (int i = 0; i < 20; ++i) step("back to normal");
+  const auto resumed = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 20, 80);
+  for (const auto& trace : resumed.traces) step(trace, "back to normal");
 
   const bool calm = monitor.state() == core::MonitorState::kMonitoring;
   std::printf("\nfinal state: %s\n", core::monitor_state_label(monitor.state()));

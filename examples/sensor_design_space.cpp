@@ -11,22 +11,15 @@
 #include "io/table.hpp"
 #include "util/assert.hpp"
 #include "sim/chip.hpp"
-#include "stats/snr.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
 namespace {
 
-double snr_of(sim::Chip& chip, sim::Pickup pickup) {
-  std::vector<double> signal;
-  std::vector<double> noise;
-  for (std::uint64_t t = 0; t < 6; ++t) {
-    const auto s = chip.capture(true, 100 + t).of(pickup);
-    const auto n = chip.capture(false, 200 + t).of(pickup);
-    signal.insert(signal.end(), s.begin(), s.end());
-    noise.insert(noise.end(), n.begin(), n.end());
-  }
-  return stats::snr_db(signal, noise);
+double snr_of(const sim::Chip& chip, sim::Pickup pickup) {
+  // 6 encrypting + 6 idle windows through the shared pool, paper recipe.
+  return sim::CaptureEngine::shared().snr_batch(chip, pickup, 6, 100);
 }
 
 }  // namespace

@@ -12,32 +12,20 @@
 #include "core/spectral.hpp"
 #include "io/table.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
-namespace {
-
-core::TraceSet batch(sim::Chip& chip, sim::Pickup pickup, std::size_t count,
-                     std::uint64_t first) {
-  core::TraceSet set;
-  set.sample_rate = chip.sample_rate();
-  for (std::uint64_t t = 0; t < count; ++t) {
-    set.add(chip.capture(true, first + t).of(pickup));
-  }
-  return set;
-}
-
-}  // namespace
-
 int main() {
   sim::Chip chip{sim::make_default_config()};
+  const auto& engine = sim::CaptureEngine::shared();
 
-  // Calibrate one detector stack per pickup on golden traces.
-  const auto golden_sensor = batch(chip, sim::Pickup::kOnChipSensor, 48, 0);
-  const auto golden_probe = batch(chip, sim::Pickup::kExternalProbe, 48, 0);
-  const auto det_sensor = core::EuclideanDetector::calibrate(golden_sensor);
-  const auto det_probe = core::EuclideanDetector::calibrate(golden_probe);
-  const auto spectral = core::SpectralDetector::calibrate(golden_sensor);
+  // Calibrate one detector stack per pickup on golden traces; both pickups
+  // record the same physical windows, so one pair batch feeds both.
+  const auto golden = engine.capture_pair_batch(chip, 48, 0);
+  const auto det_sensor = core::EuclideanDetector::calibrate(golden.onchip);
+  const auto det_probe = core::EuclideanDetector::calibrate(golden.external);
+  const auto spectral = core::SpectralDetector::calibrate(golden.onchip);
 
   std::printf("Trojan sweep — EDth(sensor) = %.4f, EDth(probe) = %.4f\n\n",
               det_sensor.threshold(), det_probe.threshold());
@@ -48,14 +36,13 @@ int main() {
   const double aes_area = 33083.0 * 18.0;  // gate model: cells x avg cell area
   for (trojan::TrojanKind kind : trojan::kAllTrojanKinds) {
     chip.arm(kind);
-    const auto suspect_sensor = batch(chip, sim::Pickup::kOnChipSensor, 16, 5000);
-    const auto suspect_probe = batch(chip, sim::Pickup::kExternalProbe, 16, 5000);
-    const auto report = spectral.analyze(suspect_sensor);
+    const auto suspect = engine.capture_pair_batch(chip, 16, 5000);
     chip.disarm_all();
+    const auto report = spectral.analyze(suspect.onchip);
 
     const auto& model = chip.trojan_model(kind);
-    const double d_sensor = det_sensor.population_distance(suspect_sensor);
-    const double d_probe = det_probe.population_distance(suspect_probe);
+    const double d_sensor = det_sensor.population_distance(suspect.onchip);
+    const double d_probe = det_probe.population_distance(suspect.external);
 
     std::string spot = "-";
     if (!report.anomalies.empty()) {

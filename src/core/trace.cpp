@@ -11,6 +11,19 @@ void TraceSet::add(Trace trace) {
   traces.push_back(std::move(trace));
 }
 
+void TraceSet::reserve(std::size_t n) { traces.reserve(traces.size() + n); }
+
+void TraceSet::add_all(std::vector<Trace> batch) {
+  if (batch.empty()) return;
+  const std::size_t len = traces.empty() ? batch.front().size() : traces.front().size();
+  for (const Trace& t : batch) {
+    EMTS_REQUIRE(!t.empty(), "cannot add an empty trace");
+    EMTS_REQUIRE(t.size() == len, "all traces in a set must share one length");
+  }
+  reserve(batch.size());
+  for (Trace& t : batch) traces.push_back(std::move(t));
+}
+
 void TraceSet::validate() const {
   EMTS_REQUIRE(sample_rate > 0.0, "trace set needs a positive sample rate");
   for (const Trace& t : traces) {

@@ -23,6 +23,14 @@ struct TraceSet {
 
   void add(Trace trace);
 
+  /// Pre-allocates room for `n` additional traces.
+  void reserve(std::size_t n);
+
+  /// Moves a whole batch in at once (the parallel capture engine produces
+  /// traces slot-by-slot and hands them over in one append). Validates the
+  /// shared-length invariant against the batch and any existing traces.
+  void add_all(std::vector<Trace> batch);
+
   /// Validates the invariant that all traces share one length.
   void validate() const;
 

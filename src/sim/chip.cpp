@@ -93,7 +93,7 @@ Chip::Chip(const ChipConfig& config)
       aes_model_{config.key},
       onchip_chain_{config.onchip_chain, config.onchip_noise},
       external_chain_{config.external_chain, config.external_noise},
-      master_rng_{config.seed} {
+      stream_root_{config.seed} {
   config_.clock.validate();
   EMTS_REQUIRE(config_.trace_cycles >= aes::kCyclesPerEncryption,
                "trace window shorter than one encryption");
@@ -108,7 +108,7 @@ Chip::Chip(const ChipConfig& config)
   const auto pads = layout::PadRing::for_die(config_.die);
   const auto loops = layout::supply_loops(floorplan_, pads);
   const em::FluxOptions flux_options{};
-  Rng mismatch_rng = master_rng_.fork(0x7135ULL);
+  Rng mismatch_rng = stream_root_.fork(0x7135ULL);
   for (const auto& loop : loops) {
     ModuleSource source;
     source.name = loop.module_name;
@@ -138,6 +138,13 @@ bool Chip::is_armed(trojan::TrojanKind kind) const {
   return false;
 }
 
+std::optional<trojan::TrojanKind> Chip::armed_kind() const {
+  for (const auto& t : trojans_) {
+    if (t->active()) return t->kind();
+  }
+  return std::nullopt;
+}
+
 const trojan::Trojan& Chip::trojan_model(trojan::TrojanKind kind) const {
   for (const auto& t : trojans_) {
     if (t->kind() == kind) return *t;
@@ -160,7 +167,7 @@ std::vector<aes::Block> Chip::window_plaintexts(std::uint64_t trace_index) const
   // Mirrors the generation inside module_currents exactly.
   const std::uint64_t workload_label =
       config_.fixed_challenge_workload ? 0xae5ULL : (mix64(trace_index) ^ 0xae5ULL);
-  Rng plaintext_rng = master_rng_.fork(workload_label);
+  Rng plaintext_rng = stream_root_.fork(workload_label);
   std::vector<aes::Block> plaintexts;
   for (std::size_t cycle = 0; cycle + aes::kCyclesPerEncryption <= config_.trace_cycles;
        cycle += aes::kCyclesPerEncryption) {
@@ -172,7 +179,7 @@ std::vector<aes::Block> Chip::window_plaintexts(std::uint64_t trace_index) const
 }
 
 std::vector<power::CurrentTrace> Chip::module_currents(bool encrypting,
-                                                       std::uint64_t trace_index) {
+                                                       std::uint64_t trace_index) const {
   std::vector<power::CurrentTrace> currents;
   currents.reserve(sources_.size());
   for (std::size_t i = 0; i < sources_.size(); ++i) {
@@ -190,7 +197,7 @@ std::vector<power::CurrentTrace> Chip::module_currents(bool encrypting,
   // ---- AES units ----
   const std::uint64_t workload_label =
       config_.fixed_challenge_workload ? 0xae5ULL : (mix64(trace_index) ^ 0xae5ULL);
-  Rng plaintext_rng = master_rng_.fork(workload_label);
+  Rng plaintext_rng = stream_root_.fork(workload_label);
   std::size_t cycle = 0;
   while (cycle < config_.trace_cycles) {
     std::vector<aes::CycleActivity> activity;
@@ -226,7 +233,8 @@ std::vector<power::CurrentTrace> Chip::module_currents(bool encrypting,
   return currents;
 }
 
-std::vector<double> Chip::raw_emf(Pickup pickup, bool encrypting, std::uint64_t trace_index) {
+std::vector<double> Chip::raw_emf(Pickup pickup, bool encrypting,
+                                  std::uint64_t trace_index) const {
   const auto currents = module_currents(encrypting, trace_index);
   std::vector<double> emf(samples_per_trace(), 0.0);
   for (std::size_t m = 0; m < sources_.size(); ++m) {
@@ -241,7 +249,22 @@ std::vector<double> Chip::raw_emf(Pickup pickup, bool encrypting, std::uint64_t 
   return emf;
 }
 
-Acquisition Chip::capture(bool encrypting, std::uint64_t trace_index) {
+std::uint64_t Chip::capture_stream_label(bool encrypting, std::uint64_t trace_index) const {
+  // Splittable per-capture stream derivation: a pure function of
+  // (seed via stream_root_, trace_index, encrypting, armed Trojan). Folding
+  // the capture conditions in decorrelates the noise realizations of signal
+  // vs. idle windows and golden vs. infected populations at the same index.
+  // The golden encrypting case deliberately reduces to the historical
+  // mix64(trace_index) so calibration sets stay bit-identical across PRs.
+  std::uint64_t label = mix64(trace_index);
+  if (!encrypting) label = mix64(label ^ 0x1d1eULL);
+  if (const auto armed = armed_kind()) {
+    label = mix64(label ^ (0xa63edULL + static_cast<std::uint64_t>(*armed)));
+  }
+  return label;
+}
+
+Acquisition Chip::capture(bool encrypting, std::uint64_t trace_index) const {
   // Both pickups observe the same physical currents; compute them once.
   const auto currents = module_currents(encrypting, trace_index);
   std::vector<std::vector<double>> didt;
@@ -259,8 +282,9 @@ Acquisition Chip::capture(bool encrypting, std::uint64_t trace_index) {
   }
 
   Acquisition acq;
-  Rng onchip_rng = master_rng_.fork(mix64(trace_index) ^ 0x0c1ULL);
-  Rng external_rng = master_rng_.fork(mix64(trace_index) ^ 0xe72ULL);
+  const std::uint64_t label = capture_stream_label(encrypting, trace_index);
+  Rng onchip_rng = stream_root_.fork(label ^ 0x0c1ULL);
+  Rng external_rng = stream_root_.fork(label ^ 0xe72ULL);
   acq.onchip_v = onchip_chain_.measure(emf_onchip, sample_rate(), onchip_rng);
   acq.external_v = external_chain_.measure(emf_external, sample_rate(), external_rng);
   return acq;

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "aes/activity.hpp"
@@ -71,6 +72,11 @@ struct Acquisition {
   const std::vector<double>& of(Pickup pickup) const {
     return pickup == Pickup::kOnChipSensor ? onchip_v : external_v;
   }
+  std::vector<double>& of(Pickup pickup) {
+    return pickup == Pickup::kOnChipSensor ? onchip_v : external_v;
+  }
+  /// Moves one pickup's trace out of the acquisition.
+  std::vector<double> take(Pickup pickup) { return std::move(of(pickup)); }
 };
 
 class Chip {
@@ -78,20 +84,30 @@ class Chip {
   explicit Chip(const ChipConfig& config);
 
   /// Arms one Trojan's payload (at most one active at a time mirrors the
-  /// paper's "Trojans are activated in sequence").
+  /// paper's "Trojans are activated in sequence"). Arming mutates the chip:
+  /// it must not race with concurrent capture() calls — batch APIs capture
+  /// under one fixed armed state (see sim::CaptureEngine).
   void arm(trojan::TrojanKind kind);
   void disarm_all();
   bool is_armed(trojan::TrojanKind kind) const;
+  /// The Trojan whose payload is currently armed, if any.
+  std::optional<trojan::TrojanKind> armed_kind() const;
 
   /// Records one window. `encrypting` = the AES core runs back-to-back
   /// encryptions of random plaintexts (signal capture); false = the chip is
-  /// powered but idle (the paper's noise capture). `trace_index` seeds the
-  /// per-capture randomness, so identical indices reproduce identical traces.
-  Acquisition capture(bool encrypting, std::uint64_t trace_index);
+  /// powered but idle (the paper's noise capture).
+  ///
+  /// capture() is const and a pure function of (config.seed, trace_index,
+  /// encrypting, armed Trojan): every random stream (plaintexts, noise,
+  /// interferer phases) is split off those labels, so identical inputs give
+  /// bit-identical traces — across repeated calls, across independent Chip
+  /// instances, and across threads. Any number of captures may run
+  /// concurrently on one chip as long as no arm()/disarm_all() races them.
+  Acquisition capture(bool encrypting, std::uint64_t trace_index) const;
 
   /// Induced emf at the coil terminals before the measurement chain — used
   /// by physics-level tests and the coupling benches.
-  std::vector<double> raw_emf(Pickup pickup, bool encrypting, std::uint64_t trace_index);
+  std::vector<double> raw_emf(Pickup pickup, bool encrypting, std::uint64_t trace_index) const;
 
   const ChipConfig& config() const { return config_; }
   const em::Coil& onchip_coil() const { return onchip_coil_; }
@@ -112,7 +128,7 @@ class Chip {
   /// (the raw physical quantity everything else derives from; used by the
   /// near-field scanner and available for power-analysis research).
   std::vector<power::CurrentTrace> module_transients(bool encrypting,
-                                                     std::uint64_t trace_index) {
+                                                     std::uint64_t trace_index) const {
     return module_currents(encrypting, trace_index);
   }
 
@@ -131,8 +147,19 @@ class Chip {
   };
 
   /// Builds the per-module current waveforms for one window.
-  std::vector<power::CurrentTrace> module_currents(bool encrypting, std::uint64_t trace_index);
+  std::vector<power::CurrentTrace> module_currents(bool encrypting,
+                                                   std::uint64_t trace_index) const;
 
+  /// Label of the per-capture random stream: a splittable pure function of
+  /// (trace_index, encrypting, armed Trojan). The golden encrypting case
+  /// reduces to mix64(trace_index), keeping calibrated figures stable.
+  std::uint64_t capture_stream_label(bool encrypting, std::uint64_t trace_index) const;
+
+  // The physics model below is immutable after construction; the only
+  // mutable state is the Trojans' armed flag (arm()/disarm_all()). All
+  // per-capture state — RNG streams, filter state, waveform buffers — lives
+  // on the capture's own stack, which is what makes capture() const and
+  // safe to call from many threads at once.
   ChipConfig config_;
   layout::Floorplan floorplan_;
   em::Coil onchip_coil_;
@@ -142,7 +169,9 @@ class Chip {
   std::array<std::unique_ptr<trojan::Trojan>, 5> trojans_;
   sensor::MeasurementChain onchip_chain_;
   sensor::MeasurementChain external_chain_;
-  Rng master_rng_;
+  // Root of all derived random streams, fixed at construction from
+  // config.seed; only its const fork() is ever called afterwards.
+  const Rng stream_root_;
 };
 
 }  // namespace emts::sim

@@ -28,7 +28,7 @@ double ScanMap::max_value() const {
   return best;
 }
 
-ScanMap near_field_scan(Chip& chip, const ScanSpec& spec, bool encrypting,
+ScanMap near_field_scan(const Chip& chip, const ScanSpec& spec, bool encrypting,
                         std::uint64_t first_trace) {
   EMTS_REQUIRE(spec.nx >= 2 && spec.ny >= 2, "scan grid needs at least 2x2 points");
   EMTS_REQUIRE(spec.coil_radius > 0.0, "scan coil radius must be positive");

@@ -41,7 +41,7 @@ struct ScanMap {
 
 /// Sweeps the micro-coil over the die and measures the RMS emf per position,
 /// averaged over `spec.traces` capture windows starting at `first_trace`.
-ScanMap near_field_scan(Chip& chip, const ScanSpec& spec, bool encrypting,
+ScanMap near_field_scan(const Chip& chip, const ScanSpec& spec, bool encrypting,
                         std::uint64_t first_trace);
 
 /// Result of comparing a suspect scan against a golden scan.

@@ -5,15 +5,16 @@
 
 #include "core/euclidean.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 #include "sim/silicon.hpp"
 #include "stats/descriptive.hpp"
-#include "stats/snr.hpp"
 
 using namespace emts;
 
 int main() {
   std::setvbuf(stdout, nullptr, _IONBF, 0);
   sim::Chip chip{sim::make_default_config()};
+  const auto& engine = sim::CaptureEngine::shared();
 
   std::printf("== couplings (nH) ==\n");
   for (const auto& m : chip.floorplan().modules()) {
@@ -27,34 +28,21 @@ int main() {
   std::printf("\nraw emf rms: onchip %.3e V, external %.3e V\n", stats::rms(emf_on),
               stats::rms(emf_ex));
 
-  // SNR per the paper's recipe.
-  auto collect = [&](bool enc, std::uint64_t base, sim::Pickup p) {
-    std::vector<double> all;
-    for (std::uint64_t t = 0; t < 8; ++t) {
-      const auto acq = chip.capture(enc, base + t);
-      const auto& v = acq.of(p);
-      all.insert(all.end(), v.begin(), v.end());
-    }
-    return all;
-  };
-  const auto sig_on = collect(true, 100, sim::Pickup::kOnChipSensor);
-  const auto noi_on = collect(false, 200, sim::Pickup::kOnChipSensor);
-  const auto sig_ex = collect(true, 100, sim::Pickup::kExternalProbe);
-  const auto noi_ex = collect(false, 200, sim::Pickup::kExternalProbe);
-  std::printf("SNR onchip   %.3f dB\n", stats::snr_db(sig_on, noi_on));
-  std::printf("SNR external %.3f dB\n", stats::snr_db(sig_ex, noi_ex));
+  // SNR per the paper's recipe (8 encrypting + 8 idle windows, shared pool).
+  std::printf("SNR onchip   %.3f dB\n",
+              engine.snr_batch(chip, sim::Pickup::kOnChipSensor, 8, 100));
+  std::printf("SNR external %.3f dB\n",
+              engine.snr_batch(chip, sim::Pickup::kExternalProbe, 8, 100));
 
   // Euclidean distances per Trojan (on-chip sensor, sim conditions).
-  core::TraceSet golden;
-  golden.sample_rate = chip.sample_rate();
-  for (std::uint64_t t = 0; t < 60; ++t) golden.add(chip.capture(true, 1000 + t).onchip_v);
+  const auto golden =
+      engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 60, 1000);
   const auto det = core::EuclideanDetector::calibrate(golden);
   std::printf("\nEDth (eq.1) = %.4f\n", det.threshold());
   for (auto kind : trojan::kAllTrojanKinds) {
     chip.arm(kind);
-    core::TraceSet suspect;
-    suspect.sample_rate = chip.sample_rate();
-    for (std::uint64_t t = 0; t < 40; ++t) suspect.add(chip.capture(true, 2000 + t).onchip_v);
+    const auto suspect =
+        engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 40, 2000);
     std::printf("distance %-3s = %.4f\n", trojan::kind_label(kind),
                 det.population_distance(suspect));
     chip.disarm_all();

@@ -17,6 +17,7 @@
 #include "core/evaluator.hpp"
 #include "io/trace_archive.hpp"
 #include "sim/chip.hpp"
+#include "sim/engine.hpp"
 #include "sim/silicon.hpp"
 #include "stats/snr.hpp"
 #include "util/assert.hpp"
@@ -30,6 +31,7 @@ int usage() {
                "usage:\n"
                "  emsentry_cli capture <out.emta> [--windows N] [--trojan T1|T2|T3|T4|A2]\n"
                "                [--pickup sensor|probe] [--silicon] [--idle] [--first N]\n"
+               "                [--threads N]\n"
                "  emsentry_cli evaluate <golden.emta> <suspect.emta>\n"
                "  emsentry_cli snr <signal.emta> <noise.emta>\n"
                "  emsentry_cli info <archive.emta>\n");
@@ -57,6 +59,7 @@ int cmd_capture(const std::vector<std::string>& args) {
   sim::Pickup pickup = sim::Pickup::kOnChipSensor;
   bool has_trojan = false;
   trojan::TrojanKind kind{};
+  sim::EngineOptions engine_options;  // threads = 0: EMTS_THREADS or hardware
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -66,6 +69,8 @@ int cmd_capture(const std::vector<std::string>& args) {
     };
     if (a == "--windows") {
       windows = std::stoul(next());
+    } else if (a == "--threads") {
+      engine_options.threads = std::stoul(next());
     } else if (a == "--first") {
       first = std::stoull(next());
     } else if (a == "--silicon") {
@@ -89,11 +94,8 @@ int cmd_capture(const std::vector<std::string>& args) {
                          : sim::make_default_config()};
   if (has_trojan) chip.arm(kind);
 
-  core::TraceSet set;
-  set.sample_rate = chip.sample_rate();
-  for (std::uint64_t w = 0; w < windows; ++w) {
-    set.add(chip.capture(encrypting, first + w).of(pickup));
-  }
+  const sim::CaptureEngine engine{engine_options};
+  const auto set = engine.capture_batch(chip, pickup, windows, first, encrypting);
   io::save_trace_archive(out_path, set);
   std::printf("captured %zu %s windows (%s, %s%s) -> %s\n", windows,
               encrypting ? "encrypting" : "idle",
