@@ -3,8 +3,12 @@
 // per-trace scoring — so a deployment can budget its analysis module.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/euclidean.hpp"
+#include "core/evaluator.hpp"
 #include "core/spectral.hpp"
+#include "io/calibration.hpp"
 #include "dsp/fft.hpp"
 #include "em/mutual.hpp"
 #include "layout/power_grid.hpp"
@@ -146,6 +150,43 @@ void BM_DetectorScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetectorScore);
+
+// Cold-start comparison: what a deployment pays to reach kMonitoring.
+// Calibrating from golden captures fits PCA + spectra from scratch;
+// loading an EMCA artifact is pure deserialization.
+void BM_ColdStartCalibrate(benchmark::State& state) {
+  const auto golden = shared_golden();
+  for (auto _ : state) {
+    auto evaluator = core::TrustEvaluator::calibrate(golden);
+    benchmark::DoNotOptimize(&evaluator);
+  }
+}
+BENCHMARK(BM_ColdStartCalibrate)->Unit(benchmark::kMillisecond);
+
+void BM_CalibrateAndSave(benchmark::State& state) {
+  const auto golden = shared_golden();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "emts_bench_model.emca").string();
+  for (auto _ : state) {
+    const auto evaluator = core::TrustEvaluator::calibrate(golden);
+    io::save_calibration(path, evaluator);
+    benchmark::DoNotOptimize(&evaluator);
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_CalibrateAndSave)->Unit(benchmark::kMillisecond);
+
+void BM_ColdStartLoadArtifact(benchmark::State& state) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "emts_bench_model.emca").string();
+  io::save_calibration(path, core::TrustEvaluator::calibrate(shared_golden()));
+  for (auto _ : state) {
+    auto evaluator = io::load_calibration(path);
+    benchmark::DoNotOptimize(&evaluator);
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ColdStartLoadArtifact)->Unit(benchmark::kMillisecond);
 
 void BM_SpectralAnalyze(benchmark::State& state) {
   const auto golden = shared_golden();

@@ -4,8 +4,10 @@
 // triggers the T2 leakage Trojan; the monitor raises a debounced alarm and
 // prints what its detector saw.
 #include <cstdio>
+#include <filesystem>
 
 #include "core/monitor.hpp"
+#include "io/calibration.hpp"
 #include "io/table.hpp"
 #include "sim/chip.hpp"
 #include "sim/engine.hpp"
@@ -75,5 +77,25 @@ int main() {
 
   const bool calm = monitor.state() == core::MonitorState::kMonitoring;
   std::printf("\nfinal state: %s\n", core::monitor_state_label(monitor.state()));
-  return calm ? 0 : 1;
+  if (!calm) return 1;
+
+  // Phase 4: warm redeploy — "calibrate once, monitor many". The fitted
+  // detector stack is saved as an EMCA artifact; a second monitor (a reboot,
+  // or another unit of the same design) cold-starts from it and is scoring
+  // from its very first capture, zero calibration captures spent.
+  const auto model_path =
+      (std::filesystem::temp_directory_path() / "emts_runtime_monitor.emca").string();
+  io::save_calibration(model_path, *monitor.evaluator());
+  auto evaluator = io::load_calibration(model_path);
+  std::filesystem::remove(model_path);
+
+  core::RuntimeMonitor redeployed{evaluator.sample_rate(), std::move(evaluator), options};
+  std::printf("\nwarm redeploy from %s: state %s after %zu captures\n", model_path.c_str(),
+              core::monitor_state_label(redeployed.state()), redeployed.traces_seen());
+
+  const auto fresh = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 20, 100);
+  for (const auto& trace : fresh.traces) redeployed.push(trace);
+  std::printf("redeployed monitor after 20 captures: %s\n",
+              core::monitor_state_label(redeployed.state()));
+  return redeployed.state() == core::MonitorState::kMonitoring ? 0 : 1;
 }

@@ -1,9 +1,11 @@
 #include "core/euclidean.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "linalg/matrix.hpp"
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 
 namespace emts::core {
 
@@ -72,11 +74,56 @@ double EuclideanDetector::score(const Trace& trace) const {
   return linalg::euclidean_distance(embed(preprocessor_.features(trace)), golden_centroid_);
 }
 
-std::vector<double> EuclideanDetector::score_all(const TraceSet& set) const {
-  std::vector<double> out;
-  out.reserve(set.size());
-  for (const Trace& t : set.traces) out.push_back(score(t));
-  return out;
+std::string EuclideanDetector::describe() const {
+  std::ostringstream out;
+  out << "euclidean: PCA " << pca_.components() << " components"
+      << (include_residual_ ? " + residual" : "") << ", "
+      << golden_projections_.size() << " golden traces, EDth " << threshold_;
+  return out.str();
+}
+
+void EuclideanDetector::save(std::ostream& out) const {
+  save_preprocessor_options(out, preprocessor_.options());
+  util::write_u8(out, include_residual_ ? 1 : 0);
+  pca_.save(out);
+  const std::size_t dim = golden_projections_.empty() ? 0 : golden_projections_.front().size();
+  util::write_u64(out, golden_projections_.size());
+  util::write_u64(out, dim);
+  for (const auto& projection : golden_projections_) {
+    EMTS_ASSERT(projection.size() == dim);
+    for (double v : projection) util::write_f64(out, v);
+  }
+  util::write_f64_vec(out, golden_centroid_);
+  util::write_f64(out, threshold_);
+}
+
+EuclideanDetector EuclideanDetector::load(std::istream& in) {
+  const Preprocessor::Options preprocess = load_preprocessor_options(in);
+  const bool include_residual = util::read_u8(in) != 0;
+  stats::PcaModel pca = stats::PcaModel::load(in);
+
+  EuclideanDetector detector{Preprocessor{preprocess}, std::move(pca), include_residual};
+  const std::uint64_t count = util::read_u64(in);
+  const std::uint64_t dim = util::read_u64(in);
+  EMTS_REQUIRE(count >= 3, "euclidean load: needs >= 3 golden projections");
+  EMTS_REQUIRE(count < (1ull << 32) && dim >= 1 && dim < (1ull << 24),
+               "euclidean load: implausible projection shape");
+  const std::size_t expected_dim =
+      detector.pca_.components() + (include_residual ? 1u : 0u);
+  EMTS_REQUIRE(dim == expected_dim, "euclidean load: projection dim disagrees with PCA model");
+
+  detector.golden_projections_.reserve(count);
+  for (std::uint64_t p = 0; p < count; ++p) {
+    std::vector<double> projection(dim);
+    for (double& v : projection) v = util::read_f64(in);
+    detector.golden_projections_.push_back(std::move(projection));
+  }
+  detector.golden_centroid_ = util::read_f64_vec(in);
+  EMTS_REQUIRE(detector.golden_centroid_.size() == dim,
+               "euclidean load: centroid dim mismatch");
+  detector.threshold_ = util::read_f64(in);
+  EMTS_REQUIRE(detector.threshold_ >= 0.0, "euclidean load: negative threshold");
+  return detector;
 }
 
 double EuclideanDetector::population_distance(const TraceSet& suspect) const {

@@ -9,18 +9,24 @@
 // traces, stores their projections, and sets EDth by Eq. 1. Scoring projects
 // a suspect trace and measures its distance to the golden centroid; the
 // Eq. 1 threshold then separates "within golden spread" from "anomalous".
+// Registered in the DetectorRegistry as "euclidean"; the fitted model
+// (preprocessor params + PCA + golden projections + EDth) serializes into
+// the EMCA calibration artifact and reloads bit-identically.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
+#include "core/detector.hpp"
 #include "core/preprocess.hpp"
 #include "core/trace.hpp"
 #include "stats/pca.hpp"
 
 namespace emts::core {
 
-class EuclideanDetector {
+class EuclideanDetector : public Detector {
  public:
   struct Options {
     Preprocessor::Options preprocess{};
@@ -37,17 +43,19 @@ class EuclideanDetector {
   static EuclideanDetector calibrate(const TraceSet& golden, const Options& options);
   static EuclideanDetector calibrate(const TraceSet& golden);  // default options
 
+  std::string name() const override { return "euclidean"; }
+  std::string describe() const override;
+
   /// Eq. 1 threshold: max pairwise distance among golden projections.
-  double threshold() const { return threshold_; }
+  double threshold() const override { return threshold_; }
 
   /// Distance of a suspect trace to the golden centroid in PCA space.
-  double score(const Trace& trace) const;
+  double score(const Trace& trace) const override;
 
-  /// Scores a whole set.
-  std::vector<double> score_all(const TraceSet& set) const;
-
-  /// Verdict under the Eq. 1 rule.
-  bool is_anomalous(const Trace& trace) const { return score(trace) > threshold_; }
+  /// Serializes the full fitted model; load() restores a detector whose
+  /// score()/threshold() are bit-identical to this one.
+  void save(std::ostream& out) const override;
+  static EuclideanDetector load(std::istream& in);
 
   /// Distance between the golden centroid and the centroid of `suspect`
   /// traces — the per-Trojan "Euclidean distance" numbers the paper reports

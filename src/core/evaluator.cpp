@@ -19,17 +19,33 @@ const char* verdict_label(Verdict verdict) {
   return "?";
 }
 
+std::size_t TrustReport::alarmed_stages() const {
+  std::size_t alarms = 0;
+  for (const DetectorReport& stage : stages) alarms += stage.alarm ? 1 : 0;
+  return alarms;
+}
+
 std::string TrustReport::summary() const {
   std::ostringstream out;
-  out << verdict_label(verdict) << ": mean distance " << mean_distance << " (threshold "
-      << threshold << "), " << 100.0 * anomalous_fraction << "% traces beyond EDth, "
-      << spectral.anomalies.size() << " spectral anomalies";
+  if (stages.empty()) {
+    // Reports assembled without stage detail (e.g. the monitor's alarm
+    // snapshot) fall back to the classic two-stage wording.
+    out << verdict_label(verdict) << ": mean distance " << mean_distance << " (threshold "
+        << threshold << "), " << 100.0 * anomalous_fraction << "% traces beyond EDth, "
+        << spectral.anomalies.size() << " spectral anomalies";
+    return out.str();
+  }
+  out << verdict_label(verdict) << ": " << alarmed_stages() << "/" << stages.size()
+      << " stages alarmed";
+  for (const DetectorReport& stage : stages) {
+    out << "; " << stage.name << (stage.alarm ? "[!] " : " ") << stage.detail;
+  }
   return out.str();
 }
 
-TrustEvaluator::TrustEvaluator(EuclideanDetector euclidean, SpectralDetector spectral,
-                               const Options& options)
-    : euclidean_{std::move(euclidean)}, spectral_{std::move(spectral)}, options_{options} {}
+TrustEvaluator::TrustEvaluator(std::vector<std::shared_ptr<const Detector>> detectors,
+                               Options options, double sample_rate)
+    : detectors_{std::move(detectors)}, options_{std::move(options)}, sample_rate_{sample_rate} {}
 
 TrustEvaluator TrustEvaluator::calibrate(const TraceSet& golden) {
   return calibrate(golden, Options{});
@@ -38,38 +54,104 @@ TrustEvaluator TrustEvaluator::calibrate(const TraceSet& golden) {
 TrustEvaluator TrustEvaluator::calibrate(const TraceSet& golden, const Options& options) {
   EMTS_REQUIRE(options.anomalous_fraction_alarm > 0.0 && options.anomalous_fraction_alarm <= 1.0,
                "alarm fraction must be in (0, 1]");
-  return TrustEvaluator{EuclideanDetector::calibrate(golden, options.euclidean),
-                        SpectralDetector::calibrate(golden, options.spectral), options};
+  EMTS_REQUIRE(!options.detectors.empty(), "evaluator needs at least one detector");
+
+  std::vector<std::shared_ptr<const Detector>> detectors;
+  detectors.reserve(options.detectors.size());
+  for (const std::string& name : options.detectors) {
+    for (const auto& existing : detectors) {
+      EMTS_REQUIRE(existing->name() != name, "duplicate detector '" + name + "'");
+    }
+    if (name == "euclidean") {
+      detectors.push_back(std::make_shared<const EuclideanDetector>(
+          EuclideanDetector::calibrate(golden, options.euclidean)));
+    } else if (name == "spectral") {
+      detectors.push_back(std::make_shared<const SpectralDetector>(
+          SpectralDetector::calibrate(golden, options.spectral)));
+    } else {
+      detectors.push_back(DetectorRegistry::instance().calibrate(name, golden));
+    }
+  }
+  return TrustEvaluator{std::move(detectors), options, golden.sample_rate};
+}
+
+TrustEvaluator TrustEvaluator::assemble(std::vector<std::shared_ptr<const Detector>> detectors,
+                                        double anomalous_fraction_alarm, double sample_rate) {
+  EMTS_REQUIRE(anomalous_fraction_alarm > 0.0 && anomalous_fraction_alarm <= 1.0,
+               "alarm fraction must be in (0, 1]");
+  EMTS_REQUIRE(!detectors.empty(), "evaluator needs at least one detector");
+  Options options;
+  options.detectors.clear();
+  for (const auto& detector : detectors) {
+    EMTS_REQUIRE(detector != nullptr, "assemble: null detector");
+    options.detectors.push_back(detector->name());
+  }
+  options.anomalous_fraction_alarm = anomalous_fraction_alarm;
+  return TrustEvaluator{std::move(detectors), std::move(options), sample_rate};
+}
+
+const Detector* TrustEvaluator::find(const std::string& name) const {
+  for (const auto& detector : detectors_) {
+    if (detector->name() == name) return detector.get();
+  }
+  return nullptr;
+}
+
+const EuclideanDetector* TrustEvaluator::try_euclidean() const {
+  for (const auto& detector : detectors_) {
+    if (const auto* e = dynamic_cast<const EuclideanDetector*>(detector.get())) return e;
+  }
+  return nullptr;
+}
+
+const SpectralDetector* TrustEvaluator::try_spectral() const {
+  for (const auto& detector : detectors_) {
+    if (const auto* s = dynamic_cast<const SpectralDetector*>(detector.get())) return s;
+  }
+  return nullptr;
+}
+
+const EuclideanDetector& TrustEvaluator::euclidean() const {
+  const EuclideanDetector* detector = try_euclidean();
+  EMTS_REQUIRE(detector != nullptr, "evaluator has no euclidean stage");
+  return *detector;
+}
+
+const SpectralDetector& TrustEvaluator::spectral() const {
+  const SpectralDetector* detector = try_spectral();
+  EMTS_REQUIRE(detector != nullptr, "evaluator has no spectral stage");
+  return *detector;
 }
 
 TrustReport TrustEvaluator::evaluate(const TraceSet& suspect) const {
   EMTS_REQUIRE(!suspect.empty(), "evaluate needs traces");
 
   TrustReport report;
-  report.threshold = euclidean_.threshold();
-
-  const auto scores = euclidean_.score_all(suspect);
-  double sum = 0.0;
-  std::size_t beyond = 0;
-  for (double s : scores) {
-    sum += s;
-    report.max_distance = std::max(report.max_distance, s);
-    if (s > report.threshold) ++beyond;
+  std::size_t alarms = 0;
+  for (const auto& detector : detectors_) {
+    DetectorReport stage;
+    if (const auto* sd = dynamic_cast<const SpectralDetector*>(detector.get())) {
+      // One mean-spectrum pass feeds both the generic stage and the typed
+      // spectral report.
+      SpectralReport spectral_report = sd->analyze(suspect);
+      stage = sd->to_stage(spectral_report);
+      report.spectral = std::move(spectral_report);
+    } else {
+      stage = detector->evaluate_set(suspect, options_.anomalous_fraction_alarm);
+      if (dynamic_cast<const EuclideanDetector*>(detector.get()) != nullptr) {
+        report.mean_distance = stage.mean_score;
+        report.max_distance = stage.max_score;
+        report.threshold = stage.threshold;
+        report.anomalous_fraction = stage.anomalous_fraction;
+      }
+    }
+    if (stage.alarm) ++alarms;
+    report.stages.push_back(std::move(stage));
   }
-  report.mean_distance = sum / static_cast<double>(scores.size());
-  report.anomalous_fraction = static_cast<double>(beyond) / static_cast<double>(scores.size());
 
-  report.spectral = spectral_.analyze(suspect);
-
-  const bool distance_alarm = report.anomalous_fraction > options_.anomalous_fraction_alarm;
-  const bool spectral_alarm = report.spectral.anomalous();
-  if (distance_alarm && spectral_alarm) {
-    report.verdict = Verdict::kCompromised;
-  } else if (distance_alarm || spectral_alarm) {
-    report.verdict = Verdict::kSuspicious;
-  } else {
-    report.verdict = Verdict::kTrusted;
-  }
+  report.verdict = alarms == 0   ? Verdict::kTrusted
+                   : alarms == 1 ? Verdict::kSuspicious
+                                 : Verdict::kCompromised;
   return report;
 }
 

@@ -1,12 +1,18 @@
-// Combined trust evaluator: the "data analysis module" of Fig. 1. Wraps the
-// Euclidean-distance detector (digital Trojans) and the spectral detector
-// (A2-style / fast-toggling Trojans) behind one calibrate-then-evaluate API
-// and merges their verdicts into a trust report.
+// Combined trust evaluator: the "data analysis module" of Fig. 1. Composes
+// an arbitrary, pluggable list of calibrated detectors (by default the
+// paper's pair: Euclidean-distance for digital Trojans, spectral for
+// A2-style / fast-toggling Trojans) behind one calibrate-then-evaluate API
+// and merges their per-stage verdicts into a trust report. A fitted
+// evaluator serializes into an EMCA calibration artifact
+// (io/save_calibration) so deployments calibrate once and monitor many.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/detector.hpp"
 #include "core/euclidean.hpp"
 #include "core/spectral.hpp"
 #include "core/trace.hpp"
@@ -18,45 +24,71 @@ enum class Verdict { kTrusted, kSuspicious, kCompromised };
 struct TrustReport {
   Verdict verdict = Verdict::kTrusted;
 
-  // Euclidean stage.
+  /// Per-detector stage outcomes, in evaluator order.
+  std::vector<DetectorReport> stages;
+
+  // Euclidean stage conveniences (filled when an "euclidean" stage ran).
   double mean_distance = 0.0;
   double max_distance = 0.0;
   double threshold = 0.0;       // Eq. 1
   double anomalous_fraction = 0.0;  // traces beyond the threshold
 
-  // Spectral stage.
+  // Spectral stage (filled when a "spectral" stage ran).
   SpectralReport spectral;
 
+  std::size_t alarmed_stages() const;
   std::string summary() const;
 };
 
 class TrustEvaluator {
  public:
   struct Options {
+    // Detector stack, by registry name, in evaluation order. "euclidean" and
+    // "spectral" get the typed options below; any other name is calibrated
+    // through the DetectorRegistry with its registered defaults.
+    std::vector<std::string> detectors{"euclidean", "spectral"};
     EuclideanDetector::Options euclidean{};
     SpectralDetector::Options spectral{};
-    // Fraction of over-threshold traces that flips the distance verdict.
-    // Golden noise occasionally exceeds the Eq. 1 max; a population-level
-    // exceedance rate is the runtime-robust form of the rule.
+    // Fraction of over-threshold traces that flips a per-trace stage's
+    // verdict. Golden noise occasionally exceeds the Eq. 1 max; a
+    // population-level exceedance rate is the runtime-robust form of the rule.
     double anomalous_fraction_alarm = 0.05;
   };
 
-  /// Calibrates both detectors on golden traces.
+  /// Calibrates every configured detector on golden traces.
   static TrustEvaluator calibrate(const TraceSet& golden, const Options& options);
   static TrustEvaluator calibrate(const TraceSet& golden);  // default options
 
-  /// Evaluates a batch of runtime traces.
+  /// Assembles an evaluator from already-fitted detectors — the
+  /// io::load_calibration path. No golden traces, no refitting.
+  static TrustEvaluator assemble(std::vector<std::shared_ptr<const Detector>> detectors,
+                                 double anomalous_fraction_alarm, double sample_rate);
+
+  /// Evaluates a batch of runtime traces. Verdict: no stage alarmed =
+  /// trusted, one = suspicious, two or more = compromised.
   TrustReport evaluate(const TraceSet& suspect) const;
 
-  const EuclideanDetector& euclidean() const { return euclidean_; }
-  const SpectralDetector& spectral() const { return spectral_; }
+  const std::vector<std::shared_ptr<const Detector>>& detectors() const { return detectors_; }
+  const Detector* find(const std::string& name) const;
+
+  /// Typed accessors for the paper's two stages. The try_ forms return null
+  /// when the stage is absent; the reference forms require it.
+  const EuclideanDetector* try_euclidean() const;
+  const SpectralDetector* try_spectral() const;
+  const EuclideanDetector& euclidean() const;
+  const SpectralDetector& spectral() const;
+
+  /// Sample rate of the calibration campaign (Hz).
+  double sample_rate() const { return sample_rate_; }
+  const Options& options() const { return options_; }
 
  private:
-  TrustEvaluator(EuclideanDetector euclidean, SpectralDetector spectral, const Options& options);
+  TrustEvaluator(std::vector<std::shared_ptr<const Detector>> detectors, Options options,
+                 double sample_rate);
 
-  EuclideanDetector euclidean_;
-  SpectralDetector spectral_;
+  std::vector<std::shared_ptr<const Detector>> detectors_;
   Options options_;
+  double sample_rate_ = 0.0;
 };
 
 const char* verdict_label(Verdict verdict);

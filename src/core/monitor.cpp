@@ -1,5 +1,7 @@
 #include "core/monitor.hpp"
 
+#include <cmath>
+
 #include "util/assert.hpp"
 
 namespace emts::core {
@@ -20,12 +22,30 @@ RuntimeMonitor::RuntimeMonitor(double sample_rate) : RuntimeMonitor(sample_rate,
 
 RuntimeMonitor::RuntimeMonitor(double sample_rate, const Options& options)
     : options_{options}, sample_rate_{sample_rate} {
-  EMTS_REQUIRE(sample_rate > 0.0, "monitor needs a positive sample rate");
+  validate_options();
   EMTS_REQUIRE(options.calibration_traces >= 3, "monitor needs >= 3 calibration traces");
-  EMTS_REQUIRE(options.alarm_debounce >= 1, "alarm debounce must be >= 1");
-  EMTS_REQUIRE(options.spectral_window >= 1, "spectral window must be >= 1");
   calibration_.sample_rate = sample_rate;
   spectral_window_.sample_rate = sample_rate;
+}
+
+RuntimeMonitor::RuntimeMonitor(double sample_rate, TrustEvaluator evaluator)
+    : RuntimeMonitor(sample_rate, std::move(evaluator), Options{}) {}
+
+RuntimeMonitor::RuntimeMonitor(double sample_rate, TrustEvaluator evaluator,
+                               const Options& options)
+    : options_{options}, sample_rate_{sample_rate} {
+  validate_options();
+  EMTS_REQUIRE(std::abs(evaluator.sample_rate() - sample_rate) < 1e-6 * sample_rate,
+               "pre-fitted evaluator was calibrated at a different sample rate");
+  spectral_window_.sample_rate = sample_rate;
+  evaluator_ = std::move(evaluator);
+  state_ = MonitorState::kMonitoring;  // cold start: zero calibration captures
+}
+
+void RuntimeMonitor::validate_options() const {
+  EMTS_REQUIRE(sample_rate_ > 0.0, "monitor needs a positive sample rate");
+  EMTS_REQUIRE(options_.alarm_debounce >= 1, "alarm debounce must be >= 1");
+  EMTS_REQUIRE(options_.spectral_window >= 1, "spectral window must be >= 1");
 }
 
 void RuntimeMonitor::on_alarm(std::function<void(const TrustReport&)> callback) {
@@ -48,19 +68,40 @@ MonitorState RuntimeMonitor::push(Trace trace) {
   }
 
   EMTS_ASSERT(evaluator_.has_value());
-  last_score_ = evaluator_->euclidean().score(trace);
-  const bool distance_anomaly = *last_score_ > evaluator_->euclidean().threshold();
 
-  // Spectral check over a rolling window.
-  bool spectral_anomaly = false;
+  // Per-trace stages score every capture; the first one (the Euclidean stage
+  // in the default stack) feeds last_score().
+  bool per_trace_anomaly = false;
+  bool first_score = true;
+  for (const auto& detector : evaluator_->detectors()) {
+    if (detector->windowed()) continue;
+    const double s = detector->score(trace);
+    if (first_score) {
+      last_score_ = s;
+      first_score = false;
+    }
+    per_trace_anomaly |= s > detector->threshold();
+  }
+
+  // Windowed stages re-run over a rolling window of recent captures.
+  bool windowed_anomaly = false;
   spectral_window_.add(std::move(trace));
   if (spectral_window_.size() >= options_.spectral_window) {
-    last_spectral_ = evaluator_->spectral().analyze(spectral_window_);
-    spectral_anomaly = last_spectral_->anomalous();
+    for (const auto& detector : evaluator_->detectors()) {
+      if (!detector->windowed()) continue;
+      if (const auto* sd = dynamic_cast<const SpectralDetector*>(detector.get())) {
+        last_spectral_ = sd->analyze(spectral_window_);
+        windowed_anomaly |= last_spectral_->anomalous();
+      } else {
+        const DetectorReport stage = detector->evaluate_set(
+            spectral_window_, evaluator_->options().anomalous_fraction_alarm);
+        windowed_anomaly |= stage.alarm;
+      }
+    }
     spectral_window_.traces.clear();
   }
 
-  if (distance_anomaly || spectral_anomaly) {
+  if (per_trace_anomaly || windowed_anomaly) {
     ++consecutive_anomalies_;
   } else {
     consecutive_anomalies_ = 0;
@@ -72,9 +113,13 @@ MonitorState RuntimeMonitor::push(Trace trace) {
     if (alarm_callback_) {
       TrustReport report;
       report.verdict = Verdict::kCompromised;
-      report.threshold = evaluator_->euclidean().threshold();
-      report.mean_distance = *last_score_;
-      report.max_distance = *last_score_;
+      if (const auto* euclid = evaluator_->try_euclidean()) {
+        report.threshold = euclid->threshold();
+      }
+      if (last_score_.has_value()) {
+        report.mean_distance = *last_score_;
+        report.max_distance = *last_score_;
+      }
       report.anomalous_fraction = 1.0;
       if (last_spectral_.has_value()) report.spectral = *last_spectral_;
       alarm_callback_(report);

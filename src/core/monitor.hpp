@@ -1,9 +1,11 @@
 // Runtime trust monitor — the deployment loop of Fig. 1. The on-chip sensor
-// streams captures; the monitor first self-calibrates on an initial window
-// of traces (the user "knows how the circuit will operate", Sec. III-B),
-// then scores every subsequent capture and raises an alarm after a debounced
-// run of anomalies. "Runtime" in the paper's sense: evaluation happens while
-// the system operates, not instantaneously per trace.
+// streams captures; the monitor either self-calibrates on an initial window
+// of traces (the user "knows how the circuit will operate", Sec. III-B) or
+// starts from a pre-fitted evaluator (io::load_calibration — cold start in
+// O(load) instead of O(captures + PCA fit)), then scores every subsequent
+// capture and raises an alarm after a debounced run of anomalies. "Runtime"
+// in the paper's sense: evaluation happens while the system operates, not
+// instantaneously per trace.
 #pragma once
 
 #include <cstddef>
@@ -24,15 +26,21 @@ class RuntimeMonitor {
     // Consecutive anomalous captures required to latch the alarm: debounces
     // the occasional golden capture beyond EDth.
     std::size_t alarm_debounce = 3;
-    // Re-run the spectral check every this many monitored captures, over the
-    // most recent window of traces.
+    // Re-run the windowed (spectral) checks every this many monitored
+    // captures, over the most recent window of traces.
     std::size_t spectral_window = 16;
     TrustEvaluator::Options evaluator{};
   };
 
-  /// `sample_rate` of the incoming captures (Hz).
+  /// Self-calibrating monitor: the first `calibration_traces` pushes fit the
+  /// detector stack. `sample_rate` of the incoming captures (Hz).
   explicit RuntimeMonitor(double sample_rate);  // default options
   RuntimeMonitor(double sample_rate, const Options& options);
+
+  /// Pre-fitted monitor: starts monitoring immediately with zero calibration
+  /// captures. The evaluator's calibration sample rate must match.
+  RuntimeMonitor(double sample_rate, TrustEvaluator evaluator);
+  RuntimeMonitor(double sample_rate, TrustEvaluator evaluator, const Options& options);
 
   /// Feeds one capture; returns the state after ingesting it.
   MonitorState push(Trace trace);
@@ -40,10 +48,12 @@ class RuntimeMonitor {
   MonitorState state() const { return state_; }
   std::size_t traces_seen() const { return traces_seen_; }
 
-  /// Distance score of the most recent monitored capture.
+  /// Score of the most recent monitored capture under the first per-trace
+  /// detector (the Euclidean stage in the default stack).
   std::optional<double> last_score() const { return last_score_; }
 
-  /// The detector stack, once calibration completes.
+  /// The detector stack, once calibration completes (immediately for a
+  /// pre-fitted monitor).
   const TrustEvaluator* evaluator() const {
     return evaluator_.has_value() ? &*evaluator_ : nullptr;
   }
@@ -59,6 +69,7 @@ class RuntimeMonitor {
   void acknowledge_alarm();
 
  private:
+  void validate_options() const;
   void finish_calibration();
 
   Options options_;

@@ -5,6 +5,7 @@
 #include "dsp/filter.hpp"
 #include "dsp/resample.hpp"
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 
 namespace emts::core {
 
@@ -61,6 +62,25 @@ linalg::Matrix Preprocessor::feature_matrix(const TraceSet& set) const {
 
 std::size_t Preprocessor::feature_dim(std::size_t trace_length) const {
   return options_.decimation > 1 ? trace_length / options_.decimation : trace_length;
+}
+
+void save_preprocessor_options(std::ostream& out, const Preprocessor::Options& options) {
+  util::write_u8(out, options.remove_mean ? 1 : 0);
+  util::write_u64(out, options.smooth_window);
+  util::write_u8(out, options.normalize_rms ? 1 : 0);
+  util::write_u64(out, options.decimation);
+}
+
+Preprocessor::Options load_preprocessor_options(std::istream& in) {
+  Preprocessor::Options options;
+  options.remove_mean = util::read_u8(in) != 0;
+  options.smooth_window = util::read_u64(in);
+  options.normalize_rms = util::read_u8(in) != 0;
+  options.decimation = util::read_u64(in);
+  EMTS_REQUIRE(options.smooth_window % 2 == 1, "preprocessor options: smooth window must be odd");
+  EMTS_REQUIRE(options.decimation >= 1 && options.decimation < (1ull << 20),
+               "preprocessor options: implausible decimation");
+  return options;
 }
 
 }  // namespace emts::core

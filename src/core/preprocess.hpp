@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "core/trace.hpp"
@@ -42,5 +43,10 @@ class Preprocessor {
  private:
   Options options_;
 };
+
+/// Binary round-trip of preprocessing parameters inside an EMCA calibration
+/// artifact: a deployed detector must preprocess exactly as it was fitted.
+void save_preprocessor_options(std::ostream& out, const Preprocessor::Options& options);
+Preprocessor::Options load_preprocessor_options(std::istream& in);
 
 }  // namespace emts::core

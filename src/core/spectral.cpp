@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "stats/descriptive.hpp"
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 
 namespace emts::core {
 
@@ -90,6 +92,101 @@ SpectralReport SpectralDetector::analyze(const Trace& trace) const {
   set.sample_rate = sample_rate_;
   set.add(trace);
   return analyze(set);
+}
+
+double SpectralDetector::score(const Trace& trace) const {
+  const SpectralReport report = analyze(trace);
+  return report.anomalies.empty() ? 0.0 : report.anomalies.front().ratio;
+}
+
+DetectorReport SpectralDetector::to_stage(const SpectralReport& report) const {
+  DetectorReport stage;
+  stage.name = name();
+  stage.threshold = threshold();
+  stage.alarm = report.anomalous();
+  double sum = 0.0;
+  for (const SpectralAnomaly& a : report.anomalies) {
+    sum += a.ratio;
+    stage.max_score = std::max(stage.max_score, a.ratio);
+  }
+  if (!report.anomalies.empty()) {
+    stage.mean_score = sum / static_cast<double>(report.anomalies.size());
+    stage.anomalous_fraction = 1.0;
+  }
+  std::ostringstream detail;
+  detail << report.anomalies.size() << " spectral anomalies";
+  if (!report.anomalies.empty()) {
+    detail << ", strongest x" << report.anomalies.front().ratio << " at "
+           << report.anomalies.front().frequency_hz / 1e6 << " MHz";
+  }
+  stage.detail = detail.str();
+  return stage;
+}
+
+DetectorReport SpectralDetector::evaluate_set(const TraceSet& suspect,
+                                              double /*alarm_fraction*/) const {
+  return to_stage(analyze(suspect));
+}
+
+std::string SpectralDetector::describe() const {
+  std::ostringstream out;
+  out << "spectral: " << golden_spots_.size() << " golden spots over "
+      << golden_.size() << " bins, noise floor " << noise_floor_ << ", fs "
+      << sample_rate_ / 1e6 << " MS/s";
+  return out.str();
+}
+
+void SpectralDetector::save(std::ostream& out) const {
+  util::write_u32(out, static_cast<std::uint32_t>(options_.spectrum.window));
+  util::write_u8(out, options_.spectrum.remove_mean ? 1 : 0);
+  util::write_f64(out, options_.noise_floor_factor);
+  util::write_f64(out, options_.new_spot_factor);
+  util::write_f64(out, options_.amplification_ratio);
+  util::write_u64(out, options_.match_bins);
+  util::write_f64(out, sample_rate_);
+  dsp::save_spectrum(out, golden_);
+  util::write_f64(out, noise_floor_);
+  util::write_u64(out, golden_spots_.size());
+  for (const dsp::SpectralPeak& spot : golden_spots_) {
+    util::write_u64(out, spot.bin);
+    util::write_f64(out, spot.frequency);
+    util::write_f64(out, spot.amplitude);
+  }
+}
+
+SpectralDetector SpectralDetector::load(std::istream& in) {
+  Options options;
+  const std::uint32_t window = util::read_u32(in);
+  EMTS_REQUIRE(window <= static_cast<std::uint32_t>(dsp::WindowKind::kBlackman),
+               "spectral load: unknown window kind");
+  options.spectrum.window = static_cast<dsp::WindowKind>(window);
+  options.spectrum.remove_mean = util::read_u8(in) != 0;
+  options.noise_floor_factor = util::read_f64(in);
+  options.new_spot_factor = util::read_f64(in);
+  options.amplification_ratio = util::read_f64(in);
+  options.match_bins = util::read_u64(in);
+  const double sample_rate = util::read_f64(in);
+  EMTS_REQUIRE(sample_rate > 0.0, "spectral load: bad sample rate");
+
+  dsp::Spectrum golden = dsp::load_spectrum(in);
+  // The constructor re-derives noise floor and spots from the spectrum; the
+  // serialized values are authoritative, so restore them exactly afterwards.
+  SpectralDetector detector{options, std::move(golden), sample_rate};
+  detector.noise_floor_ = util::read_f64(in);
+  EMTS_REQUIRE(detector.noise_floor_ > 0.0, "spectral load: bad noise floor");
+  const std::uint64_t spots = util::read_u64(in);
+  EMTS_REQUIRE(spots < (1ull << 20), "spectral load: implausible spot count");
+  detector.golden_spots_.clear();
+  detector.golden_spots_.reserve(spots);
+  for (std::uint64_t s = 0; s < spots; ++s) {
+    dsp::SpectralPeak spot;
+    spot.bin = util::read_u64(in);
+    spot.frequency = util::read_f64(in);
+    spot.amplitude = util::read_f64(in);
+    EMTS_REQUIRE(spot.bin < detector.golden_.size(), "spectral load: spot bin out of range");
+    detector.golden_spots_.push_back(spot);
+  }
+  return detector;
 }
 
 }  // namespace emts::core

@@ -11,11 +11,19 @@
 // T = g / T != g case split:
 //   kNewSpot        — a peak at a frequency the golden spectrum is quiet at;
 //   kAmplifiedSpot  — a known spot whose magnitude grew beyond tolerance.
+//
+// Registered in the DetectorRegistry as "spectral". As a Detector it is
+// *windowed*: its natural grain is a whole capture window (mean spectrum),
+// so evaluate_set() analyzes the set at once; score(trace) is the strongest
+// anomaly ratio of that single trace (0 when clean) against a threshold of 0.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
+#include "core/detector.hpp"
 #include "core/trace.hpp"
 #include "dsp/spectrum.hpp"
 
@@ -38,7 +46,7 @@ struct SpectralReport {
   bool anomalous() const { return !anomalies.empty(); }
 };
 
-class SpectralDetector {
+class SpectralDetector : public Detector {
  public:
   struct Options {
     dsp::SpectrumOptions spectrum{};
@@ -57,15 +65,36 @@ class SpectralDetector {
   static SpectralDetector calibrate(const TraceSet& golden, const Options& options);
   static SpectralDetector calibrate(const TraceSet& golden);  // default options
 
+  std::string name() const override { return "spectral"; }
+  std::string describe() const override;
+  bool windowed() const override { return true; }
+
+  /// Strongest anomaly ratio of one trace; 0 when the trace is clean, so any
+  /// positive score against the 0 threshold means "anomalous".
+  double score(const Trace& trace) const override;
+  double threshold() const override { return 0.0; }
+
+  /// Whole-window verdict from one mean-spectrum analysis.
+  DetectorReport evaluate_set(const TraceSet& suspect, double alarm_fraction) const override;
+
   /// Analyzes a set of suspect traces (averaged spectrum).
   SpectralReport analyze(const TraceSet& suspect) const;
 
   /// Analyzes one trace.
   SpectralReport analyze(const Trace& trace) const;
 
+  /// Folds a typed spectral report into the generic stage form.
+  DetectorReport to_stage(const SpectralReport& report) const;
+
+  /// Serializes the golden spectrum, spots, noise floor and options; load()
+  /// restores a detector whose analyze() reports are bit-identical.
+  void save(std::ostream& out) const override;
+  static SpectralDetector load(std::istream& in);
+
   const dsp::Spectrum& golden_spectrum() const { return golden_; }
   const std::vector<dsp::SpectralPeak>& golden_spots() const { return golden_spots_; }
   double golden_noise_floor() const { return noise_floor_; }
+  double sample_rate() const { return sample_rate_; }
 
  private:
   SpectralDetector(const Options& options, dsp::Spectrum golden, double sample_rate);

@@ -5,6 +5,7 @@
 
 #include "dsp/fft.hpp"
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 
 namespace emts::dsp {
 
@@ -85,6 +86,23 @@ std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum, double min_amplit
             [](const SpectralPeak& a, const SpectralPeak& b) { return a.amplitude > b.amplitude; });
   if (peaks.size() > max_peaks) peaks.resize(max_peaks);
   return peaks;
+}
+
+void save_spectrum(std::ostream& out, const Spectrum& spectrum) {
+  EMTS_REQUIRE(spectrum.frequency.size() == spectrum.amplitude.size(),
+               "save_spectrum: ragged spectrum");
+  util::write_f64_vec(out, spectrum.frequency);
+  util::write_f64_vec(out, spectrum.amplitude);
+}
+
+Spectrum load_spectrum(std::istream& in) {
+  Spectrum spectrum;
+  spectrum.frequency = util::read_f64_vec(in);
+  spectrum.amplitude = util::read_f64_vec(in);
+  EMTS_REQUIRE(spectrum.frequency.size() == spectrum.amplitude.size(),
+               "load_spectrum: ragged spectrum");
+  EMTS_REQUIRE(!spectrum.amplitude.empty(), "load_spectrum: empty spectrum");
+  return spectrum;
 }
 
 }  // namespace emts::dsp

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "dsp/window.hpp"
@@ -50,5 +51,11 @@ struct SpectralPeak {
 /// A bin qualifies when it exceeds both neighbours.
 std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum, double min_amplitude,
                                      std::size_t max_peaks = 32);
+
+/// Binary round-trip of a reference spectrum (the spectral detector's golden
+/// model in an EMCA calibration artifact). load_spectrum restores the bins
+/// bit-identically and throws precondition_error on truncation or mismatch.
+void save_spectrum(std::ostream& out, const Spectrum& spectrum);
+Spectrum load_spectrum(std::istream& in);
 
 }  // namespace emts::dsp

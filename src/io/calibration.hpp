@@ -1,0 +1,39 @@
+// Calibration artifact: persist a fitted detector stack so deployments can
+// cold-start monitoring without re-capturing golden traces ("calibrate once,
+// monitor many"). Format "EMCA" v1:
+//
+//   magic   'E' 'M' 'C' 'A'
+//   u32     version (1)
+//   f64     calibration sample rate, Hz
+//   f64     anomalous-fraction alarm gate
+//   u32     detector count
+//   then per detector:
+//     string  registry name (u32 byte count + bytes)
+//     u64     payload size in bytes
+//     bytes   detector payload (Detector::save output)
+//
+// Payloads are length-framed so the loader can reject an unknown detector
+// name, a payload that is not fully consumed, and trailing bytes after the
+// last detector — any of which marks a corrupt or incompatible artifact.
+// All fitted doubles round-trip bit-identically: a loaded evaluator scores
+// every trace exactly as the evaluator that was saved.
+#pragma once
+
+#include <string>
+
+#include "core/evaluator.hpp"
+
+namespace emts::io {
+
+/// Writes the evaluator's full fitted state. Throws precondition_error on
+/// I/O failure.
+void save_calibration(const std::string& path, const core::TrustEvaluator& evaluator);
+
+/// Reads an artifact written by save_calibration and reassembles the
+/// evaluator. Every named detector must be present in the DetectorRegistry
+/// (call baseline::register_ron_detector() first for "ron" stacks). Throws
+/// precondition_error on bad magic, version, sizes, unknown detectors,
+/// under/over-consumed payloads, or trailing bytes.
+core::TrustEvaluator load_calibration(const std::string& path);
+
+}  // namespace emts::io

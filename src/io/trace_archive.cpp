@@ -1,5 +1,6 @@
 #include "io/trace_archive.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -57,7 +58,8 @@ core::TraceSet load_trace_archive(const std::string& path) {
   EMTS_REQUIRE(header.version == kVersion, "load_trace_archive: unsupported version");
   EMTS_REQUIRE(header.trace_count > 0 && header.trace_length > 0,
                "load_trace_archive: empty archive " + path);
-  EMTS_REQUIRE(header.sample_rate > 0.0, "load_trace_archive: bad sample rate");
+  EMTS_REQUIRE(std::isfinite(header.sample_rate) && header.sample_rate > 0.0,
+               "load_trace_archive: bad sample rate");
   // Guard pathological headers before allocating.
   EMTS_REQUIRE(header.trace_count < (1ull << 32) && header.trace_length < (1ull << 32),
                "load_trace_archive: implausible sizes in " + path);
@@ -73,6 +75,10 @@ core::TraceSet load_trace_archive(const std::string& path) {
                  "load_trace_archive: truncated payload in " + path);
     set.add(std::move(trace));
   }
+  // A well-formed archive ends exactly where the header says it does;
+  // trailing bytes mean the header lies about the payload shape.
+  EMTS_REQUIRE(in.peek() == std::ifstream::traits_type::eof(),
+               "load_trace_archive: trailing bytes in " + path);
   return set;
 }
 

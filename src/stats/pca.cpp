@@ -5,6 +5,7 @@
 
 #include "linalg/eigen.hpp"
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 
 namespace emts::stats {
 
@@ -135,6 +136,36 @@ std::vector<double> PcaModel::reconstruct(const std::vector<double>& projected) 
     out[j] += acc;
   }
   return out;
+}
+
+void PcaModel::save(std::ostream& out) const {
+  util::write_u64(out, input_dim());
+  util::write_u64(out, components());
+  util::write_f64(out, total_variance_);
+  util::write_f64_vec(out, mean_);
+  util::write_f64_vec(out, eigenvalues_);
+  for (std::size_t j = 0; j < input_dim(); ++j) {
+    for (std::size_t c = 0; c < components(); ++c) util::write_f64(out, basis_(j, c));
+  }
+}
+
+PcaModel PcaModel::load(std::istream& in) {
+  const std::uint64_t d = util::read_u64(in);
+  const std::uint64_t k = util::read_u64(in);
+  EMTS_REQUIRE(d >= 1 && k >= 1, "PCA load: empty model");
+  EMTS_REQUIRE(d < (1ull << 32) && k <= d, "PCA load: implausible dimensions");
+
+  PcaModel model;
+  model.total_variance_ = util::read_f64(in);
+  model.mean_ = util::read_f64_vec(in);
+  model.eigenvalues_ = util::read_f64_vec(in);
+  EMTS_REQUIRE(model.mean_.size() == d, "PCA load: mean size mismatch");
+  EMTS_REQUIRE(model.eigenvalues_.size() == k, "PCA load: eigenvalue count mismatch");
+  model.basis_ = linalg::Matrix{d, k};
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t c = 0; c < k; ++c) model.basis_(j, c) = util::read_f64(in);
+  }
+  return model;
 }
 
 double PcaModel::explained_variance_ratio() const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -43,6 +44,12 @@ class PcaModel {
   double explained_variance_ratio() const;
 
   const std::vector<double>& feature_mean() const { return mean_; }
+
+  /// Serializes the fitted model (mean, basis, eigenvalues) so a calibrated
+  /// detector can ship without its training traces. load() restores a model
+  /// whose project()/reconstruct() outputs are bit-identical to the saved one.
+  void save(std::ostream& out) const;
+  static PcaModel load(std::istream& in);
 
  private:
   PcaModel() = default;

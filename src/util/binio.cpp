@@ -1,0 +1,78 @@
+#include "util/binio.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace emts::util {
+
+namespace {
+
+// Caps on deserialized container sizes: a flipped header bit must fail the
+// precondition check, not attempt a 2^60-element allocation.
+constexpr std::uint64_t kMaxVecElements = 1ull << 32;
+constexpr std::uint32_t kMaxStringBytes = 1u << 20;
+
+template <typename T>
+void write_raw(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  EMTS_REQUIRE(out.good(), "binio: write failed");
+}
+
+template <typename T>
+T read_raw(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  EMTS_REQUIRE(in.gcount() == static_cast<std::streamsize>(sizeof v),
+               "binio: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void write_u8(std::ostream& out, std::uint8_t v) { write_raw(out, v); }
+void write_u32(std::ostream& out, std::uint32_t v) { write_raw(out, v); }
+void write_u64(std::ostream& out, std::uint64_t v) { write_raw(out, v); }
+void write_f64(std::ostream& out, double v) { write_raw(out, v); }
+
+void write_f64_vec(std::ostream& out, const std::vector<double>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+  EMTS_REQUIRE(out.good(), "binio: write failed");
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  EMTS_REQUIRE(s.size() < kMaxStringBytes, "binio: string too long");
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  EMTS_REQUIRE(out.good(), "binio: write failed");
+}
+
+std::uint8_t read_u8(std::istream& in) { return read_raw<std::uint8_t>(in); }
+std::uint32_t read_u32(std::istream& in) { return read_raw<std::uint32_t>(in); }
+std::uint64_t read_u64(std::istream& in) { return read_raw<std::uint64_t>(in); }
+double read_f64(std::istream& in) { return read_raw<double>(in); }
+
+std::vector<double> read_f64_vec(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  EMTS_REQUIRE(n < kMaxVecElements, "binio: implausible vector size");
+  std::vector<double> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  EMTS_REQUIRE(in.gcount() == static_cast<std::streamsize>(n * sizeof(double)),
+               "binio: truncated stream");
+  return v;
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  EMTS_REQUIRE(n < kMaxStringBytes, "binio: implausible string size");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  EMTS_REQUIRE(in.gcount() == static_cast<std::streamsize>(n), "binio: truncated stream");
+  return s;
+}
+
+}  // namespace emts::util

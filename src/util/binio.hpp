@@ -1,0 +1,33 @@
+// Little-endian binary stream primitives shared by the persistence layers
+// (EMTA trace archives, EMCA calibration artifacts). Fixed-width writes of
+// scalars, vectors and length-prefixed strings with hard caps on read sizes
+// so a corrupt header cannot trigger a pathological allocation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emts::util {
+
+void write_u8(std::ostream& out, std::uint8_t v);
+void write_u32(std::ostream& out, std::uint32_t v);
+void write_u64(std::ostream& out, std::uint64_t v);
+void write_f64(std::ostream& out, double v);
+
+/// u64 element count followed by raw float64 payload.
+void write_f64_vec(std::ostream& out, const std::vector<double>& v);
+
+/// u32 byte count followed by raw bytes.
+void write_string(std::ostream& out, const std::string& s);
+
+/// All readers throw precondition_error on a truncated or implausible stream.
+std::uint8_t read_u8(std::istream& in);
+std::uint32_t read_u32(std::istream& in);
+std::uint64_t read_u64(std::istream& in);
+double read_f64(std::istream& in);
+std::vector<double> read_f64_vec(std::istream& in);
+std::string read_string(std::istream& in);
+
+}  // namespace emts::util

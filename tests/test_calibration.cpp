@@ -1,0 +1,197 @@
+// EMCA calibration artifact tests: the contract is bit-identical round-trip
+// (a loaded evaluator scores every trace exactly as the one that was saved)
+// plus hard rejection of corrupt or incompatible artifacts.
+#include "io/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "baseline/ron.hpp"
+#include "core/monitor.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::io {
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 2048;
+
+core::Trace golden_trace(emts::Rng& rng) {
+  core::Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] = std::sin(2.0 * units::pi * 48e6 * static_cast<double>(i) / kFs) +
+           rng.gaussian(0.0, 0.08);
+  }
+  return t;
+}
+
+core::Trace infected_trace(emts::Rng& rng) {
+  core::Trace t = golden_trace(rng);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] += 0.6 * std::sin(2.0 * units::pi * 72e6 * static_cast<double>(i) / kFs) +
+            0.3 * std::sin(2.0 * units::pi * 3e6 * static_cast<double>(i) / kFs);
+  }
+  return t;
+}
+
+core::TraceSet make_set(std::size_t n, bool infected, std::uint64_t seed) {
+  emts::Rng rng{seed};
+  core::TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) {
+    set.add(infected ? infected_trace(rng) : golden_trace(rng));
+  }
+  return set;
+}
+
+class CalibrationArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override { baseline::register_ron_detector(); }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / "emts_calibration_test.emca").string();
+};
+
+TEST_F(CalibrationArtifactTest, RoundTripScoresAreBitIdentical) {
+  const auto original = core::TrustEvaluator::calibrate(make_set(30, false, 1));
+  save_calibration(path_, original);
+  const auto loaded = load_calibration(path_);
+
+  EXPECT_EQ(loaded.sample_rate(), original.sample_rate());
+  ASSERT_EQ(loaded.detectors().size(), original.detectors().size());
+  for (std::size_t d = 0; d < original.detectors().size(); ++d) {
+    EXPECT_EQ(loaded.detectors()[d]->name(), original.detectors()[d]->name());
+    // Exact comparison on purpose: the artifact stores every fitted double
+    // raw, so the threshold must round-trip to the bit.
+    EXPECT_EQ(loaded.detectors()[d]->threshold(), original.detectors()[d]->threshold());
+  }
+
+  emts::Rng rng{2};
+  for (int i = 0; i < 10; ++i) {
+    const core::Trace clean = golden_trace(rng);
+    const core::Trace bad = infected_trace(rng);
+    for (std::size_t d = 0; d < original.detectors().size(); ++d) {
+      if (original.detectors()[d]->windowed()) continue;
+      EXPECT_EQ(loaded.detectors()[d]->score(clean), original.detectors()[d]->score(clean));
+      EXPECT_EQ(loaded.detectors()[d]->score(bad), original.detectors()[d]->score(bad));
+    }
+  }
+}
+
+TEST_F(CalibrationArtifactTest, RoundTripEvaluationIsIdentical) {
+  const auto original = core::TrustEvaluator::calibrate(make_set(30, false, 3));
+  save_calibration(path_, original);
+  const auto loaded = load_calibration(path_);
+
+  const auto suspect = make_set(16, true, 4);
+  const auto before = original.evaluate(suspect);
+  const auto after = loaded.evaluate(suspect);
+
+  EXPECT_EQ(after.verdict, before.verdict);
+  ASSERT_EQ(after.stages.size(), before.stages.size());
+  for (std::size_t s = 0; s < before.stages.size(); ++s) {
+    EXPECT_EQ(after.stages[s].mean_score, before.stages[s].mean_score);
+    EXPECT_EQ(after.stages[s].max_score, before.stages[s].max_score);
+    EXPECT_EQ(after.stages[s].threshold, before.stages[s].threshold);
+    EXPECT_EQ(after.stages[s].anomalous_fraction, before.stages[s].anomalous_fraction);
+    EXPECT_EQ(after.stages[s].alarm, before.stages[s].alarm);
+  }
+  ASSERT_EQ(after.spectral.anomalies.size(), before.spectral.anomalies.size());
+  for (std::size_t a = 0; a < before.spectral.anomalies.size(); ++a) {
+    EXPECT_EQ(after.spectral.anomalies[a].frequency_hz, before.spectral.anomalies[a].frequency_hz);
+    EXPECT_EQ(after.spectral.anomalies[a].ratio, before.spectral.anomalies[a].ratio);
+    EXPECT_EQ(after.spectral.anomalies[a].kind, before.spectral.anomalies[a].kind);
+  }
+}
+
+TEST_F(CalibrationArtifactTest, RonStackRoundTrips) {
+  core::TrustEvaluator::Options options;
+  options.detectors = {"euclidean", "spectral", "ron"};
+  const auto original = core::TrustEvaluator::calibrate(make_set(30, false, 5), options);
+  save_calibration(path_, original);
+  const auto loaded = load_calibration(path_);
+
+  ASSERT_EQ(loaded.detectors().size(), 3u);
+  const auto* ron = loaded.find("ron");
+  ASSERT_NE(ron, nullptr);
+  emts::Rng rng{6};
+  const core::Trace probe = golden_trace(rng);
+  EXPECT_EQ(ron->score(probe), original.find("ron")->score(probe));
+  EXPECT_EQ(ron->threshold(), original.find("ron")->threshold());
+}
+
+TEST_F(CalibrationArtifactTest, ColdStartMonitorSkipsCalibration) {
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(30, false, 7)));
+  auto evaluator = load_calibration(path_);
+
+  core::RuntimeMonitor::Options options;
+  options.alarm_debounce = 3;
+  options.spectral_window = 8;
+  core::RuntimeMonitor monitor{evaluator.sample_rate(), std::move(evaluator), options};
+  EXPECT_EQ(monitor.state(), core::MonitorState::kMonitoring);
+  EXPECT_EQ(monitor.traces_seen(), 0u);
+
+  emts::Rng rng{8};
+  for (int i = 0; i < 8 && monitor.state() != core::MonitorState::kAlarm; ++i) {
+    monitor.push(infected_trace(rng));
+  }
+  EXPECT_EQ(monitor.state(), core::MonitorState::kAlarm);
+}
+
+TEST_F(CalibrationArtifactTest, RejectsMissingFile) {
+  EXPECT_THROW(load_calibration("/nonexistent/model.emca"), emts::precondition_error);
+}
+
+TEST_F(CalibrationArtifactTest, RejectsBadMagic) {
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 9)));
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  file.write("NOPE", 4);
+  file.close();
+  EXPECT_THROW(load_calibration(path_), emts::precondition_error);
+}
+
+TEST_F(CalibrationArtifactTest, RejectsWrongVersion) {
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 10)));
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  file.seekp(4);
+  const std::uint32_t bogus = 42;
+  file.write(reinterpret_cast<const char*>(&bogus), sizeof bogus);
+  file.close();
+  EXPECT_THROW(load_calibration(path_), emts::precondition_error);
+}
+
+TEST_F(CalibrationArtifactTest, RejectsTruncatedArtifact) {
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 11)));
+  const auto full_size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full_size - 32);
+  EXPECT_THROW(load_calibration(path_), emts::precondition_error);
+}
+
+TEST_F(CalibrationArtifactTest, RejectsTrailingGarbage) {
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 12)));
+  std::ofstream out{path_, std::ios::binary | std::ios::app};
+  out << "garbage past the last detector payload";
+  out.close();
+  EXPECT_THROW(load_calibration(path_), emts::precondition_error);
+}
+
+TEST_F(CalibrationArtifactTest, RejectsUnknownDetectorName) {
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 13)));
+  // The first detector name ("euclidean", u32 length 9 at byte 24) is
+  // overwritten in place with an unregistered one of the same length.
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  file.seekp(4 + 4 + 8 + 8 + 4 + 4);
+  file.write("euclidoon", 9);
+  file.close();
+  EXPECT_THROW(load_calibration(path_), emts::precondition_error);
+}
+
+}  // namespace
+}  // namespace emts::io

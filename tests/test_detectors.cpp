@@ -2,8 +2,11 @@
 // never see the chip simulator here, proving the core library stands alone.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "core/detector.hpp"
 #include "core/euclidean.hpp"
 #include "core/spectral.hpp"
 #include "util/assert.hpp"
@@ -250,6 +253,81 @@ TEST(SpectralDetector, SingleTraceAnalyzeOverloadWorks) {
   emts::Rng rng{10};
   const auto report = det.analyze(infected_trace(rng, 0.5, 72e6));
   EXPECT_TRUE(report.anomalous());
+}
+
+// ---------- Detector interface & registry ----------
+
+TEST(DetectorInterface, BuiltInsAreRegistered) {
+  auto& registry = DetectorRegistry::instance();
+  EXPECT_TRUE(registry.contains("euclidean"));
+  EXPECT_TRUE(registry.contains("spectral"));
+  EXPECT_FALSE(registry.contains("no-such-detector"));
+  const auto names = registry.names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "euclidean"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "spectral"), names.end());
+}
+
+TEST(DetectorInterface, RegistryCalibrateMatchesDirectCalibrate) {
+  const auto golden = golden_set(20);
+  const auto via_registry = DetectorRegistry::instance().calibrate("euclidean", golden);
+  const auto direct = EuclideanDetector::calibrate(golden);
+  ASSERT_NE(via_registry, nullptr);
+  EXPECT_EQ(via_registry->name(), "euclidean");
+  emts::Rng rng{42};
+  const Trace probe = golden_trace(rng);
+  EXPECT_DOUBLE_EQ(via_registry->score(probe), direct.score(probe));
+  EXPECT_DOUBLE_EQ(via_registry->threshold(), direct.threshold());
+}
+
+TEST(DetectorInterface, UnknownNameThrows) {
+  EXPECT_THROW(DetectorRegistry::instance().calibrate("no-such-detector", golden_set(4)),
+               emts::precondition_error);
+}
+
+TEST(DetectorInterface, PolymorphicScoringThroughBasePointer) {
+  const auto golden = golden_set(20);
+  std::vector<std::shared_ptr<const Detector>> stack;
+  stack.push_back(std::make_shared<const EuclideanDetector>(EuclideanDetector::calibrate(golden)));
+  stack.push_back(std::make_shared<const SpectralDetector>(SpectralDetector::calibrate(golden)));
+
+  emts::Rng rng{43};
+  // Composite anomaly: a slow tone that survives the Euclidean stage's 16x
+  // decimation plus a fast tone for the spectral stage.
+  Trace bad = infected_trace(rng, 0.8, 72e6);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    bad[i] += 0.5 * std::sin(2.0 * units::pi * 3e6 * static_cast<double>(i) / kFs);
+  }
+  for (const auto& detector : stack) {
+    EXPECT_FALSE(detector->name().empty());
+    EXPECT_FALSE(detector->describe().empty());
+    EXPECT_TRUE(detector->is_anomalous(bad)) << detector->name();
+  }
+}
+
+TEST(DetectorInterface, SpectralIsWindowedWithZeroThreshold) {
+  const auto det = SpectralDetector::calibrate(golden_set(8));
+  EXPECT_TRUE(det.windowed());
+  EXPECT_FALSE(EuclideanDetector::calibrate(golden_set(8)).windowed());
+  // score() is the strongest anomaly ratio, so any positive score beats the
+  // 0.0 threshold: is_anomalous(trace) == "analyze found something".
+  EXPECT_DOUBLE_EQ(det.threshold(), 0.0);
+  emts::Rng rng{44};
+  EXPECT_GT(det.score(infected_trace(rng, 0.5, 72e6)), 0.0);
+}
+
+TEST(DetectorInterface, EvaluateSetReportsFractionAndAlarm) {
+  const auto golden = golden_set(20);
+  const auto det = EuclideanDetector::calibrate(golden);
+  emts::Rng rng{45};
+  TraceSet suspect;
+  suspect.sample_rate = kFs;
+  for (int i = 0; i < 10; ++i) suspect.add(infected_trace(rng, 0.8, 31e6));
+  const DetectorReport report = det.evaluate_set(suspect, 0.5);
+  EXPECT_EQ(report.name, "euclidean");
+  EXPECT_TRUE(report.alarm);
+  EXPECT_GT(report.anomalous_fraction, 0.9);
+  EXPECT_GE(report.max_score, report.mean_score);
+  EXPECT_NE(report.detail.find("threshold"), std::string::npos);
 }
 
 }  // namespace

@@ -189,6 +189,34 @@ TEST(RuntimeMonitor, RejectsBadOptions) {
   EXPECT_THROW((RuntimeMonitor{0.0, small_options()}), emts::precondition_error);
 }
 
+TEST(RuntimeMonitor, PreFittedStartsMonitoringImmediately) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 17));
+  RuntimeMonitor monitor{kFs, evaluator, small_options()};
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+  EXPECT_EQ(monitor.traces_seen(), 0u);  // cold start: zero calibration captures
+  ASSERT_NE(monitor.evaluator(), nullptr);
+
+  // First push is already scored, not swallowed by calibration.
+  emts::Rng rng{18};
+  monitor.push(golden_trace(rng));
+  EXPECT_TRUE(monitor.last_score().has_value());
+}
+
+TEST(RuntimeMonitor, PreFittedAlarmsOnInfectedStream) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 19));
+  RuntimeMonitor monitor{kFs, evaluator, small_options()};
+  emts::Rng rng{20};
+  for (int i = 0; i < 8 && monitor.state() != MonitorState::kAlarm; ++i) {
+    monitor.push(infected_trace(rng));
+  }
+  EXPECT_EQ(monitor.state(), MonitorState::kAlarm);
+}
+
+TEST(RuntimeMonitor, PreFittedRejectsSampleRateMismatch) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 21));
+  EXPECT_THROW((RuntimeMonitor{2.0 * kFs, evaluator}), emts::precondition_error);
+}
+
 TEST(RuntimeMonitor, StateLabelsAreDistinct) {
   EXPECT_STRNE(monitor_state_label(MonitorState::kCalibrating),
                monitor_state_label(MonitorState::kMonitoring));

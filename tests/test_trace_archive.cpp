@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -86,6 +88,60 @@ TEST_F(TraceArchiveTest, RejectsTruncatedHeader) {
   std::ofstream out{path_, std::ios::binary};
   out << "EM";
   out.close();
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+// Header layout (32 bytes): magic[4] @0, u32 version @4, u64 trace_count @8,
+// u64 trace_length @16, f64 sample_rate @24.
+void patch_bytes(const std::string& path, std::streamoff offset, const void* bytes,
+                 std::size_t size) {
+  std::fstream file{path, std::ios::binary | std::ios::in | std::ios::out};
+  ASSERT_TRUE(file.good());
+  file.seekp(offset);
+  file.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(size));
+  ASSERT_TRUE(file.good());
+}
+
+TEST_F(TraceArchiveTest, RejectsWrongVersion) {
+  save_trace_archive(path_, random_set(3, 64, 3));
+  const std::uint32_t bogus_version = 99;
+  patch_bytes(path_, 4, &bogus_version, sizeof bogus_version);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsZeroTraceCount) {
+  save_trace_archive(path_, random_set(3, 64, 4));
+  const std::uint64_t zero = 0;
+  patch_bytes(path_, 8, &zero, sizeof zero);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsZeroTraceLength) {
+  save_trace_archive(path_, random_set(3, 64, 5));
+  const std::uint64_t zero = 0;
+  patch_bytes(path_, 16, &zero, sizeof zero);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsNonFiniteSampleRate) {
+  save_trace_archive(path_, random_set(3, 64, 6));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  patch_bytes(path_, 24, &nan, sizeof nan);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsTrailingGarbage) {
+  save_trace_archive(path_, random_set(3, 64, 7));
+  std::ofstream out{path_, std::ios::binary | std::ios::app};
+  out << "extra bytes past the declared payload";
+  out.close();
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsImplausibleTraceCount) {
+  save_trace_archive(path_, random_set(3, 64, 8));
+  const std::uint64_t huge = 1ull << 40;
+  patch_bytes(path_, 8, &huge, sizeof huge);
   EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
 }
 

@@ -1,20 +1,28 @@
 // emsentry_cli — campaign driver for the trust-evaluation workflow.
 //
 // On real silicon the capture step is an oscilloscope; here it is the chip
-// simulator. Everything downstream (archives, calibration, evaluation) is
-// exactly what a deployment would run:
+// simulator. Everything downstream (archives, calibration artifacts,
+// evaluation, monitoring) is exactly what a deployment would run:
 //
 //   emsentry_cli capture golden.emta --windows 64
 //   emsentry_cli capture suspect.emta --windows 16 --trojan T2 --first 5000
 //   emsentry_cli evaluate golden.emta suspect.emta
+//   emsentry_cli calibrate golden.emta model.emca
+//   emsentry_cli monitor --model model.emca --windows 40 --trojan T2
 //   emsentry_cli snr signal.emta noise.emta
 //   emsentry_cli info golden.emta
+//
+// Exit codes: 0 success / trusted, 1 verdict not trusted or alarm raised,
+// 2 malformed arguments (usage on stderr), 3 runtime error.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "baseline/ron.hpp"
 #include "core/evaluator.hpp"
+#include "core/monitor.hpp"
+#include "io/calibration.hpp"
 #include "io/trace_archive.hpp"
 #include "sim/chip.hpp"
 #include "sim/engine.hpp"
@@ -22,19 +30,34 @@
 #include "stats/snr.hpp"
 #include "util/assert.hpp"
 
+#ifndef EMSENTRY_VERSION
+#define EMSENTRY_VERSION "unknown"
+#endif
+
 using namespace emts;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* stream) {
+  std::fprintf(stream,
                "usage:\n"
                "  emsentry_cli capture <out.emta> [--windows N] [--trojan T1|T2|T3|T4|A2]\n"
                "                [--pickup sensor|probe] [--silicon] [--idle] [--first N]\n"
                "                [--threads N]\n"
                "  emsentry_cli evaluate <golden.emta> <suspect.emta>\n"
+               "  emsentry_cli calibrate <golden.emta> <out.emca> [--detectors a,b,...]\n"
+               "  emsentry_cli monitor --model <model.emca> [--windows N]\n"
+               "                [--trojan T1|T2|T3|T4|A2] [--silicon]\n"
                "  emsentry_cli snr <signal.emta> <noise.emta>\n"
-               "  emsentry_cli info <archive.emta>\n");
+               "  emsentry_cli info <archive.emta>\n"
+               "  emsentry_cli help | --help | -h\n"
+               "  emsentry_cli --version\n"
+               "\n"
+               "detectors: euclidean, spectral, ron (default: euclidean,spectral)\n");
+}
+
+int usage_error() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -48,8 +71,33 @@ bool parse_trojan(const std::string& label, trojan::TrojanKind* kind) {
   return false;
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void print_stage_lines(const core::TrustReport& report) {
+  for (const auto& stage : report.stages) {
+    std::printf("  [%s] %-10s %s\n", stage.alarm ? "!" : " ", stage.name.c_str(),
+                stage.detail.c_str());
+  }
+  for (const auto& anomaly : report.spectral.anomalies) {
+    std::printf("        spectral %s at %.3f MHz (x%.1f)\n",
+                anomaly.kind == core::SpectralAnomalyKind::kNewSpot ? "new spot" : "amplified",
+                anomaly.frequency_hz / 1e6, anomaly.ratio);
+  }
+}
+
 int cmd_capture(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
+  if (args.empty()) return usage_error();
   const std::string out_path = args[0];
 
   std::size_t windows = 32;
@@ -86,7 +134,7 @@ int cmd_capture(const std::vector<std::string>& args) {
       has_trojan = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
-      return usage();
+      return usage_error();
     }
   }
 
@@ -107,7 +155,7 @@ int cmd_capture(const std::vector<std::string>& args) {
 }
 
 int cmd_evaluate(const std::vector<std::string>& args) {
-  if (args.size() != 2) return usage();
+  if (args.size() != 2) return usage_error();
   const auto golden = io::load_trace_archive(args[0]);
   const auto suspect = io::load_trace_archive(args[1]);
 
@@ -118,16 +166,99 @@ int cmd_evaluate(const std::vector<std::string>& args) {
               golden.trace_length(), golden.sample_rate / 1e6);
   std::printf("suspect: %zu traces\n\n", suspect.size());
   std::printf("%s\n", report.summary().c_str());
-  for (const auto& anomaly : report.spectral.anomalies) {
-    std::printf("  spectral %s at %.3f MHz (x%.1f)\n",
-                anomaly.kind == core::SpectralAnomalyKind::kNewSpot ? "new spot" : "amplified",
-                anomaly.frequency_hz / 1e6, anomaly.ratio);
-  }
+  print_stage_lines(report);
   return report.verdict == core::Verdict::kTrusted ? 0 : 1;
 }
 
+int cmd_calibrate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage_error();
+  const std::string golden_path = args[0];
+  const std::string model_path = args[1];
+
+  core::TrustEvaluator::Options options;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--detectors") {
+      EMTS_REQUIRE(i + 1 < args.size(), "--detectors needs a value");
+      options.detectors = split_csv(args[++i]);
+      EMTS_REQUIRE(!options.detectors.empty(), "--detectors needs at least one name");
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage_error();
+    }
+  }
+
+  const auto golden = io::load_trace_archive(golden_path);
+  const auto evaluator = core::TrustEvaluator::calibrate(golden, options);
+  io::save_calibration(model_path, evaluator);
+
+  std::printf("calibrated %zu-stage detector stack on %zu golden traces -> %s\n",
+              evaluator.detectors().size(), golden.size(), model_path.c_str());
+  for (const auto& detector : evaluator.detectors()) {
+    std::printf("  %s\n", detector->describe().c_str());
+  }
+  return 0;
+}
+
+int cmd_monitor(const std::vector<std::string>& args) {
+  std::string model_path;
+  std::size_t windows = 32;
+  bool silicon = false;
+  bool has_trojan = false;
+  trojan::TrojanKind kind{};
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      EMTS_REQUIRE(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--model") {
+      model_path = next();
+    } else if (a == "--windows") {
+      windows = std::stoul(next());
+    } else if (a == "--silicon") {
+      silicon = true;
+    } else if (a == "--trojan") {
+      EMTS_REQUIRE(parse_trojan(next(), &kind), "unknown trojan label");
+      has_trojan = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage_error();
+    }
+  }
+  if (model_path.empty()) {
+    std::fprintf(stderr, "monitor needs --model <model.emca>\n");
+    return usage_error();
+  }
+
+  auto evaluator = io::load_calibration(model_path);
+  core::RuntimeMonitor monitor{evaluator.sample_rate(), std::move(evaluator)};
+  std::printf("cold start from %s: state %s, %zu calibration captures\n", model_path.c_str(),
+              core::monitor_state_label(monitor.state()), monitor.traces_seen());
+
+  sim::Chip chip{silicon ? sim::make_silicon_config(sim::SiliconOptions{})
+                         : sim::make_default_config()};
+  if (has_trojan) chip.arm(kind);
+
+  const auto& engine = sim::CaptureEngine::shared();
+  const auto stream = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, windows, 0);
+  std::size_t pushed = 0;
+  for (const auto& trace : stream.traces) {
+    const auto state = monitor.push(trace);
+    ++pushed;
+    if (state == core::MonitorState::kAlarm) break;
+  }
+
+  std::printf("monitored %zu captures%s: final state %s\n", pushed,
+              has_trojan ? (std::string(" (trojan ") + trojan::kind_label(kind) + " armed)").c_str()
+                         : "",
+              core::monitor_state_label(monitor.state()));
+  return monitor.state() == core::MonitorState::kAlarm ? 1 : 0;
+}
+
 int cmd_snr(const std::vector<std::string>& args) {
-  if (args.size() != 2) return usage();
+  if (args.size() != 2) return usage_error();
   const auto signal = io::load_trace_archive(args[0]);
   const auto noise = io::load_trace_archive(args[1]);
   std::vector<double> s;
@@ -139,7 +270,7 @@ int cmd_snr(const std::vector<std::string>& args) {
 }
 
 int cmd_info(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
+  if (args.size() != 1) return usage_error();
   const auto set = io::load_trace_archive(args[0]);
   std::printf("%s: %zu traces x %zu samples @ %.3f MS/s (%.2f us per trace)\n",
               args[0].c_str(), set.size(), set.trace_length(), set.sample_rate / 1e6,
@@ -150,19 +281,33 @@ int cmd_info(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  baseline::register_ron_detector();
+
+  if (argc < 2) return usage_error();
   const std::string command = argv[1];
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
 
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(stdout);
+    return 0;
+  }
+  if (command == "--version" || command == "version") {
+    std::printf("emsentry_cli %s\n", EMSENTRY_VERSION);
+    return 0;
+  }
+
   try {
     if (command == "capture") return cmd_capture(args);
     if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "calibrate") return cmd_calibrate(args);
+    if (command == "monitor") return cmd_monitor(args);
     if (command == "snr") return cmd_snr(args);
     if (command == "info") return cmd_info(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;
   }
-  return usage();
+  std::fprintf(stderr, "unknown command %s\n", command.c_str());
+  return usage_error();
 }
