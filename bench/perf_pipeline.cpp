@@ -3,10 +3,14 @@
 // per-trace scoring — so a deployment can budget its analysis module.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "core/euclidean.hpp"
 #include "core/evaluator.hpp"
+#include "core/monitor.hpp"
 #include "core/spectral.hpp"
 #include "io/calibration.hpp"
 #include "dsp/fft.hpp"
@@ -15,6 +19,7 @@
 #include "sim/chip.hpp"
 #include "sim/engine.hpp"
 #include "stats/pca.hpp"
+#include "util/alloc_counter.hpp"
 #include "util/rng.hpp"
 
 using namespace emts;
@@ -199,6 +204,175 @@ void BM_SpectralAnalyze(benchmark::State& state) {
 }
 BENCHMARK(BM_SpectralAnalyze);
 
+// ---------------------------------------------------------------------------
+// Streaming monitor hot path: the pre-ring per-push loop vs RuntimeMonitor.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kMonitorWindow = 64;
+
+/// The monitoring loop as it existed before the streaming rework, preserved
+/// verbatim for comparison: every score allocates fresh feature buffers, the
+/// spectral window is an accumulated TraceSet copy, and each windowed pass
+/// rebuilds the FFT window/twiddles from scratch.
+class SeedStyleMonitor {
+ public:
+  explicit SeedStyleMonitor(const core::TrustEvaluator& evaluator)
+      : evaluator_{evaluator} {
+    window_.sample_rate = evaluator.sample_rate();
+  }
+
+  void push(const core::Trace& trace) {
+    for (const auto& detector : evaluator_.detectors()) {
+      if (detector->windowed()) continue;
+      benchmark::DoNotOptimize(detector->score(trace));
+    }
+    window_.add(trace);
+    if (window_.size() >= kMonitorWindow) {
+      if (const auto* sd = evaluator_.try_spectral()) {
+        const auto report = sd->analyze(window_);
+        benchmark::DoNotOptimize(&report);
+      }
+      window_.traces.clear();
+    }
+  }
+
+ private:
+  const core::TrustEvaluator& evaluator_;
+  core::TraceSet window_;
+};
+
+const core::TrustEvaluator& shared_evaluator() {
+  static const core::TrustEvaluator evaluator = core::TrustEvaluator::calibrate(shared_golden());
+  return evaluator;
+}
+
+const core::TraceSet& shared_stream() {
+  static const core::TraceSet stream = sim::CaptureEngine::shared().capture_batch(
+      shared_chip(), sim::Pickup::kOnChipSensor, 4 * kMonitorWindow, 5000000);
+  return stream;
+}
+
+core::RuntimeMonitor::Options monitor_options() {
+  core::RuntimeMonitor::Options options;
+  options.spectral_window = kMonitorWindow;
+  return options;
+}
+
+void BM_MonitorSeedStylePush(benchmark::State& state) {
+  const auto& stream = shared_stream();
+  SeedStyleMonitor monitor{shared_evaluator()};
+  for (auto _ : state) {
+    for (const auto& trace : stream.traces) monitor.push(trace);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MonitorSeedStylePush)->Unit(benchmark::kMillisecond);
+
+void BM_MonitorStreamPush(benchmark::State& state) {
+  const auto& stream = shared_stream();
+  core::RuntimeMonitor monitor{shared_chip().sample_rate(), shared_evaluator(),
+                               monitor_options()};
+  // Warm-up outside the measured region: size every scratch, slot and plan.
+  for (const auto& trace : stream.traces) monitor.push(trace);
+  for (auto _ : state) {
+    for (const auto& trace : stream.traces) monitor.push(trace);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MonitorStreamPush)->Unit(benchmark::kMillisecond);
+
+void BM_MonitorStreamBatch(benchmark::State& state) {
+  const auto& stream = shared_stream();
+  core::RuntimeMonitor monitor{shared_chip().sample_rate(), shared_evaluator(),
+                               monitor_options()};
+  monitor.push_batch(stream);  // warm-up
+  for (auto _ : state) {
+    monitor.push_batch(stream);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MonitorStreamBatch)->Unit(benchmark::kMillisecond);
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Direct head-to-head measurement serialized to BENCH_monitor.json: streamed
+/// vs seed-style traces/sec on a 64-trace window, steady-state allocation
+/// counts for both paths, and the monitor's own p50/p99 push latency.
+void write_monitor_bench_json(const char* path) {
+  const auto& stream = shared_stream();
+  const auto& evaluator = shared_evaluator();
+  constexpr int kRepeats = 4;
+
+  SeedStyleMonitor seed{evaluator};
+  for (const auto& trace : stream.traces) seed.push(trace);  // equal-footing warm-up
+  auto seed_alloc0 = util::alloc::thread_counts();
+  const auto seed_t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const auto& trace : stream.traces) seed.push(trace);
+  }
+  const double seed_elapsed = seconds_since(seed_t0);
+  const auto seed_alloc1 = util::alloc::thread_counts();
+
+  core::RuntimeMonitor monitor{shared_chip().sample_rate(), evaluator, monitor_options()};
+  for (const auto& trace : stream.traces) monitor.push(trace);  // warm-up
+  const auto stream_alloc0 = util::alloc::thread_counts();
+  const auto stream_t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) monitor.push_batch(stream);
+  const double stream_elapsed = seconds_since(stream_t0);
+  const auto stream_alloc1 = util::alloc::thread_counts();
+
+  const double pushes = static_cast<double>(kRepeats) * static_cast<double>(stream.size());
+  const double seed_rate = pushes / seed_elapsed;
+  const double stream_rate = pushes / stream_elapsed;
+  const auto& push_latency = monitor.stats().push_latency;
+  const auto& spectral_latency = monitor.stats().spectral_latency;
+
+  std::ofstream out{path};
+  out << "{\n"
+      << "  \"window_traces\": " << kMonitorWindow << ",\n"
+      << "  \"trace_samples\": " << stream.trace_length() << ",\n"
+      << "  \"measured_pushes\": " << static_cast<std::uint64_t>(pushes) << ",\n"
+      << "  \"alloc_counting_active\": "
+      << (util::alloc::counting_active() ? "true" : "false") << ",\n"
+      << "  \"seed_style\": {\n"
+      << "    \"traces_per_sec\": " << seed_rate << ",\n"
+      << "    \"allocations\": " << (seed_alloc1.allocations - seed_alloc0.allocations)
+      << ",\n"
+      << "    \"allocated_bytes\": " << (seed_alloc1.bytes - seed_alloc0.bytes) << "\n"
+      << "  },\n"
+      << "  \"streamed\": {\n"
+      << "    \"traces_per_sec\": " << stream_rate << ",\n"
+      << "    \"allocations\": " << (stream_alloc1.allocations - stream_alloc0.allocations)
+      << ",\n"
+      << "    \"allocated_bytes\": " << (stream_alloc1.bytes - stream_alloc0.bytes) << ",\n"
+      << "    \"push_p50_ns\": " << push_latency.p50_ns() << ",\n"
+      << "    \"push_p99_ns\": " << push_latency.p99_ns() << ",\n"
+      << "    \"push_max_ns\": " << push_latency.max_ns() << ",\n"
+      << "    \"spectral_p50_ns\": " << spectral_latency.p50_ns() << ",\n"
+      << "    \"spectral_p99_ns\": " << spectral_latency.p99_ns() << "\n"
+      << "  },\n"
+      << "  \"speedup\": " << (stream_rate / seed_rate) << "\n"
+      << "}\n";
+  std::printf("monitor hot path: seed %.0f traces/s, streamed %.0f traces/s (%.2fx), "
+              "steady-state allocations %llu -> %s\n",
+              seed_rate, stream_rate, stream_rate / seed_rate,
+              static_cast<unsigned long long>(stream_alloc1.allocations -
+                                              stream_alloc0.allocations),
+              path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_monitor_bench_json("BENCH_monitor.json");
+  return 0;
+}

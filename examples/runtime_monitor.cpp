@@ -93,9 +93,34 @@ int main() {
   std::printf("\nwarm redeploy from %s: state %s after %zu captures\n", model_path.c_str(),
               core::monitor_state_label(redeployed.state()), redeployed.traces_seen());
 
+  // push_batch: same hot path and identical transitions as trace-by-trace
+  // push, one call per acquisition batch.
   const auto fresh = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 20, 100);
-  for (const auto& trace : fresh.traces) redeployed.push(trace);
+  redeployed.push_batch(fresh);
   std::printf("redeployed monitor after 20 captures: %s\n",
               core::monitor_state_label(redeployed.state()));
+
+  // What the first monitor's loop did, without ever perturbing it: lifetime
+  // counters, push/spectral latency quantiles, and the structured event log.
+  const core::MonitorStats& stats = monitor.stats();
+  std::printf("\nmonitor stats: ingested %llu (calibration %llu, scored %llu)\n",
+              static_cast<unsigned long long>(stats.traces_ingested),
+              static_cast<unsigned long long>(stats.calibration_captures),
+              static_cast<unsigned long long>(stats.scored_captures));
+  std::printf("  per-trace anomalies %llu, windowed %llu/%llu passes, alarms %llu "
+              "latched / %llu acked\n",
+              static_cast<unsigned long long>(stats.per_trace_anomalies),
+              static_cast<unsigned long long>(stats.windowed_anomalies),
+              static_cast<unsigned long long>(stats.spectral_passes),
+              static_cast<unsigned long long>(stats.alarms_latched),
+              static_cast<unsigned long long>(stats.alarms_acknowledged));
+  std::printf("  push latency p50 %.1f us, p99 %.1f us; spectral pass p50 %.1f us\n",
+              stats.push_latency.p50_ns() / 1e3, stats.push_latency.p99_ns() / 1e3,
+              stats.spectral_latency.p50_ns() / 1e3);
+  for (const auto& event : monitor.drain_events()) {
+    std::printf("  event #%-4llu %-18s %.6g\n",
+                static_cast<unsigned long long>(event.trace_index),
+                core::monitor_event_label(event.kind), event.value);
+  }
   return redeployed.state() == core::MonitorState::kMonitoring ? 0 : 1;
 }

@@ -32,6 +32,19 @@ struct DetectorReport {
   std::string detail;  // human-readable stage summary
 };
 
+/// Caller-owned working buffers for the allocation-free scoring path. One
+/// scratch serves one evaluation stream: the buffers are resized on first
+/// use and reused verbatim afterwards, so a steady stream of equal-length
+/// traces scores with zero heap allocations. Detectors may use any subset.
+struct ScoreScratch {
+  std::vector<double> work;       // preprocessing working signal
+  std::vector<double> aux;        // smoother prefix sums / generic scratch
+  std::vector<double> aux2;       // second preprocessing scratch
+  std::vector<double> features;   // preprocessed feature vector
+  std::vector<double> embedding;  // model-space embedding
+  std::vector<double> recon;      // reconstruction scratch
+};
+
 /// A fitted (calibrated) Trojan detector. Implementations are immutable once
 /// fitted: score() and friends are const and thread-safe, so one fitted
 /// detector can serve concurrent evaluation streams.
@@ -47,6 +60,16 @@ class Detector {
 
   /// Per-trace anomaly score; larger = more suspicious.
   virtual double score(const Trace& trace) const = 0;
+
+  /// score() writing every intermediate into caller-owned buffers. Returns a
+  /// value bit-identical to score(trace); overrides must preserve that
+  /// equality — the streaming monitor relies on it. The default ignores the
+  /// scratch and delegates, so detectors without a buffered path stay
+  /// correct (merely not allocation-free).
+  virtual double score_buffered(const Trace& trace, ScoreScratch& scratch) const {
+    (void)scratch;
+    return score(trace);
+  }
 
   /// Score level above which a single trace counts as anomalous.
   virtual double threshold() const = 0;

@@ -74,6 +74,16 @@ double EuclideanDetector::score(const Trace& trace) const {
   return linalg::euclidean_distance(embed(preprocessor_.features(trace)), golden_centroid_);
 }
 
+double EuclideanDetector::score_buffered(const Trace& trace, ScoreScratch& scratch) const {
+  preprocessor_.features_into(trace, scratch.work, scratch.aux, scratch.aux2, scratch.features);
+  pca_.project_into(scratch.features, scratch.embedding);
+  if (include_residual_) {
+    pca_.reconstruct_into(scratch.embedding, scratch.recon);
+    scratch.embedding.push_back(linalg::euclidean_distance(scratch.features, scratch.recon));
+  }
+  return linalg::euclidean_distance(scratch.embedding, golden_centroid_);
+}
+
 std::string EuclideanDetector::describe() const {
   std::ostringstream out;
   out << "euclidean: PCA " << pca_.components() << " components"

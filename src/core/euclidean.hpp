@@ -52,6 +52,10 @@ class EuclideanDetector : public Detector {
   /// Distance of a suspect trace to the golden centroid in PCA space.
   double score(const Trace& trace) const override;
 
+  /// score() through caller-owned buffers: bit-identical values, zero heap
+  /// allocations once the scratch is warm for the stream's trace length.
+  double score_buffered(const Trace& trace, ScoreScratch& scratch) const override;
+
   /// Serializes the full fitted model; load() restores a detector whose
   /// score()/threshold() are bit-identical to this one.
   void save(std::ostream& out) const override;

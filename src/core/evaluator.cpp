@@ -123,6 +123,20 @@ const SpectralDetector& TrustEvaluator::spectral() const {
   return *detector;
 }
 
+void TrustEvaluator::score_batch(const TraceSet& batch, ScoreScratch& scratch,
+                                 std::vector<std::vector<double>>& scores) const {
+  EMTS_REQUIRE(!batch.empty(), "score_batch needs traces");
+  scores.resize(detectors_.size());
+  for (std::size_t d = 0; d < detectors_.size(); ++d) {
+    scores[d].clear();
+    if (detectors_[d]->windowed()) continue;
+    scores[d].reserve(batch.size());
+    for (const Trace& trace : batch.traces) {
+      scores[d].push_back(detectors_[d]->score_buffered(trace, scratch));
+    }
+  }
+}
+
 TrustReport TrustEvaluator::evaluate(const TraceSet& suspect) const {
   EMTS_REQUIRE(!suspect.empty(), "evaluate needs traces");
 

@@ -68,6 +68,15 @@ class TrustEvaluator {
   /// trusted, one = suspicious, two or more = compromised.
   TrustReport evaluate(const TraceSet& suspect) const;
 
+  /// Per-trace scores of a whole batch through the buffered scoring path.
+  /// `scores` is aligned with detectors(): scores[d][t] is detector d's
+  /// score of trace t, bit-identical to detectors()[d]->score(trace); rows
+  /// of windowed detectors are left empty (their grain is the whole window,
+  /// not a trace). Reuses `scratch` and the rows of `scores`, so a steady
+  /// stream of equal-shaped batches scores with zero heap allocations.
+  void score_batch(const TraceSet& batch, ScoreScratch& scratch,
+                   std::vector<std::vector<double>>& scores) const;
+
   const std::vector<std::shared_ptr<const Detector>>& detectors() const { return detectors_; }
   const Detector* find(const std::string& name) const;
 

@@ -1,5 +1,6 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -18,14 +19,34 @@ const char* monitor_state_label(MonitorState state) {
   return "?";
 }
 
+const char* monitor_event_label(MonitorEventKind kind) {
+  switch (kind) {
+    case MonitorEventKind::kCalibrated:
+      return "CALIBRATED";
+    case MonitorEventKind::kPerTraceAnomaly:
+      return "PER_TRACE_ANOMALY";
+    case MonitorEventKind::kSpectralPass:
+      return "SPECTRAL_PASS";
+    case MonitorEventKind::kWindowedAnomaly:
+      return "WINDOWED_ANOMALY";
+    case MonitorEventKind::kAlarmLatched:
+      return "ALARM_LATCHED";
+    case MonitorEventKind::kAlarmAcknowledged:
+      return "ALARM_ACKNOWLEDGED";
+  }
+  return "?";
+}
+
 RuntimeMonitor::RuntimeMonitor(double sample_rate) : RuntimeMonitor(sample_rate, Options{}) {}
 
 RuntimeMonitor::RuntimeMonitor(double sample_rate, const Options& options)
-    : options_{options}, sample_rate_{sample_rate} {
+    : options_{options},
+      sample_rate_{sample_rate},
+      window_{std::max<std::size_t>(options.spectral_window, 1)} {
   validate_options();
   EMTS_REQUIRE(options.calibration_traces >= 3, "monitor needs >= 3 calibration traces");
   calibration_.sample_rate = sample_rate;
-  spectral_window_.sample_rate = sample_rate;
+  events_.resize(options_.event_log_capacity);
 }
 
 RuntimeMonitor::RuntimeMonitor(double sample_rate, TrustEvaluator evaluator)
@@ -33,17 +54,21 @@ RuntimeMonitor::RuntimeMonitor(double sample_rate, TrustEvaluator evaluator)
 
 RuntimeMonitor::RuntimeMonitor(double sample_rate, TrustEvaluator evaluator,
                                const Options& options)
-    : options_{options}, sample_rate_{sample_rate} {
+    : options_{options},
+      sample_rate_{sample_rate},
+      window_{std::max<std::size_t>(options.spectral_window, 1)} {
   validate_options();
   EMTS_REQUIRE(std::abs(evaluator.sample_rate() - sample_rate) < 1e-6 * sample_rate,
                "pre-fitted evaluator was calibrated at a different sample rate");
-  spectral_window_.sample_rate = sample_rate;
+  events_.resize(options_.event_log_capacity);
   evaluator_ = std::move(evaluator);
   state_ = MonitorState::kMonitoring;  // cold start: zero calibration captures
+  bind_evaluator();
 }
 
 void RuntimeMonitor::validate_options() const {
-  EMTS_REQUIRE(sample_rate_ > 0.0, "monitor needs a positive sample rate");
+  EMTS_REQUIRE(sample_rate_ > 0.0 && std::isfinite(sample_rate_),
+               "monitor needs a positive, finite sample rate");
   EMTS_REQUIRE(options_.alarm_debounce >= 1, "alarm debounce must be >= 1");
   EMTS_REQUIRE(options_.spectral_window >= 1, "spectral window must be >= 1");
 }
@@ -55,50 +80,103 @@ void RuntimeMonitor::on_alarm(std::function<void(const TrustReport&)> callback) 
 void RuntimeMonitor::finish_calibration() {
   evaluator_ = TrustEvaluator::calibrate(calibration_, options_.evaluator);
   state_ = MonitorState::kMonitoring;
+  bind_evaluator();
+  record_event(MonitorEventKind::kCalibrated, static_cast<double>(calibration_.size()));
 }
 
-MonitorState RuntimeMonitor::push(Trace trace) {
+void RuntimeMonitor::bind_evaluator() {
+  EMTS_ASSERT(evaluator_.has_value());
+  if (const SpectralDetector* sd = evaluator_->try_spectral()) {
+    spectral_scratch_.emplace(sd->options().spectrum);
+  }
+  window_set_.sample_rate = sample_rate_;
+}
+
+void RuntimeMonitor::record_event(MonitorEventKind kind, double value) {
+  if (events_.empty()) return;  // event capture disabled
+  events_[event_head_] = MonitorEvent{kind, traces_seen_, value};
+  event_head_ = (event_head_ + 1) % events_.size();
+  if (event_count_ < events_.size()) {
+    ++event_count_;
+  } else {
+    ++stats_.events_dropped;  // the oldest entry was overwritten
+  }
+}
+
+std::size_t RuntimeMonitor::drain_events(std::vector<MonitorEvent>& out) {
+  const std::size_t drained = event_count_;
+  if (!events_.empty()) {
+    const std::size_t cap = events_.size();
+    for (std::size_t i = 0; i < event_count_; ++i) {
+      out.push_back(events_[(event_head_ + cap - event_count_ + i) % cap]);
+    }
+  }
+  event_head_ = 0;
+  event_count_ = 0;
+  return drained;
+}
+
+std::vector<MonitorEvent> RuntimeMonitor::drain_events() {
+  std::vector<MonitorEvent> out;
+  drain_events(out);
+  return out;
+}
+
+MonitorState RuntimeMonitor::push(const Trace& trace) { return ingest(trace); }
+
+MonitorState RuntimeMonitor::push_batch(const TraceSet& batch) {
+  EMTS_REQUIRE(!batch.empty(), "push_batch needs traces");
+  EMTS_REQUIRE(std::abs(batch.sample_rate - sample_rate_) < 1e-6 * sample_rate_,
+               "batch sample rate differs from the monitor");
+  for (const Trace& trace : batch.traces) ingest(trace);
+  return state_;
+}
+
+MonitorState RuntimeMonitor::ingest(const Trace& trace) {
   EMTS_REQUIRE(!trace.empty(), "cannot push an empty trace");
+  const std::uint64_t t0 = util::monotonic_ns();
   ++traces_seen_;
+  ++stats_.traces_ingested;
 
   if (state_ == MonitorState::kCalibrating) {
-    calibration_.add(std::move(trace));
+    calibration_.add(trace);
+    ++stats_.calibration_captures;
     if (calibration_.size() >= options_.calibration_traces) finish_calibration();
+    stats_.push_latency.record(util::monotonic_ns() - t0);
     return state_;
   }
 
   EMTS_ASSERT(evaluator_.has_value());
 
-  // Per-trace stages score every capture; the first one (the Euclidean stage
-  // in the default stack) feeds last_score().
+  // Per-trace stages score every capture through the buffered (reused
+  // scratch) path; the first one (the Euclidean stage in the default stack)
+  // feeds last_score().
   bool per_trace_anomaly = false;
   bool first_score = true;
+  double anomaly_score = 0.0;
   for (const auto& detector : evaluator_->detectors()) {
     if (detector->windowed()) continue;
-    const double s = detector->score(trace);
+    const double s = detector->score_buffered(trace, scratch_);
     if (first_score) {
       last_score_ = s;
       first_score = false;
     }
-    per_trace_anomaly |= s > detector->threshold();
+    if (s > detector->threshold() && !per_trace_anomaly) {
+      per_trace_anomaly = true;
+      anomaly_score = s;
+    }
+  }
+  ++stats_.scored_captures;
+  if (per_trace_anomaly) {
+    ++stats_.per_trace_anomalies;
+    record_event(MonitorEventKind::kPerTraceAnomaly, anomaly_score);
   }
 
   // Windowed stages re-run over a rolling window of recent captures.
   bool windowed_anomaly = false;
-  spectral_window_.add(std::move(trace));
-  if (spectral_window_.size() >= options_.spectral_window) {
-    for (const auto& detector : evaluator_->detectors()) {
-      if (!detector->windowed()) continue;
-      if (const auto* sd = dynamic_cast<const SpectralDetector*>(detector.get())) {
-        last_spectral_ = sd->analyze(spectral_window_);
-        windowed_anomaly |= last_spectral_->anomalous();
-      } else {
-        const DetectorReport stage = detector->evaluate_set(
-            spectral_window_, evaluator_->options().anomalous_fraction_alarm);
-        windowed_anomaly |= stage.alarm;
-      }
-    }
-    spectral_window_.traces.clear();
+  window_.push(trace);
+  if (window_.size() >= options_.spectral_window) {
+    run_windowed_pass(windowed_anomaly);
   }
 
   if (per_trace_anomaly || windowed_anomaly) {
@@ -110,6 +188,10 @@ MonitorState RuntimeMonitor::push(Trace trace) {
   if (state_ == MonitorState::kMonitoring &&
       consecutive_anomalies_ >= options_.alarm_debounce) {
     state_ = MonitorState::kAlarm;
+    ++stats_.alarms_latched;
+    alarm_latched_at_ = traces_seen_;
+    record_event(MonitorEventKind::kAlarmLatched,
+                 static_cast<double>(consecutive_anomalies_));
     if (alarm_callback_) {
       TrustReport report;
       report.verdict = Verdict::kCompromised;
@@ -125,13 +207,59 @@ MonitorState RuntimeMonitor::push(Trace trace) {
       alarm_callback_(report);
     }
   }
+  stats_.push_latency.record(util::monotonic_ns() - t0);
   return state_;
+}
+
+void RuntimeMonitor::run_windowed_pass(bool& windowed_anomaly) {
+  const std::uint64_t t0 = util::monotonic_ns();
+  for (const auto& detector : evaluator_->detectors()) {
+    if (!detector->windowed()) continue;
+    if (const auto* sd = dynamic_cast<const SpectralDetector*>(detector.get())) {
+      last_spectral_ = sd->analyze_reusing(window_, sample_rate_, *spectral_scratch_);
+      windowed_anomaly |= last_spectral_->anomalous();
+    } else {
+      // Generic windowed detectors take a TraceSet; snapshot the ring into a
+      // reused set (per-slot assign keeps the storage warm).
+      window_set_.traces.resize(window_.size());
+      for (std::size_t i = 0; i < window_.size(); ++i) {
+        const Trace& src = window_.oldest(i);
+        window_set_.traces[i].assign(src.begin(), src.end());
+      }
+      const DetectorReport stage = detector->evaluate_set(
+          window_set_, evaluator_->options().anomalous_fraction_alarm);
+      windowed_anomaly |= stage.alarm;
+    }
+  }
+  const std::size_t analyzed = window_.size();
+  window_.clear();
+  ++stats_.spectral_passes;
+  record_event(MonitorEventKind::kSpectralPass, static_cast<double>(analyzed));
+  if (windowed_anomaly) {
+    ++stats_.windowed_anomalies;
+    const double strongest =
+        (last_spectral_.has_value() && !last_spectral_->anomalies.empty())
+            ? last_spectral_->anomalies.front().ratio
+            : 0.0;
+    record_event(MonitorEventKind::kWindowedAnomaly, strongest);
+  }
+  stats_.spectral_latency.record(util::monotonic_ns() - t0);
 }
 
 void RuntimeMonitor::acknowledge_alarm() {
   EMTS_REQUIRE(state_ == MonitorState::kAlarm, "no alarm to acknowledge");
   state_ = MonitorState::kMonitoring;
+  // Fully re-arm: without these resets, infected traces retained in the
+  // partial window (and the stale last score / spectral report) from before
+  // the alarm would leak into the next windowed pass and could re-latch the
+  // alarm on a perfectly clean stream.
   consecutive_anomalies_ = 0;
+  window_.clear();
+  last_score_.reset();
+  last_spectral_.reset();
+  ++stats_.alarms_acknowledged;
+  record_event(MonitorEventKind::kAlarmAcknowledged,
+               static_cast<double>(traces_seen_ - alarm_latched_at_));
 }
 
 }  // namespace emts::core

@@ -6,18 +6,65 @@
 // capture and raises an alarm after a debounced run of anomalies. "Runtime"
 // in the paper's sense: evaluation happens while the system operates, not
 // instantaneously per trace.
+//
+// The hot path is streaming-grade: captures land in a fixed-capacity
+// TraceRing, per-trace detectors score through reusable ScoreScratch
+// buffers, and the spectral pass runs through a cached SpectrumAnalyzer —
+// after one warm-up window, a push performs zero heap allocations. Per-trace
+// scores stay bit-identical to the copying Detector::score() path; the
+// spectral pass uses the packed two-for-one real FFT and matches
+// SpectralDetector::analyze() to floating-point rounding. MonitorStats and
+// the drainable event log expose what the loop did without perturbing it.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 
 #include "core/evaluator.hpp"
+#include "core/ring.hpp"
 #include "core/trace.hpp"
+#include "util/latency.hpp"
 
 namespace emts::core {
 
 enum class MonitorState { kCalibrating, kMonitoring, kAlarm };
+
+/// Structured happenings on the monitoring loop, drainable via
+/// RuntimeMonitor::drain_events(). `value` is kind-specific (see each kind).
+enum class MonitorEventKind : std::uint8_t {
+  kCalibrated,        // value = calibration traces consumed
+  kPerTraceAnomaly,   // value = offending per-trace score
+  kSpectralPass,      // value = window size analyzed
+  kWindowedAnomaly,   // value = strongest spectral ratio (0 if non-spectral)
+  kAlarmLatched,      // value = consecutive anomalies at latch time
+  kAlarmAcknowledged  // value = traces seen while latched
+};
+
+struct MonitorEvent {
+  MonitorEventKind kind{};
+  std::uint64_t trace_index = 0;  // traces_seen() when the event fired
+  double value = 0.0;
+};
+
+const char* monitor_event_label(MonitorEventKind kind);
+
+/// Counters and latency histograms of one monitor's lifetime. Updated on
+/// every push with O(1) allocation-free work.
+struct MonitorStats {
+  std::uint64_t traces_ingested = 0;      // every push, any state
+  std::uint64_t calibration_captures = 0; // pushes consumed while calibrating
+  std::uint64_t scored_captures = 0;      // pushes scored by the detectors
+  std::uint64_t per_trace_anomalies = 0;  // pushes with a per-trace exceedance
+  std::uint64_t spectral_passes = 0;      // completed windowed analyses
+  std::uint64_t windowed_anomalies = 0;   // passes that flagged the window
+  std::uint64_t alarms_latched = 0;
+  std::uint64_t alarms_acknowledged = 0;
+  std::uint64_t events_dropped = 0;       // event-log overwrites (ring full)
+  util::LatencyHistogram push_latency;     // wall time of each push
+  util::LatencyHistogram spectral_latency; // wall time of each windowed pass
+};
 
 class RuntimeMonitor {
  public:
@@ -29,6 +76,10 @@ class RuntimeMonitor {
     // Re-run the windowed (spectral) checks every this many monitored
     // captures, over the most recent window of traces.
     std::size_t spectral_window = 16;
+    // Capacity of the structured event log (a preallocated ring; the oldest
+    // entry is overwritten on overflow and counted in events_dropped).
+    // 0 disables event capture entirely.
+    std::size_t event_log_capacity = 256;
     TrustEvaluator::Options evaluator{};
   };
 
@@ -43,7 +94,13 @@ class RuntimeMonitor {
   RuntimeMonitor(double sample_rate, TrustEvaluator evaluator, const Options& options);
 
   /// Feeds one capture; returns the state after ingesting it.
-  MonitorState push(Trace trace);
+  MonitorState push(const Trace& trace);
+
+  /// Feeds a whole capture batch through the same hot path. State
+  /// transitions, scores, stats and events are identical to pushing each
+  /// trace individually, in order. The batch's sample rate must match the
+  /// monitor's. Returns the state after the last trace.
+  MonitorState push_batch(const TraceSet& batch);
 
   MonitorState state() const { return state_; }
   std::size_t traces_seen() const { return traces_seen_; }
@@ -61,28 +118,52 @@ class RuntimeMonitor {
   /// Most recent spectral report (if a spectral window completed).
   const std::optional<SpectralReport>& last_spectral() const { return last_spectral_; }
 
+  /// Lifetime counters and latency histograms.
+  const MonitorStats& stats() const { return stats_; }
+
+  /// Moves the buffered events into `out` (appended, oldest first) and
+  /// clears the log. Returns the number of events drained.
+  std::size_t drain_events(std::vector<MonitorEvent>& out);
+  std::vector<MonitorEvent> drain_events();
+
   /// Invoked exactly once when the alarm latches.
   void on_alarm(std::function<void(const TrustReport&)> callback);
 
   /// Clears a latched alarm and resumes monitoring (operator action after
-  /// the "further investigations" the paper mentions).
+  /// the "further investigations" the paper mentions). Fully re-arms the
+  /// loop: the debounce run, the partially filled spectral window and the
+  /// last score / spectral report are all reset, so stale pre-alarm state
+  /// can never re-latch the alarm on a clean stream.
   void acknowledge_alarm();
 
  private:
   void validate_options() const;
   void finish_calibration();
+  /// Builds the per-stream scratches once an evaluator exists.
+  void bind_evaluator();
+  MonitorState ingest(const Trace& trace);
+  void run_windowed_pass(bool& windowed_anomaly);
+  void record_event(MonitorEventKind kind, double value);
 
   Options options_;
   double sample_rate_;
   MonitorState state_ = MonitorState::kCalibrating;
   TraceSet calibration_;
-  TraceSet spectral_window_;
+  TraceRing window_;
+  TraceSet window_set_;  // reused snapshot for generic windowed detectors
   std::optional<TrustEvaluator> evaluator_;
+  ScoreScratch scratch_;
+  std::optional<SpectralDetector::SpectralScratch> spectral_scratch_;
   std::optional<double> last_score_;
   std::optional<SpectralReport> last_spectral_;
   std::size_t traces_seen_ = 0;
   std::size_t consecutive_anomalies_ = 0;
+  std::uint64_t alarm_latched_at_ = 0;  // traces_seen_ when the alarm latched
   std::function<void(const TrustReport&)> alarm_callback_;
+  MonitorStats stats_;
+  std::vector<MonitorEvent> events_;  // preallocated ring
+  std::size_t event_head_ = 0;        // next write position
+  std::size_t event_count_ = 0;
 };
 
 const char* monitor_state_label(MonitorState state);

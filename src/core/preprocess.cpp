@@ -17,8 +17,19 @@ Preprocessor::Preprocessor(const Options& options) : options_{options} {
 }
 
 std::vector<double> Preprocessor::features(const Trace& trace) const {
+  std::vector<double> work;
+  std::vector<double> aux;
+  std::vector<double> aux2;
+  std::vector<double> out;
+  features_into(trace, work, aux, aux2, out);
+  return out;
+}
+
+void Preprocessor::features_into(const Trace& trace, std::vector<double>& work,
+                                 std::vector<double>& aux, std::vector<double>& aux2,
+                                 std::vector<double>& features) const {
   EMTS_REQUIRE(!trace.empty(), "cannot preprocess an empty trace");
-  std::vector<double> work = trace;
+  work.assign(trace.begin(), trace.end());
 
   if (options_.remove_mean) {
     double mean = 0.0;
@@ -28,7 +39,10 @@ std::vector<double> Preprocessor::features(const Trace& trace) const {
   }
 
   if (options_.smooth_window > 1) {
-    work = dsp::moving_average(work, options_.smooth_window);
+    // aux holds the prefix sums, aux2 the smoothed signal; the swap keeps
+    // both buffers' storage alive for the next call.
+    dsp::moving_average_into(work, options_.smooth_window, aux, aux2);
+    work.swap(aux2);
   }
 
   if (options_.normalize_rms) {
@@ -41,10 +55,11 @@ std::vector<double> Preprocessor::features(const Trace& trace) const {
   }
 
   if (options_.decimation > 1) {
-    work = dsp::decimate_mean(work, options_.decimation);
+    dsp::decimate_mean_into(work, options_.decimation, features);
+  } else {
+    features.assign(work.begin(), work.end());
   }
-  EMTS_REQUIRE(!work.empty(), "decimation left no features");
-  return work;
+  EMTS_REQUIRE(!features.empty(), "decimation left no features");
 }
 
 linalg::Matrix Preprocessor::feature_matrix(const TraceSet& set) const {

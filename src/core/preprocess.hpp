@@ -32,6 +32,13 @@ class Preprocessor {
   /// Feature vector of one trace.
   std::vector<double> features(const Trace& trace) const;
 
+  /// features() writing every intermediate into caller-owned buffers
+  /// (`work`, `aux`, `aux2` are scratch; `features` receives the result).
+  /// Bit-identical to features(trace); zero allocations once the buffers'
+  /// capacity is warm — the streaming monitor's per-push path.
+  void features_into(const Trace& trace, std::vector<double>& work, std::vector<double>& aux,
+                     std::vector<double>& aux2, std::vector<double>& features) const;
+
   /// Feature matrix of a whole set (rows = traces).
   linalg::Matrix feature_matrix(const TraceSet& set) const;
 

@@ -1,0 +1,36 @@
+#include "core/ring.hpp"
+
+#include "util/assert.hpp"
+
+namespace emts::core {
+
+TraceRing::TraceRing(std::size_t capacity) : slots_(capacity) {
+  EMTS_REQUIRE(capacity >= 1, "trace ring capacity must be >= 1");
+}
+
+void TraceRing::push(const Trace& trace) {
+  // assign() reuses the slot's buffer when capacities match — the steady
+  // state once every slot has seen one trace of the stream's length.
+  slots_[head_].assign(trace.begin(), trace.end());
+  head_ = (head_ + 1) % slots_.size();
+  if (count_ < slots_.size()) ++count_;
+  ++total_pushed_;
+}
+
+const Trace& TraceRing::oldest(std::size_t i) const {
+  EMTS_REQUIRE(i < count_, "trace ring index out of range");
+  const std::size_t cap = slots_.size();
+  return slots_[(head_ + cap - count_ + i) % cap];
+}
+
+const Trace& TraceRing::newest() const {
+  EMTS_REQUIRE(count_ > 0, "trace ring is empty");
+  return oldest(count_ - 1);
+}
+
+void TraceRing::clear() {
+  head_ = 0;
+  count_ = 0;
+}
+
+}  // namespace emts::core

@@ -27,6 +27,8 @@ SpectralDetector SpectralDetector::calibrate(const TraceSet& golden) {
 
 SpectralDetector SpectralDetector::calibrate(const TraceSet& golden, const Options& options) {
   EMTS_REQUIRE(!golden.empty(), "spectral calibration needs traces");
+  EMTS_REQUIRE(std::isfinite(golden.sample_rate) && golden.sample_rate > 0.0,
+               "spectral calibration: sample rate must be finite and positive");
   golden.validate();
   dsp::Spectrum spectrum =
       dsp::mean_spectrum(golden.traces, golden.sample_rate, options.spectrum);
@@ -51,8 +53,39 @@ SpectralReport SpectralDetector::analyze(const TraceSet& suspect) const {
   const double floor_level = std::max(noise_floor_, stats::median(spectrum.amplitude));
   const auto suspect_peaks =
       dsp::find_peaks(spectrum, options_.new_spot_factor * floor_level);
+  match_peaks(suspect_peaks, report);
+  return report;
+}
 
-  for (const dsp::SpectralPeak& peak : suspect_peaks) {
+const SpectralReport& SpectralDetector::analyze_reusing(const TraceRing& window,
+                                                        double sample_rate,
+                                                        SpectralScratch& scratch) const {
+  EMTS_REQUIRE(!window.empty(), "spectral analysis needs traces");
+  EMTS_REQUIRE(std::abs(sample_rate - sample_rate_) < 1e-6 * sample_rate_,
+               "suspect sample rate differs from calibration");
+
+  // Streamed mean spectrum, oldest-first: the same accumulation order as
+  // mean_spectrum over a TraceSet holding these traces, but packed two
+  // traces per FFT — amplitudes agree with the copying analyze() path to
+  // floating-point rounding.
+  scratch.analyzer.begin(window.oldest(0).size(), sample_rate);
+  for (std::size_t i = 0; i < window.size(); ++i) scratch.analyzer.add(window.oldest(i));
+  const dsp::Spectrum& spectrum = scratch.analyzer.mean();
+  EMTS_REQUIRE(spectrum.size() == golden_.size(),
+               "suspect trace length differs from calibration");
+
+  scratch.floor_scratch.assign(spectrum.amplitude.begin(), spectrum.amplitude.end());
+  const double floor_level =
+      std::max(noise_floor_, stats::median_in_place(scratch.floor_scratch));
+  dsp::find_peaks_into(spectrum, options_.new_spot_factor * floor_level, scratch.peaks);
+  match_peaks(scratch.peaks, scratch.report);
+  return scratch.report;
+}
+
+void SpectralDetector::match_peaks(const std::vector<dsp::SpectralPeak>& peaks,
+                                   SpectralReport& report) const {
+  report.anomalies.clear();
+  for (const dsp::SpectralPeak& peak : peaks) {
     // Match against a golden spot within the bin tolerance.
     const dsp::SpectralPeak* match = nullptr;
     for (const dsp::SpectralPeak& g : golden_spots_) {
@@ -84,7 +117,6 @@ SpectralReport SpectralDetector::analyze(const TraceSet& suspect) const {
 
   std::sort(report.anomalies.begin(), report.anomalies.end(),
             [](const SpectralAnomaly& a, const SpectralAnomaly& b) { return a.ratio > b.ratio; });
-  return report;
 }
 
 SpectralReport SpectralDetector::analyze(const Trace& trace) const {
@@ -166,7 +198,8 @@ SpectralDetector SpectralDetector::load(std::istream& in) {
   options.amplification_ratio = util::read_f64(in);
   options.match_bins = util::read_u64(in);
   const double sample_rate = util::read_f64(in);
-  EMTS_REQUIRE(sample_rate > 0.0, "spectral load: bad sample rate");
+  EMTS_REQUIRE(std::isfinite(sample_rate) && sample_rate > 0.0,
+               "spectral load: sample rate must be finite and positive");
 
   dsp::Spectrum golden = dsp::load_spectrum(in);
   // The constructor re-derives noise floor and spots from the spectrum; the

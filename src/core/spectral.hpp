@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/ring.hpp"
 #include "core/trace.hpp"
 #include "dsp/spectrum.hpp"
 
@@ -83,6 +84,33 @@ class SpectralDetector : public Detector {
   /// Analyzes one trace.
   SpectralReport analyze(const Trace& trace) const;
 
+  /// Caller-owned working state for the allocation-free analysis path: the
+  /// cached spectrum analyzer plus every scratch buffer one spectral pass
+  /// needs. Create via make_scratch(); one scratch serves one stream.
+  struct SpectralScratch {
+    explicit SpectralScratch(const dsp::SpectrumOptions& options) : analyzer{options} {}
+
+    dsp::SpectrumAnalyzer analyzer;
+    std::vector<dsp::SpectralPeak> peaks;
+    std::vector<double> floor_scratch;  // amplitude copy for the median
+    SpectralReport report;
+  };
+
+  /// Scratch wired to this detector's spectrum options.
+  SpectralScratch make_scratch() const { return SpectralScratch{options_.spectrum}; }
+
+  /// analyze() over a capture ring through caller-owned buffers. Traces are
+  /// consumed oldest-first (arrival order), matching a TraceSet holding the
+  /// same traces. The mean spectrum rides the two-for-one packed real FFT
+  /// (half the transforms of analyze()), so amplitudes match analyze() on
+  /// that set to floating-point rounding — anomaly kinds, bins and verdicts
+  /// agree because classification is tolerance-based. The returned
+  /// reference stays valid until the next call with this scratch.
+  /// Zero heap allocations once the scratch is warm for the stream's trace
+  /// length. `sample_rate` of the ring's captures must match calibration.
+  const SpectralReport& analyze_reusing(const TraceRing& window, double sample_rate,
+                                        SpectralScratch& scratch) const;
+
   /// Folds a typed spectral report into the generic stage form.
   DetectorReport to_stage(const SpectralReport& report) const;
 
@@ -95,9 +123,14 @@ class SpectralDetector : public Detector {
   const std::vector<dsp::SpectralPeak>& golden_spots() const { return golden_spots_; }
   double golden_noise_floor() const { return noise_floor_; }
   double sample_rate() const { return sample_rate_; }
+  const Options& options() const { return options_; }
 
  private:
   SpectralDetector(const Options& options, dsp::Spectrum golden, double sample_rate);
+
+  /// Classifies suspect peaks against the golden spots into `report`
+  /// (cleared first), sorted strongest-ratio first.
+  void match_peaks(const std::vector<dsp::SpectralPeak>& peaks, SpectralReport& report) const;
 
   Options options_;
   dsp::Spectrum golden_;

@@ -8,14 +8,22 @@
 namespace emts::dsp {
 
 std::vector<double> moving_average(const std::vector<double>& signal, std::size_t window_length) {
+  std::vector<double> prefix;
+  std::vector<double> out;
+  moving_average_into(signal, window_length, prefix, out);
+  return out;
+}
+
+void moving_average_into(const std::vector<double>& signal, std::size_t window_length,
+                         std::vector<double>& prefix, std::vector<double>& out) {
   EMTS_REQUIRE(window_length % 2 == 1, "moving_average requires an odd window length");
   EMTS_REQUIRE(!signal.empty(), "moving_average requires a non-empty signal");
   const std::size_t n = signal.size();
   const std::size_t half = window_length / 2;
-  std::vector<double> out(n, 0.0);
+  out.assign(n, 0.0);
 
   // Prefix sums make the smoother O(n) independent of window size.
-  std::vector<double> prefix(n + 1, 0.0);
+  prefix.assign(n + 1, 0.0);
   for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + signal[i];
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -23,7 +31,6 @@ std::vector<double> moving_average(const std::vector<double>& signal, std::size_
     const std::size_t hi = std::min(i + half, n - 1);
     out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
   }
-  return out;
 }
 
 OnePoleLowPass::OnePoleLowPass(double cutoff_hz, double sample_rate) : alpha_{0.0} {

@@ -10,6 +10,12 @@ namespace emts::dsp {
 /// Centered moving-average smoother with odd window length.
 std::vector<double> moving_average(const std::vector<double>& signal, std::size_t window_length);
 
+/// moving_average writing into caller-owned buffers: `prefix` is scratch for
+/// the prefix sums, `out` receives the smoothed signal. Bit-identical to
+/// moving_average; zero allocations once both buffers' capacity is warm.
+void moving_average_into(const std::vector<double>& signal, std::size_t window_length,
+                         std::vector<double>& prefix, std::vector<double>& out);
+
 /// Single-pole IIR low-pass (models the sensor/amplifier bandwidth).
 /// cutoff_hz is the -3 dB point; sample_rate in Hz.
 class OnePoleLowPass {

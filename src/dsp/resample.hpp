@@ -12,6 +12,11 @@ namespace emts::dsp {
 /// The trailing partial block (if any) is dropped.
 std::vector<double> decimate_mean(const std::vector<double>& signal, std::size_t factor);
 
+/// decimate_mean writing into a caller-owned vector: bit-identical results,
+/// zero allocations once the vector's capacity is warm.
+void decimate_mean_into(const std::vector<double>& signal, std::size_t factor,
+                        std::vector<double>& out);
+
 /// Peak-magnitude decimator: each output sample is the extreme (by absolute
 /// value) of its block, preserving narrow pulses that a mean would dilute.
 std::vector<double> decimate_peak(const std::vector<double>& signal, std::size_t factor);

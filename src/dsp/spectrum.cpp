@@ -76,16 +76,181 @@ Spectrum mean_spectrum(const std::vector<std::vector<double>>& signals, double s
 std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum, double min_amplitude,
                                      std::size_t max_peaks) {
   std::vector<SpectralPeak> peaks;
+  find_peaks_into(spectrum, min_amplitude, peaks, max_peaks);
+  return peaks;
+}
+
+void find_peaks_into(const Spectrum& spectrum, double min_amplitude,
+                     std::vector<SpectralPeak>& peaks, std::size_t max_peaks) {
+  peaks.clear();
   const auto& amp = spectrum.amplitude;
   for (std::size_t k = 1; k + 1 < amp.size(); ++k) {
     if (amp[k] >= min_amplitude && amp[k] > amp[k - 1] && amp[k] >= amp[k + 1]) {
       peaks.push_back({k, spectrum.frequency[k], amp[k]});
     }
   }
-  std::sort(peaks.begin(), peaks.end(),
-            [](const SpectralPeak& a, const SpectralPeak& b) { return a.amplitude > b.amplitude; });
-  if (peaks.size() > max_peaks) peaks.resize(max_peaks);
-  return peaks;
+  if (peaks.size() > max_peaks) {
+    // Truncation must drop the *weakest* peaks, wherever they sit on the
+    // frequency axis: a Trojan carrier high in the band would otherwise be
+    // the first casualty. Select by amplitude (ties broken by bin so the
+    // result is deterministic), then restore bin order for the survivors.
+    std::sort(peaks.begin(), peaks.end(), [](const SpectralPeak& a, const SpectralPeak& b) {
+      if (a.amplitude != b.amplitude) return a.amplitude > b.amplitude;
+      return a.bin < b.bin;
+    });
+    peaks.resize(max_peaks);
+    std::sort(peaks.begin(), peaks.end(),
+              [](const SpectralPeak& a, const SpectralPeak& b) { return a.bin < b.bin; });
+  }
+}
+
+SpectrumAnalyzer::SpectrumAnalyzer(const SpectrumOptions& options) : options_{options} {}
+
+void SpectrumAnalyzer::prepare(std::size_t n, double sample_rate) {
+  EMTS_REQUIRE(n > 0, "SpectrumAnalyzer requires a non-empty signal");
+  EMTS_REQUIRE(sample_rate > 0.0, "sample_rate must be positive");
+  if (n == signal_length_ && sample_rate == sample_rate_) return;
+
+  ++warmups_;
+  signal_length_ = n;
+  sample_rate_ = sample_rate;
+  window_ = make_window(options_.window, n);
+  gain_ = coherent_gain(window_);
+
+  const std::size_t padded = next_power_of_two(n);
+  if (!plan_.has_value() || plan_->size() != padded) plan_.emplace(padded);
+
+  const std::size_t bins = padded / 2 + 1;
+  out_.frequency.resize(bins);
+  out_.amplitude.resize(bins);
+  amp_.resize(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    out_.frequency[k] = sample_rate * static_cast<double>(k) / static_cast<double>(padded);
+  }
+}
+
+void SpectrumAnalyzer::preprocess_into(const std::vector<double>& signal,
+                                       std::vector<double>& dst) {
+  // Mirrors amplitude_spectrum step for step (same summation order, same
+  // window product) so the single-signal path stays bit-identical to the
+  // allocating one.
+  dst.assign(signal.begin(), signal.end());
+  if (options_.remove_mean) {
+    double mean = 0.0;
+    for (double v : dst) mean += v;
+    mean /= static_cast<double>(dst.size());
+    for (double& v : dst) v -= mean;
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] *= window_[i];
+}
+
+void SpectrumAnalyzer::transform_into_amp(const std::vector<double>& signal) {
+  preprocess_into(signal, work_);
+  transform_preprocessed_into_amp(work_);
+}
+
+void SpectrumAnalyzer::transform_preprocessed_into_amp(const std::vector<double>& pre) {
+  const std::size_t padded = plan_->size();
+  data_.assign(padded, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < pre.size(); ++i) data_[i] = cplx{pre[i], 0.0};
+  plan_->forward(data_);
+
+  const std::size_t bins = padded / 2 + 1;
+  for (std::size_t k = 0; k < bins; ++k) {
+    const double mag = std::abs(data_[k]);
+    const bool interior = (k != 0) && (k != padded / 2);
+    amp_[k] = (interior ? 2.0 : 1.0) * mag / gain_;
+  }
+}
+
+void SpectrumAnalyzer::transform_pair_into_amps(const std::vector<double>& first,
+                                                const std::vector<double>& second) {
+  // Two-for-one real FFT: both preprocessed signals ride one complex
+  // transform (first in the real lane, second in the imaginary lane) and the
+  // conjugate symmetry of real inputs separates them afterwards:
+  //   A[k] = (Z[k] + conj(Z[N-k])) / 2,   B[k] = (Z[k] - conj(Z[N-k])) / 2i.
+  // Only magnitudes are needed, and |B| is unchanged by the -i rotation, so
+  // the unpacking is two component sums and one |.| per signal per bin. This
+  // halves the FFT count of a mean-spectrum pass; results match the
+  // one-signal-per-transform path to floating-point rounding (a few ULPs).
+  const std::size_t padded = plan_->size();
+  data_.assign(padded, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < first.size(); ++i) data_[i] = cplx{first[i], second[i]};
+  plan_->forward(data_);
+
+  const std::size_t bins = padded / 2 + 1;
+  for (std::size_t k = 0; k < bins; ++k) {
+    const std::size_t m = (padded - k) % padded;  // mirror bin; k=0 -> 0
+    const double zr = data_[k].real();
+    const double zi = data_[k].imag();
+    const double mr = data_[m].real();
+    const double mi = -data_[m].imag();  // conj(Z[N-k])
+    const double mag_a = 0.5 * std::abs(cplx{zr + mr, zi + mi});
+    const double mag_b = 0.5 * std::abs(cplx{zr - mr, zi - mi});
+    const bool interior = (k != 0) && (k != padded / 2);
+    const double scale = (interior ? 2.0 : 1.0) / gain_;
+    amp_[k] = scale * mag_a;
+    amp2_[k] = scale * mag_b;
+  }
+}
+
+void SpectrumAnalyzer::accumulate_amp(const std::vector<double>& amp) {
+  if (accumulated_ == 0) {
+    out_.amplitude.assign(amp.begin(), amp.end());
+  } else {
+    for (std::size_t k = 0; k < out_.amplitude.size(); ++k) out_.amplitude[k] += amp[k];
+  }
+  ++accumulated_;
+}
+
+const Spectrum& SpectrumAnalyzer::analyze(const std::vector<double>& signal,
+                                          double sample_rate) {
+  prepare(signal.size(), sample_rate);
+  mean_open_ = false;
+  transform_into_amp(signal);
+  out_.amplitude.assign(amp_.begin(), amp_.end());
+  return out_;
+}
+
+void SpectrumAnalyzer::begin(std::size_t trace_length, double sample_rate) {
+  prepare(trace_length, sample_rate);
+  amp2_.resize(plan_->size() / 2 + 1);
+  accumulated_ = 0;
+  pending_full_ = false;
+  mean_open_ = true;
+}
+
+void SpectrumAnalyzer::add(const std::vector<double>& signal) {
+  EMTS_REQUIRE(mean_open_, "SpectrumAnalyzer::add before begin()");
+  EMTS_REQUIRE(signal.size() == signal_length_,
+               "SpectrumAnalyzer::add: trace length differs from begin()");
+  if (!pending_full_) {
+    // Hold the first of a pair; its transform rides the next add()'s FFT.
+    preprocess_into(signal, pending_);
+    pending_full_ = true;
+    return;
+  }
+  preprocess_into(signal, work_);
+  transform_pair_into_amps(pending_, work_);
+  pending_full_ = false;
+  accumulate_amp(amp_);
+  accumulate_amp(amp2_);
+}
+
+const Spectrum& SpectrumAnalyzer::mean() {
+  EMTS_REQUIRE(mean_open_, "SpectrumAnalyzer::mean before begin()");
+  if (pending_full_) {
+    // Odd trace count: the leftover (already preprocessed) signal gets its
+    // own transform, bit-identical to the unpaired single-signal path.
+    transform_preprocessed_into_amp(pending_);
+    pending_full_ = false;
+    accumulate_amp(amp_);
+  }
+  EMTS_REQUIRE(accumulated_ > 0, "SpectrumAnalyzer::mean with no traces added");
+  const double inv = 1.0 / static_cast<double>(accumulated_);
+  for (double& a : out_.amplitude) a *= inv;
+  mean_open_ = false;
+  return out_;
 }
 
 void save_spectrum(std::ostream& out, const Spectrum& spectrum) {

@@ -6,8 +6,10 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <vector>
 
+#include "dsp/fft.hpp"
 #include "dsp/window.hpp"
 
 namespace emts::dsp {
@@ -47,10 +49,82 @@ struct SpectralPeak {
   double amplitude = 0.0;
 };
 
-/// Local maxima above `min_amplitude`, strongest first, at most `max_peaks`.
-/// A bin qualifies when it exceeds both neighbours.
+/// Local maxima above `min_amplitude`, bin-ordered, at most `max_peaks`.
+/// A bin qualifies when it exceeds both neighbours. When more than
+/// `max_peaks` bins qualify, the *strongest* peaks are kept (selection by
+/// amplitude, not by bin position — a Trojan carrier high in the band must
+/// survive truncation) and the survivors are returned in bin order.
 std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum, double min_amplitude,
                                      std::size_t max_peaks = 32);
+
+/// find_peaks writing into a caller-owned vector (cleared first): identical
+/// results, zero allocations once the vector's capacity is warm.
+void find_peaks_into(const Spectrum& spectrum, double min_amplitude,
+                     std::vector<SpectralPeak>& peaks, std::size_t max_peaks = 32);
+
+/// Reusable spectral pass: caches the window coefficients, the FFT plan and
+/// every working buffer for one trace length, so repeated analyze() /
+/// begin()+add()+mean() calls on equally sized signals perform zero heap
+/// allocations after the first (warm-up) pass. analyze() is bit-identical to
+/// amplitude_spectrum with the same options. The streamed begin()/add()/
+/// mean() path additionally packs consecutive traces two-per-FFT (the
+/// two-for-one real transform), halving the dominant cost of a mean-spectrum
+/// pass; its output matches mean_spectrum to floating-point rounding (a few
+/// ULPs per bin), which the tolerance-based anomaly classification absorbs.
+class SpectrumAnalyzer {
+ public:
+  explicit SpectrumAnalyzer(const SpectrumOptions& options = {});
+
+  const SpectrumOptions& options() const { return options_; }
+
+  /// One-shot spectrum of a single signal; the returned reference stays
+  /// valid until the next analyze()/begin() call.
+  const Spectrum& analyze(const std::vector<double>& signal, double sample_rate);
+
+  /// Streamed mean spectrum: begin() fixes the trace length, add() feeds
+  /// each trace, mean() finishes. Matches mean_spectrum() over the same
+  /// traces in the same order to floating-point rounding (see class doc).
+  void begin(std::size_t trace_length, double sample_rate);
+  void add(const std::vector<double>& signal);
+  const Spectrum& mean();
+
+  /// Number of times the caches had to be (re)built — a new trace length or
+  /// sample rate. Stays constant across passes once the analyzer is warm.
+  std::size_t warmups() const { return warmups_; }
+
+ private:
+  void prepare(std::size_t n, double sample_rate);
+  /// Detrend + window one signal into dst (same arithmetic order as
+  /// amplitude_spectrum).
+  void preprocess_into(const std::vector<double>& signal, std::vector<double>& dst);
+  /// Preprocess + FFT of one signal into amp_ (amplitude per bin).
+  void transform_into_amp(const std::vector<double>& signal);
+  /// FFT of one already-preprocessed signal into amp_.
+  void transform_preprocessed_into_amp(const std::vector<double>& pre);
+  /// Two-for-one real FFT of a pair of preprocessed signals: amplitudes of
+  /// `first` land in amp_, of `second` in amp2_.
+  void transform_pair_into_amps(const std::vector<double>& first,
+                                const std::vector<double>& second);
+  /// Adds one per-trace amplitude vector into the running mean accumulator.
+  void accumulate_amp(const std::vector<double>& amp);
+
+  SpectrumOptions options_;
+  std::size_t signal_length_ = 0;
+  double sample_rate_ = 0.0;
+  std::vector<double> window_;     // coefficients for signal_length_
+  double gain_ = 0.0;              // coherent gain of window_
+  std::optional<FftPlan> plan_;    // plan for the padded length
+  std::vector<double> work_;       // detrended + windowed signal
+  std::vector<double> pending_;    // first-of-pair preprocessed signal
+  bool pending_full_ = false;      // pending_ holds an unconsumed signal
+  std::vector<cplx> data_;         // FFT working buffer (padded)
+  std::vector<double> amp_;        // per-trace amplitude scratch
+  std::vector<double> amp2_;       // second lane of a packed pair
+  Spectrum out_;                   // analyze()/mean() result buffer
+  std::size_t accumulated_ = 0;    // traces added since begin()
+  bool mean_open_ = false;         // begin() called, mean() pending
+  std::size_t warmups_ = 0;
+};
 
 /// Binary round-trip of a reference spectrum (the spectral detector's golden
 /// model in an EMCA calibration artifact). load_spectrum restores the bins

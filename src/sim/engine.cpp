@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 
@@ -11,17 +13,32 @@ namespace emts::sim {
 
 namespace {
 
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
 std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("EMTS_THREADS")) {
+    // Parse defensively: operators export this in deployment scripts, and a
+    // typo ("4x", "", "-2", "1e9") must degrade to the hardware default with
+    // a diagnostic instead of silently misconfiguring the worker pool.
     char* end = nullptr;
+    errno = 0;
     const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
+    const bool numeric = end != env && *end == '\0' && errno == 0 && env[0] != '-';
+    if (numeric && parsed > 0 && parsed <= 1024) {
       return static_cast<std::size_t>(parsed);
     }
+    const std::size_t fallback = hardware_threads();
+    std::fprintf(stderr,
+                 "emsentry: ignoring invalid EMTS_THREADS=\"%s\" "
+                 "(expected an integer in [1, 1024]); using %zu hardware threads\n",
+                 env, fallback);
+    return fallback;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+  return hardware_threads();
 }
 
 }  // namespace

@@ -41,7 +41,7 @@ double max_value(const std::vector<double>& v) {
   return *std::max_element(v.begin(), v.end());
 }
 
-double quantile(std::vector<double> v, double p) {
+double quantile_in_place(std::vector<double>& v, double p) {
   EMTS_REQUIRE(!v.empty(), "quantile of an empty vector");
   EMTS_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p must be in [0, 1]");
   std::sort(v.begin(), v.end());
@@ -52,7 +52,11 @@ double quantile(std::vector<double> v, double p) {
   return v[lo] + frac * (v[hi] - v[lo]);
 }
 
-double median(std::vector<double> v) { return quantile(std::move(v), 0.5); }
+double median_in_place(std::vector<double>& v) { return quantile_in_place(v, 0.5); }
+
+double quantile(std::vector<double> v, double p) { return quantile_in_place(v, p); }
+
+double median(std::vector<double> v) { return quantile_in_place(v, 0.5); }
 
 double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b) {
   EMTS_REQUIRE(a.size() == b.size() && a.size() >= 2, "correlation: need equal sizes >= 2");

@@ -25,6 +25,12 @@ double quantile(std::vector<double> v, double p);
 
 double median(std::vector<double> v);
 
+/// In-place forms: sort the caller's buffer instead of copying it, so a hot
+/// loop can reuse one scratch vector with zero allocations. Results are
+/// bit-identical to quantile()/median() on the same values.
+double quantile_in_place(std::vector<double>& v, double p);
+double median_in_place(std::vector<double>& v);
+
 /// Pearson correlation coefficient; requires equal sizes >= 2 and non-zero
 /// variance in both inputs.
 double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b);

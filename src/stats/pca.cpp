@@ -102,8 +102,14 @@ PcaModel PcaModel::fit(const linalg::Matrix& data, std::size_t components) {
 }
 
 std::vector<double> PcaModel::project(const std::vector<double>& sample) const {
+  std::vector<double> out;
+  project_into(sample, out);
+  return out;
+}
+
+void PcaModel::project_into(const std::vector<double>& sample, std::vector<double>& out) const {
   EMTS_REQUIRE(sample.size() == input_dim(), "PCA project: dimension mismatch");
-  std::vector<double> out(components(), 0.0);
+  out.assign(components(), 0.0);
   for (std::size_t c = 0; c < components(); ++c) {
     double acc = 0.0;
     for (std::size_t j = 0; j < input_dim(); ++j) {
@@ -111,7 +117,6 @@ std::vector<double> PcaModel::project(const std::vector<double>& sample) const {
     }
     out[c] = acc;
   }
-  return out;
 }
 
 linalg::Matrix PcaModel::project_all(const linalg::Matrix& data) const {
@@ -128,14 +133,20 @@ linalg::Matrix PcaModel::project_all(const linalg::Matrix& data) const {
 }
 
 std::vector<double> PcaModel::reconstruct(const std::vector<double>& projected) const {
+  std::vector<double> out;
+  reconstruct_into(projected, out);
+  return out;
+}
+
+void PcaModel::reconstruct_into(const std::vector<double>& projected,
+                                std::vector<double>& out) const {
   EMTS_REQUIRE(projected.size() == components(), "PCA reconstruct: dimension mismatch");
-  std::vector<double> out = mean_;
+  out.assign(mean_.begin(), mean_.end());
   for (std::size_t j = 0; j < input_dim(); ++j) {
     double acc = 0.0;
     for (std::size_t c = 0; c < components(); ++c) acc += basis_(j, c) * projected[c];
     out[j] += acc;
   }
-  return out;
 }
 
 void PcaModel::save(std::ostream& out) const {

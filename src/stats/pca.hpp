@@ -28,11 +28,21 @@ class PcaModel {
   /// Projects one observation into PCA space; requires size == input_dim().
   std::vector<double> project(const std::vector<double>& sample) const;
 
+  /// project() into a caller-owned vector: bit-identical results, zero
+  /// allocations once the vector's capacity is warm. `out` must not alias
+  /// `sample`.
+  void project_into(const std::vector<double>& sample, std::vector<double>& out) const;
+
   /// Projects every row of `data`; result is rows x components().
   linalg::Matrix project_all(const linalg::Matrix& data) const;
 
   /// Reconstructs an observation from its projection (inverse transform).
   std::vector<double> reconstruct(const std::vector<double>& projected) const;
+
+  /// reconstruct() into a caller-owned vector: bit-identical results, zero
+  /// allocations once the vector's capacity is warm. `out` must not alias
+  /// `projected`.
+  void reconstruct_into(const std::vector<double>& projected, std::vector<double>& out) const;
 
   std::size_t components() const { return eigenvalues_.size(); }
   std::size_t input_dim() const { return mean_.size(); }

@@ -1,0 +1,146 @@
+#include "util/alloc_counter.hpp"
+
+#include <cstdlib>
+#include <new>
+
+// Sanitizer runtimes intercept malloc themselves; replacing operator new
+// underneath them forfeits their checks, so the hooks compile out there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define EMTS_ALLOC_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define EMTS_ALLOC_HOOKS 0
+#else
+#define EMTS_ALLOC_HOOKS 1
+#endif
+#else
+#define EMTS_ALLOC_HOOKS 1
+#endif
+
+namespace emts::util::alloc {
+
+namespace {
+
+thread_local Counts t_counts;
+
+}  // namespace
+
+Counts thread_counts() { return t_counts; }
+
+void reset_thread_counts() { t_counts = Counts{}; }
+
+bool counting_active() { return EMTS_ALLOC_HOOKS != 0; }
+
+namespace detail {
+
+inline void note_alloc(std::size_t size) {
+  ++t_counts.allocations;
+  t_counts.bytes += size;
+}
+
+inline void note_free() { ++t_counts.deallocations; }
+
+inline void* counted_alloc(std::size_t size) {
+  note_alloc(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  note_alloc(size);
+  void* ptr = nullptr;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  if (posix_memalign(&ptr, alignment, size != 0 ? size : 1) != 0) return nullptr;
+  return ptr;
+}
+
+}  // namespace detail
+
+}  // namespace emts::util::alloc
+
+#if EMTS_ALLOC_HOOKS
+
+namespace ea = emts::util::alloc::detail;
+
+void* operator new(std::size_t size) {
+  void* ptr = ea::counted_alloc(size);
+  if (ptr == nullptr) throw std::bad_alloc{};
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = ea::counted_alloc(size);
+  if (ptr == nullptr) throw std::bad_alloc{};
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return ea::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ea::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* ptr = ea::counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc{};
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* ptr = ea::counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc{};
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, std::size_t) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr, std::size_t) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  ea::note_free();
+  std::free(ptr);
+}
+
+#endif  // EMTS_ALLOC_HOOKS

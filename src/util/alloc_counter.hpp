@@ -1,0 +1,34 @@
+// Heap-allocation observability for the zero-allocation contract on the
+// monitoring hot path. Any binary that references these functions pulls in
+// the counting replacements of the global operator new/delete (static-lib
+// link semantics: the translation unit is only linked where it is used), so
+// ordinary tests and tools pay nothing. Counters are thread-local: a bench
+// or test brackets the code under scrutiny with thread_counts() deltas and
+// is immune to allocator traffic on other threads.
+//
+// Under AddressSanitizer or ThreadSanitizer the replacements are compiled
+// out (the sanitizer runtimes own malloc); counting_active() reports whether
+// the hooks are live so callers can skip the assertion instead of failing.
+#pragma once
+
+#include <cstdint>
+
+namespace emts::util::alloc {
+
+struct Counts {
+  std::uint64_t allocations = 0;    // operator new / new[] calls
+  std::uint64_t deallocations = 0;  // operator delete / delete[] calls
+  std::uint64_t bytes = 0;          // total bytes requested
+};
+
+/// Counters for the calling thread since thread start or the last reset.
+Counts thread_counts();
+
+/// Zeroes the calling thread's counters.
+void reset_thread_counts();
+
+/// True when the counting operator new/delete are linked into this binary
+/// and not disabled by a sanitizer build.
+bool counting_active();
+
+}  // namespace emts::util::alloc

@@ -1,0 +1,96 @@
+// Fixed-footprint latency histogram for hot-path observability. The
+// streaming monitor records one sample per push and per spectral pass, so
+// record() must be allocation-free and O(1): samples land in power-of-two
+// nanosecond buckets held in a flat array. Quantiles are reconstructed from
+// the bucket counts with linear interpolation inside the winning bucket —
+// coarse by design, but plenty to tell an operator whether p99 push latency
+// is 2 us or 2 ms.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace emts::util {
+
+class LatencyHistogram {
+ public:
+  /// Bucket b holds samples in [2^(b-1), 2^b) ns; bucket 0 holds zeros.
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t nanos) {
+    const std::size_t bucket = static_cast<std::size_t>(std::bit_width(nanos));
+    ++buckets_[bucket < kBuckets ? bucket : kBuckets - 1];
+    ++count_;
+    total_ += nanos;
+    if (nanos < min_) min_ = nanos;
+    if (nanos > max_) max_ = nanos;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total_ns() const { return total_; }
+  std::uint64_t min_ns() const { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max_ns() const { return max_; }
+
+  double mean_ns() const {
+    return count_ > 0 ? static_cast<double>(total_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// p-quantile estimate in nanoseconds, p in [0, 1]. Exact at the extremes
+  /// (p=0 -> min, p=1 -> max), linearly interpolated inside the bucket that
+  /// contains the requested rank otherwise.
+  double quantile_ns(double p) const {
+    EMTS_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p must be in [0, 1]");
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return static_cast<double>(min_ns());
+    if (p >= 1.0) return static_cast<double>(max_);
+
+    const double rank = p * static_cast<double>(count_);
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      const double next = cumulative + static_cast<double>(buckets_[b]);
+      if (rank <= next) {
+        const double lower = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+        const double upper = b == 0 ? 1.0 : lower * 2.0;
+        const double frac = (rank - cumulative) / static_cast<double>(buckets_[b]);
+        double value = lower + frac * (upper - lower);
+        // Clamp into the observed range so tail estimates never exceed the
+        // true extremes.
+        if (value < static_cast<double>(min_ns())) value = static_cast<double>(min_ns());
+        if (value > static_cast<double>(max_)) value = static_cast<double>(max_);
+        return value;
+      }
+      cumulative = next;
+    }
+    return static_cast<double>(max_);
+  }
+
+  double p50_ns() const { return quantile_ns(0.50); }
+  double p90_ns() const { return quantile_ns(0.90); }
+  double p99_ns() const { return quantile_ns(0.99); }
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  void reset() { *this = LatencyHistogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Nanoseconds on the monotonic clock — the timebase every histogram uses.
+inline std::uint64_t monotonic_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+}  // namespace emts::util

@@ -3,8 +3,11 @@
 // loops everywhere (benches, examples, tools).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sim/chip.hpp"
@@ -142,6 +145,38 @@ TEST(CaptureEngine, EmptyBatchIsWellFormed) {
   const auto set = engine.capture_batch(chip, sim::Pickup::kOnChipSensor, 0, 0);
   EXPECT_EQ(set.size(), 0u);
   EXPECT_DOUBLE_EQ(set.sample_rate, chip.sample_rate());
+}
+
+// Regression: EMTS_THREADS comes from deployment scripts, so garbage ("4x",
+// "", "-2", "0", absurd counts) must fall back to the hardware default
+// instead of strtoul's silent misparse (e.g. "-2" wrapping to huge, "4x"
+// truncating to 4).
+TEST(CaptureEngine, EnvThreadOverrideParsedDefensively) {
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  sim::EngineOptions options;
+  options.threads = 0;  // defer to the environment
+
+  for (const char* bad : {"4x", "x4", "", "-2", "0", "9999999", "1e3", "3.5"}) {
+    ASSERT_EQ(setenv("EMTS_THREADS", bad, 1), 0);
+    const sim::CaptureEngine engine{options};
+    EXPECT_EQ(engine.thread_count(), hw) << "EMTS_THREADS=\"" << bad << '"';
+  }
+
+  ASSERT_EQ(setenv("EMTS_THREADS", "3", 1), 0);
+  {
+    const sim::CaptureEngine engine{options};
+    EXPECT_EQ(engine.thread_count(), 3u);
+  }
+
+  // An explicit option always beats the environment.
+  ASSERT_EQ(setenv("EMTS_THREADS", "7", 1), 0);
+  {
+    sim::EngineOptions explicit_options;
+    explicit_options.threads = 2;
+    const sim::CaptureEngine engine{explicit_options};
+    EXPECT_EQ(engine.thread_count(), 2u);
+  }
+  ASSERT_EQ(unsetenv("EMTS_THREADS"), 0);
 }
 
 // A worker exception must surface on the calling thread, and the engine must

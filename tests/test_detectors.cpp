@@ -4,12 +4,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <sstream>
 
 #include "core/detector.hpp"
 #include "core/euclidean.hpp"
+#include "core/ring.hpp"
 #include "core/spectral.hpp"
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -253,6 +257,93 @@ TEST(SpectralDetector, SingleTraceAnalyzeOverloadWorks) {
   emts::Rng rng{10};
   const auto report = det.analyze(infected_trace(rng, 0.5, 72e6));
   EXPECT_TRUE(report.anomalous());
+}
+
+// analyze_reusing streams the mean spectrum through the packed two-for-one
+// real FFT, so suspect amplitudes match the copying analyze() path to
+// floating-point rounding; anomaly kinds, frequencies and golden references
+// must agree exactly.
+TEST(SpectralDetector, AnalyzeReusingMatchesAnalyze) {
+  const auto det = SpectralDetector::calibrate(golden_set(16));
+  emts::Rng rng{60};
+  TraceSet suspect;
+  suspect.sample_rate = kFs;
+  for (int i = 0; i < 8; ++i) suspect.add(infected_trace(rng, 0.4, 72e6));
+
+  TraceRing ring{8};
+  for (const auto& t : suspect.traces) ring.push(t);
+
+  const SpectralReport copied = det.analyze(suspect);
+  auto scratch = det.make_scratch();
+  const SpectralReport& reused = det.analyze_reusing(ring, kFs, scratch);
+
+  ASSERT_EQ(reused.anomalies.size(), copied.anomalies.size());
+  ASSERT_TRUE(copied.anomalous());
+  for (std::size_t i = 0; i < copied.anomalies.size(); ++i) {
+    EXPECT_EQ(reused.anomalies[i].kind, copied.anomalies[i].kind) << i;
+    EXPECT_EQ(reused.anomalies[i].frequency_hz, copied.anomalies[i].frequency_hz) << i;
+    // Golden amplitudes come straight from calibration state — exact.
+    EXPECT_EQ(reused.anomalies[i].golden_amplitude, copied.anomalies[i].golden_amplitude) << i;
+    // Suspect-side values ride the packed FFT: rounding-level agreement.
+    EXPECT_NEAR(reused.anomalies[i].suspect_amplitude, copied.anomalies[i].suspect_amplitude,
+                1e-9 * std::abs(copied.anomalies[i].suspect_amplitude)) << i;
+    EXPECT_NEAR(reused.anomalies[i].ratio, copied.anomalies[i].ratio,
+                1e-9 * std::abs(copied.anomalies[i].ratio)) << i;
+  }
+
+  // A second pass through the same scratch reproduces the report.
+  const SpectralReport snapshot = reused;
+  const SpectralReport& again = det.analyze_reusing(ring, kFs, scratch);
+  ASSERT_EQ(again.anomalies.size(), snapshot.anomalies.size());
+  for (std::size_t i = 0; i < snapshot.anomalies.size(); ++i) {
+    EXPECT_EQ(again.anomalies[i].ratio, snapshot.anomalies[i].ratio) << i;
+  }
+}
+
+TEST(SpectralDetector, AnalyzeReusingRejectsBadWindow) {
+  const auto det = SpectralDetector::calibrate(golden_set(4));
+  auto scratch = det.make_scratch();
+  TraceRing empty{4};
+  EXPECT_THROW(det.analyze_reusing(empty, kFs, scratch), emts::precondition_error);
+  TraceRing ring{4};
+  ring.push(Trace(kLen, 0.0));
+  EXPECT_THROW(det.analyze_reusing(ring, kFs / 2.0, scratch), emts::precondition_error);
+}
+
+// Regression: a calibration campaign with a corrupt sample rate must be
+// rejected up front — a 0/inf/NaN rate silently poisons every frequency the
+// detector reports.
+TEST(SpectralDetector, CalibrationRejectsBadSampleRate) {
+  for (double bad : {0.0, -1.0, std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    TraceSet golden = golden_set(4);
+    golden.sample_rate = bad;
+    EXPECT_THROW(SpectralDetector::calibrate(golden), emts::precondition_error)
+        << "sample_rate = " << bad;
+  }
+}
+
+// Regression: load() must validate the sample rate too — a corrupted
+// calibration artifact is the deployment-time twin of the test above. The
+// serialized f64 sits at byte offset 37 (u32 window + u8 remove_mean +
+// 3 x f64 factors + u64 match_bins).
+TEST(SpectralDetector, LoadRejectsCorruptSampleRate) {
+  const auto det = SpectralDetector::calibrate(golden_set(4));
+  std::ostringstream out;
+  det.save(out);
+  std::string payload = out.str();
+
+  std::ostringstream inf_bytes;
+  util::write_f64(inf_bytes, std::numeric_limits<double>::infinity());
+  payload.replace(37, 8, inf_bytes.str());
+
+  std::istringstream in{payload};
+  EXPECT_THROW(SpectralDetector::load(in), emts::precondition_error);
+
+  // Unpatched payload still round-trips.
+  std::istringstream clean{out.str()};
+  const auto restored = SpectralDetector::load(clean);
+  EXPECT_EQ(restored.sample_rate(), det.sample_rate());
 }
 
 // ---------- Detector interface & registry ----------

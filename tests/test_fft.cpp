@@ -156,5 +156,47 @@ TEST(IfftReal, RoundTripsRealSignal) {
   for (std::size_t i = 0; i < sig.size(); ++i) EXPECT_NEAR(back[i], sig[i], 1e-9);
 }
 
+// The plan caches twiddles generated with the exact recurrence fft_in_place
+// uses, so the two paths must agree to the last bit — the monitor swaps
+// between them and scores may not move by even one ULP.
+TEST(FftPlan, ForwardMatchesOneShotFftBitwise) {
+  emts::Rng rng{314};
+  for (std::size_t n : {1u, 2u, 8u, 64u, 1024u}) {
+    std::vector<cplx> reference(n);
+    for (auto& x : reference) x = cplx{rng.gaussian(), rng.gaussian()};
+    std::vector<cplx> planned = reference;
+
+    fft_in_place(reference);
+    const FftPlan plan{n};
+    EXPECT_EQ(plan.size(), n);
+    plan.forward(planned);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(planned[k].real(), reference[k].real()) << "n=" << n << " bin " << k;
+      EXPECT_EQ(planned[k].imag(), reference[k].imag()) << "n=" << n << " bin " << k;
+    }
+  }
+}
+
+TEST(FftPlan, RejectsBadSizes) {
+  EXPECT_THROW(FftPlan{0}, emts::precondition_error);
+  EXPECT_THROW(FftPlan{3}, emts::precondition_error);
+  const FftPlan plan{8};
+  std::vector<cplx> wrong(4);
+  EXPECT_THROW(plan.forward(wrong), emts::precondition_error);
+}
+
+TEST(FftPlan, IsReusableAcrossTransforms) {
+  const FftPlan plan{16};
+  std::vector<cplx> first(16, cplx{1.0, 0.0});
+  std::vector<cplx> second = first;
+  plan.forward(first);
+  plan.forward(second);
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(first[k].real(), second[k].real());
+    EXPECT_EQ(first[k].imag(), second[k].imag());
+  }
+}
+
 }  // namespace
 }  // namespace emts::dsp

@@ -1,0 +1,128 @@
+// LatencyHistogram and allocation-counter tests: the observability
+// primitives under MonitorStats and the zero-allocation benchmarks.
+#include "util/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/alloc_counter.hpp"
+#include "util/assert.hpp"
+
+namespace emts::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total_ns(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, TracksCountTotalAndExtremes) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {100u, 200u, 400u, 800u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.total_ns(), 1500u);
+  EXPECT_EQ(h.min_ns(), 100u);
+  EXPECT_EQ(h.max_ns(), 800u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 375.0);
+}
+
+TEST(LatencyHistogram, QuantilesAreExactAtTheExtremes) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(1.0), 1000.0);
+}
+
+TEST(LatencyHistogram, QuantilesAreOrderedAndBounded) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  const double p50 = h.p50_ns();
+  const double p90 = h.p90_ns();
+  const double p99 = h.p99_ns();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, static_cast<double>(h.min_ns()));
+  EXPECT_LE(p99, static_cast<double>(h.max_ns()));
+  // Power-of-two buckets are coarse, but the median of 1..10000 must land
+  // within its bucket's factor-of-two of the true value.
+  EXPECT_GT(p50, 2500.0);
+  EXPECT_LT(p50, 10000.0);
+}
+
+TEST(LatencyHistogram, HandlesZeroAndHugeSamples) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), UINT64_MAX);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.0), 0.0);
+}
+
+TEST(LatencyHistogram, RejectsBadQuantile) {
+  LatencyHistogram h;
+  h.record(5);
+  EXPECT_THROW(h.quantile_ns(-0.1), emts::precondition_error);
+  EXPECT_THROW(h.quantile_ns(1.1), emts::precondition_error);
+}
+
+TEST(LatencyHistogram, ResetRestoresTheEmptyState) {
+  LatencyHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  for (std::uint64_t b : h.buckets()) EXPECT_EQ(b, 0u);
+}
+
+TEST(LatencyHistogram, RecordIsAllocationFree) {
+  if (!alloc::counting_active()) {
+    GTEST_SKIP() << "allocation hooks disabled in this build (sanitizer)";
+  }
+  LatencyHistogram h;
+  const auto before = alloc::thread_counts();
+  for (std::uint64_t v = 0; v < 10000; ++v) h.record(v);
+  const auto after = alloc::thread_counts();
+  EXPECT_EQ(after.allocations, before.allocations);
+}
+
+TEST(MonotonicClock, IsNonDecreasing) {
+  const std::uint64_t a = monotonic_ns();
+  const std::uint64_t b = monotonic_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(AllocCounter, CountsNewAndDelete) {
+  if (!alloc::counting_active()) {
+    GTEST_SKIP() << "allocation hooks disabled in this build (sanitizer)";
+  }
+  const auto before = alloc::thread_counts();
+  {
+    std::vector<double> v(1024);
+    v[0] = 1.0;
+  }
+  const auto after = alloc::thread_counts();
+  EXPECT_GT(after.allocations, before.allocations);
+  EXPECT_GT(after.deallocations, before.deallocations);
+  EXPECT_GE(after.bytes - before.bytes, 1024 * sizeof(double));
+}
+
+TEST(AllocCounter, ResetZeroesTheThreadCounters) {
+  if (!alloc::counting_active()) {
+    GTEST_SKIP() << "allocation hooks disabled in this build (sanitizer)";
+  }
+  alloc::reset_thread_counts();
+  const auto counts = alloc::thread_counts();
+  EXPECT_EQ(counts.allocations, 0u);
+  EXPECT_EQ(counts.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace emts::util

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "core/evaluator.hpp"
+#include "util/alloc_counter.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -215,6 +218,172 @@ TEST(RuntimeMonitor, PreFittedAlarmsOnInfectedStream) {
 TEST(RuntimeMonitor, PreFittedRejectsSampleRateMismatch) {
   const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 21));
   EXPECT_THROW((RuntimeMonitor{2.0 * kFs, evaluator}), emts::precondition_error);
+}
+
+// Regression: a latched alarm leaves stale state behind — a partially
+// filled spectral window of infected captures, the last score and the last
+// spectral report. acknowledge_alarm() must reset all of it; with
+// alarm_debounce = 1 a single leaked anomaly would instantly re-latch on a
+// perfectly clean stream.
+TEST(RuntimeMonitor, AcknowledgeFullyRearmsTheLoop) {
+  RuntimeMonitor::Options opt = small_options();
+  opt.alarm_debounce = 1;  // the least forgiving re-arm scenario
+  RuntimeMonitor monitor{kFs, opt};
+  emts::Rng rng{30};
+  for (int i = 0; i < 16; ++i) monitor.push(golden_trace(rng));
+  ASSERT_EQ(monitor.state(), MonitorState::kMonitoring);
+
+  for (int i = 0; i < 8 && monitor.state() != MonitorState::kAlarm; ++i) {
+    monitor.push(infected_trace(rng));
+  }
+  ASSERT_EQ(monitor.state(), MonitorState::kAlarm);
+  // The Trojan keeps toggling while the operator investigates: infected
+  // captures pile into the partial spectral window.
+  for (int i = 0; i < 5; ++i) monitor.push(infected_trace(rng));
+  ASSERT_EQ(monitor.state(), MonitorState::kAlarm);
+
+  monitor.acknowledge_alarm();
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+  EXPECT_FALSE(monitor.last_score().has_value());
+  EXPECT_FALSE(monitor.last_spectral().has_value());
+  EXPECT_EQ(monitor.stats().alarms_latched, 1u);
+  EXPECT_EQ(monitor.stats().alarms_acknowledged, 1u);
+
+  // A clean stream spanning several spectral windows must never re-latch.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(monitor.push(golden_trace(rng)), MonitorState::kMonitoring) << "push " << i;
+  }
+  EXPECT_EQ(monitor.stats().alarms_latched, 1u);
+}
+
+TEST(RuntimeMonitor, StatsAndEventsTrackTheStream) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{31};
+  for (int i = 0; i < 32; ++i) monitor.push(golden_trace(rng));
+
+  const MonitorStats& stats = monitor.stats();
+  EXPECT_EQ(stats.traces_ingested, 32u);
+  EXPECT_EQ(stats.calibration_captures, 16u);
+  EXPECT_EQ(stats.scored_captures, 16u);
+  EXPECT_EQ(stats.spectral_passes, 2u);  // 16 monitored pushes / window of 8
+  EXPECT_EQ(stats.alarms_latched, 0u);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_EQ(stats.push_latency.count(), 32u);
+  EXPECT_EQ(stats.spectral_latency.count(), 2u);
+  EXPECT_GE(stats.push_latency.max_ns(), stats.push_latency.min_ns());
+
+  const auto events = monitor.drain_events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, MonitorEventKind::kCalibrated);
+  EXPECT_EQ(events.front().trace_index, 16u);
+  EXPECT_DOUBLE_EQ(events.front().value, 16.0);
+  std::size_t spectral_events = 0;
+  for (const auto& e : events) {
+    if (e.kind == MonitorEventKind::kSpectralPass) {
+      ++spectral_events;
+      EXPECT_DOUBLE_EQ(e.value, 8.0);  // full window analyzed
+    }
+  }
+  EXPECT_EQ(spectral_events, 2u);
+  // Draining empties the log.
+  EXPECT_TRUE(monitor.drain_events().empty());
+}
+
+TEST(RuntimeMonitor, EventLogOverflowDropsTheOldest) {
+  RuntimeMonitor::Options opt = small_options();
+  opt.event_log_capacity = 1;
+  RuntimeMonitor monitor{kFs, opt};
+  emts::Rng rng{32};
+  for (int i = 0; i < 32; ++i) monitor.push(golden_trace(rng));
+  // Calibrated + two spectral passes competed for one slot.
+  EXPECT_EQ(monitor.stats().events_dropped, 2u);
+  const auto events = monitor.drain_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.front().kind, MonitorEventKind::kSpectralPass);
+}
+
+TEST(RuntimeMonitor, PushBatchMatchesPerTracePushExactly) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 33));
+  RuntimeMonitor one_by_one{kFs, evaluator, small_options()};
+  RuntimeMonitor batched{kFs, evaluator, small_options()};
+
+  TraceSet stream = make_set(10, false, 34);
+  for (auto& t : make_set(6, true, 35).traces) stream.add(std::move(t));
+  for (auto& t : make_set(8, false, 36).traces) stream.add(std::move(t));
+
+  for (const auto& trace : stream.traces) one_by_one.push(trace);
+  batched.push_batch(stream);
+
+  EXPECT_EQ(batched.state(), one_by_one.state());
+  EXPECT_EQ(batched.traces_seen(), one_by_one.traces_seen());
+  ASSERT_EQ(batched.last_score().has_value(), one_by_one.last_score().has_value());
+  if (batched.last_score().has_value()) {
+    EXPECT_EQ(*batched.last_score(), *one_by_one.last_score());  // bit-identical
+  }
+  EXPECT_EQ(batched.last_spectral().has_value(), one_by_one.last_spectral().has_value());
+  EXPECT_EQ(batched.stats().scored_captures, one_by_one.stats().scored_captures);
+  EXPECT_EQ(batched.stats().per_trace_anomalies, one_by_one.stats().per_trace_anomalies);
+  EXPECT_EQ(batched.stats().spectral_passes, one_by_one.stats().spectral_passes);
+  EXPECT_EQ(batched.stats().windowed_anomalies, one_by_one.stats().windowed_anomalies);
+  EXPECT_EQ(batched.stats().alarms_latched, one_by_one.stats().alarms_latched);
+}
+
+TEST(RuntimeMonitor, PushBatchRejectsSampleRateMismatch) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 37));
+  RuntimeMonitor monitor{kFs, evaluator, small_options()};
+  TraceSet batch = make_set(4, false, 38);
+  batch.sample_rate = 2.0 * kFs;
+  EXPECT_THROW(monitor.push_batch(batch), emts::precondition_error);
+  EXPECT_THROW(monitor.push_batch(TraceSet{}), emts::precondition_error);
+}
+
+TEST(TrustEvaluator, ScoreBatchMatchesPlainScoresBitwise) {
+  const auto eval = TrustEvaluator::calibrate(make_set(30, false, 40));
+  TraceSet batch = make_set(6, false, 41);
+  for (auto& t : make_set(6, true, 42).traces) batch.add(std::move(t));
+
+  ScoreScratch scratch;
+  std::vector<std::vector<double>> scores;
+  eval.score_batch(batch, scratch, scores);
+  ASSERT_EQ(scores.size(), eval.detectors().size());
+  for (std::size_t d = 0; d < scores.size(); ++d) {
+    const auto& detector = *eval.detectors()[d];
+    if (detector.windowed()) {
+      EXPECT_TRUE(scores[d].empty()) << detector.name();
+      continue;
+    }
+    ASSERT_EQ(scores[d].size(), batch.size()) << detector.name();
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      EXPECT_EQ(scores[d][t], detector.score(batch.traces[t]))
+          << detector.name() << " trace " << t;
+    }
+  }
+
+  // Reusing the scratch and score rows must reproduce the same values.
+  const auto first = scores;
+  eval.score_batch(batch, scratch, scores);
+  EXPECT_EQ(scores, first);
+}
+
+TEST(RuntimeMonitor, SteadyStatePushIsAllocationFree) {
+  if (!util::alloc::counting_active()) {
+    GTEST_SKIP() << "allocation hooks disabled in this build (sanitizer)";
+  }
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 43));
+  RuntimeMonitor monitor{kFs, evaluator, small_options()};
+  const TraceSet stream = make_set(16, false, 44);
+
+  // Warm-up: size every scratch buffer, ring slot and analyzer plan across
+  // multiple full spectral windows.
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& trace : stream.traces) monitor.push(trace);
+  }
+
+  const auto before = util::alloc::thread_counts();
+  for (const auto& trace : stream.traces) monitor.push(trace);
+  const auto after = util::alloc::thread_counts();
+  EXPECT_EQ(after.allocations - before.allocations, 0u)
+      << "steady-state push allocated " << (after.bytes - before.bytes) << " bytes";
 }
 
 TEST(RuntimeMonitor, StateLabelsAreDistinct) {

@@ -1,0 +1,99 @@
+// TraceRing contract tests: the fixed-capacity window under the streaming
+// monitor. Arrival-order iteration, wrap-around eviction and storage-keeping
+// clear() are what the zero-allocation hot path leans on.
+#include "core/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/alloc_counter.hpp"
+#include "util/assert.hpp"
+
+namespace emts::core {
+namespace {
+
+Trace make_trace(double seed, std::size_t n = 8) {
+  Trace t(n);
+  for (std::size_t i = 0; i < n; ++i) t[i] = seed + static_cast<double>(i);
+  return t;
+}
+
+TEST(TraceRing, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceRing{0}, emts::precondition_error);
+}
+
+TEST(TraceRing, FillsInArrivalOrder) {
+  TraceRing ring{4};
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 3; ++i) ring.push(make_trace(static_cast<double>(i)));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_FALSE(ring.full());
+  EXPECT_EQ(ring.oldest(0), make_trace(0.0));
+  EXPECT_EQ(ring.oldest(1), make_trace(1.0));
+  EXPECT_EQ(ring.oldest(2), make_trace(2.0));
+  EXPECT_EQ(ring.newest(), make_trace(2.0));
+  EXPECT_EQ(ring.total_pushed(), 3u);
+}
+
+TEST(TraceRing, WrapAroundEvictsTheOldest) {
+  TraceRing ring{3};
+  for (int i = 0; i < 7; ++i) ring.push(make_trace(static_cast<double>(i)));
+  // After 7 pushes into 3 slots the window is traces 4, 5, 6.
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.oldest(0), make_trace(4.0));
+  EXPECT_EQ(ring.oldest(1), make_trace(5.0));
+  EXPECT_EQ(ring.oldest(2), make_trace(6.0));
+  EXPECT_EQ(ring.newest(), make_trace(6.0));
+  EXPECT_EQ(ring.total_pushed(), 7u);
+}
+
+TEST(TraceRing, CapacityOneAlwaysHoldsTheNewest) {
+  TraceRing ring{1};
+  for (int i = 0; i < 5; ++i) {
+    ring.push(make_trace(static_cast<double>(i)));
+    EXPECT_TRUE(ring.full());
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.oldest(0), make_trace(static_cast<double>(i)));
+    EXPECT_EQ(ring.newest(), ring.oldest(0));
+  }
+}
+
+TEST(TraceRing, ClearIsLogicalAndRefillsCleanly) {
+  TraceRing ring{3};
+  for (int i = 0; i < 5; ++i) ring.push(make_trace(static_cast<double>(i)));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_pushed(), 5u);  // lifetime counter survives clear()
+  ring.push(make_trace(9.0));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.oldest(0), make_trace(9.0));
+}
+
+TEST(TraceRing, OutOfRangeAccessRejected) {
+  TraceRing ring{2};
+  EXPECT_THROW(ring.newest(), emts::precondition_error);
+  EXPECT_THROW(ring.oldest(0), emts::precondition_error);
+  ring.push(make_trace(1.0));
+  EXPECT_THROW(ring.oldest(1), emts::precondition_error);
+}
+
+TEST(TraceRing, SteadyStatePushDoesNotAllocate) {
+  if (!util::alloc::counting_active()) {
+    GTEST_SKIP() << "allocation hooks disabled in this build (sanitizer)";
+  }
+  TraceRing ring{4};
+  const Trace t = make_trace(3.0, 256);
+  // Warm-up: one full revolution sizes every slot.
+  for (int i = 0; i < 8; ++i) ring.push(t);
+  ring.clear();
+  const auto before = util::alloc::thread_counts();
+  for (int i = 0; i < 64; ++i) ring.push(t);
+  ring.clear();
+  const auto after = util::alloc::thread_counts();
+  EXPECT_EQ(after.allocations, before.allocations);
+}
+
+}  // namespace
+}  // namespace emts::core

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -114,7 +117,7 @@ TEST(Spectrum, MeanSpectrumRejectsRaggedInput) {
                emts::precondition_error);
 }
 
-TEST(FindPeaks, DetectsInjectedTonesStrongestFirst) {
+TEST(FindPeaks, DetectsInjectedTonesInBinOrder) {
   const double fs = 1024.0;
   const std::size_t n = 2048;
   auto sig = tone(64.0, fs, n, 1.0);
@@ -123,9 +126,10 @@ TEST(FindPeaks, DetectsInjectedTonesStrongestFirst) {
   const auto spec = amplitude_spectrum(sig, fs);
   const auto peaks = find_peaks(spec, 0.2);
   ASSERT_GE(peaks.size(), 2u);
-  EXPECT_NEAR(peaks[0].frequency, 200.0, 1.0);
-  EXPECT_NEAR(peaks[1].frequency, 64.0, 1.0);
-  EXPECT_GT(peaks[0].amplitude, peaks[1].amplitude);
+  // Bin-ordered: the 64 Hz tone comes first even though 200 Hz is stronger.
+  EXPECT_NEAR(peaks[0].frequency, 64.0, 1.0);
+  EXPECT_NEAR(peaks[1].frequency, 200.0, 1.0);
+  EXPECT_GT(peaks[1].amplitude, peaks[0].amplitude);
 }
 
 TEST(FindPeaks, RespectsMaxPeaks) {
@@ -135,6 +139,135 @@ TEST(FindPeaks, RespectsMaxPeaks) {
   const auto spec = amplitude_spectrum(sig, 1000.0);
   const auto peaks = find_peaks(spec, 0.0, 5);
   EXPECT_LE(peaks.size(), 5u);
+  for (std::size_t i = 1; i < peaks.size(); ++i) EXPECT_LT(peaks[i - 1].bin, peaks[i].bin);
+}
+
+// Regression: truncation must drop the weakest peaks, not the highest
+// frequencies — a strong Trojan carrier high in the band has to survive a
+// crowded low band.
+TEST(FindPeaks, TruncationKeepsTheStrongestPeaks) {
+  const double fs = 1024.0;
+  const std::size_t n = 2048;
+  // Six weak low-frequency tones, one strong tone near the top of the band.
+  std::vector<double> sig(n, 0.0);
+  for (double f : {24.0, 40.0, 56.0, 72.0, 88.0, 104.0}) {
+    const auto t = tone(f, fs, n, 0.5);
+    for (std::size_t i = 0; i < n; ++i) sig[i] += t[i];
+  }
+  const auto carrier = tone(480.0, fs, n, 3.0);
+  for (std::size_t i = 0; i < n; ++i) sig[i] += carrier[i];
+
+  const auto spec = amplitude_spectrum(sig, fs);
+  const auto peaks = find_peaks(spec, 0.1, 4);
+  ASSERT_EQ(peaks.size(), 4u);
+  // The strong high-band carrier must be among the survivors...
+  bool carrier_kept = false;
+  for (const auto& p : peaks) carrier_kept |= std::abs(p.frequency - 480.0) < 1.0;
+  EXPECT_TRUE(carrier_kept);
+  // ...and the survivors come back bin-ordered.
+  for (std::size_t i = 1; i < peaks.size(); ++i) EXPECT_LT(peaks[i - 1].bin, peaks[i].bin);
+  // Every kept peak is at least as strong as every qualifying peak that was
+  // dropped.
+  const auto all = find_peaks(spec, 0.1, 1000);
+  ASSERT_GT(all.size(), 4u);
+  double weakest_kept = peaks[0].amplitude;
+  for (const auto& p : peaks) weakest_kept = std::min(weakest_kept, p.amplitude);
+  std::size_t stronger_than_weakest_kept = 0;
+  for (const auto& p : all) {
+    if (p.amplitude > weakest_kept) ++stronger_than_weakest_kept;
+  }
+  EXPECT_LE(stronger_than_weakest_kept, 3u);
+}
+
+TEST(FindPeaks, IntoVariantMatchesAndReusesItsBuffer) {
+  const double fs = 1024.0;
+  auto sig = tone(64.0, fs, 2048, 1.0);
+  const auto t2 = tone(200.0, fs, 2048, 2.0);
+  for (std::size_t i = 0; i < sig.size(); ++i) sig[i] += t2[i];
+  const auto spec = amplitude_spectrum(sig, fs);
+
+  const auto copied = find_peaks(spec, 0.2);
+  std::vector<SpectralPeak> reused;
+  find_peaks_into(spec, 0.2, reused);
+  ASSERT_EQ(reused.size(), copied.size());
+  for (std::size_t i = 0; i < copied.size(); ++i) {
+    EXPECT_EQ(reused[i].bin, copied[i].bin);
+    EXPECT_EQ(reused[i].frequency, copied[i].frequency);
+    EXPECT_EQ(reused[i].amplitude, copied[i].amplitude);
+  }
+  // Second call clears before writing — no stale accumulation.
+  find_peaks_into(spec, 0.2, reused);
+  EXPECT_EQ(reused.size(), copied.size());
+}
+
+// The analyzer's cached window/plan/buffers must not move any output by a
+// single bit relative to the one-shot helpers — the monitor's scores depend
+// on it.
+TEST(SpectrumAnalyzer, AnalyzeMatchesAmplitudeSpectrumBitwise) {
+  emts::Rng rng{88};
+  std::vector<double> sig(1000);  // non-power-of-two: exercises padding
+  for (double& v : sig) v = rng.gaussian();
+
+  SpectrumAnalyzer analyzer;
+  for (int pass = 0; pass < 3; ++pass) {
+    const Spectrum& cached = analyzer.analyze(sig, 1000.0);
+    const Spectrum copied = amplitude_spectrum(sig, 1000.0);
+    ASSERT_EQ(cached.size(), copied.size());
+    for (std::size_t k = 0; k < copied.size(); ++k) {
+      EXPECT_EQ(cached.amplitude[k], copied.amplitude[k]) << "pass " << pass << " bin " << k;
+      EXPECT_EQ(cached.frequency[k], copied.frequency[k]) << "pass " << pass << " bin " << k;
+    }
+  }
+  EXPECT_EQ(analyzer.warmups(), 1u);  // same shape throughout: one cache build
+}
+
+// The streamed mean path packs traces two-per-FFT (two-for-one real
+// transform), so it matches mean_spectrum to floating-point rounding rather
+// than bitwise. Seven traces (odd) also exercise the leftover-signal flush
+// in mean().
+TEST(SpectrumAnalyzer, StreamedMeanMatchesMeanSpectrumToRounding) {
+  emts::Rng rng{89};
+  std::vector<std::vector<double>> signals;
+  for (int t = 0; t < 7; ++t) {
+    auto sig = tone(125.0, 1000.0, 512, 1.0);
+    for (double& v : sig) v += rng.gaussian(0.0, 0.5);
+    signals.push_back(std::move(sig));
+  }
+  const Spectrum copied = mean_spectrum(signals, 1000.0);
+
+  SpectrumAnalyzer analyzer;
+  analyzer.begin(512, 1000.0);
+  for (const auto& sig : signals) analyzer.add(sig);
+  const Spectrum& streamed = analyzer.mean();
+
+  ASSERT_EQ(streamed.size(), copied.size());
+  double peak = 0.0;
+  for (double a : copied.amplitude) peak = std::max(peak, a);
+  for (std::size_t k = 0; k < copied.size(); ++k) {
+    // Tight absolute bound relative to the spectrum's scale: the packed and
+    // per-signal transforms differ only by rounding inside the butterflies.
+    EXPECT_NEAR(streamed.amplitude[k], copied.amplitude[k], 1e-12 * peak) << "bin " << k;
+  }
+
+  // A second streamed pass over the same traces reproduces itself exactly.
+  std::vector<double> first_pass(streamed.amplitude);
+  analyzer.begin(512, 1000.0);
+  for (const auto& sig : signals) analyzer.add(sig);
+  const Spectrum& again = analyzer.mean();
+  for (std::size_t k = 0; k < first_pass.size(); ++k) {
+    EXPECT_EQ(again.amplitude[k], first_pass[k]) << "bin " << k;
+  }
+}
+
+TEST(SpectrumAnalyzer, RewarmsOnShapeChangeOnly) {
+  SpectrumAnalyzer analyzer;
+  analyzer.analyze(tone(10.0, 1000.0, 256, 1.0), 1000.0);
+  analyzer.analyze(tone(20.0, 1000.0, 256, 1.0), 1000.0);
+  EXPECT_EQ(analyzer.warmups(), 1u);
+  analyzer.analyze(tone(10.0, 1000.0, 512, 1.0), 1000.0);  // new length
+  EXPECT_EQ(analyzer.warmups(), 2u);
+  analyzer.analyze(tone(10.0, 2000.0, 512, 1.0), 2000.0);  // new rate
+  EXPECT_EQ(analyzer.warmups(), 3u);
 }
 
 TEST(FindPeaks, EmptyWhenThresholdAboveEverything) {

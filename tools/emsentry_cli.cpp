@@ -29,6 +29,7 @@
 #include "sim/silicon.hpp"
 #include "stats/snr.hpp"
 #include "util/assert.hpp"
+#include "util/latency.hpp"
 
 #ifndef EMSENTRY_VERSION
 #define EMSENTRY_VERSION "unknown"
@@ -47,7 +48,7 @@ void print_usage(std::FILE* stream) {
                "  emsentry_cli evaluate <golden.emta> <suspect.emta>\n"
                "  emsentry_cli calibrate <golden.emta> <out.emca> [--detectors a,b,...]\n"
                "  emsentry_cli monitor --model <model.emca> [--windows N]\n"
-               "                [--trojan T1|T2|T3|T4|A2] [--silicon]\n"
+               "                [--trojan T1|T2|T3|T4|A2] [--silicon] [--stats]\n"
                "  emsentry_cli snr <signal.emta> <noise.emta>\n"
                "  emsentry_cli info <archive.emta>\n"
                "  emsentry_cli help | --help | -h\n"
@@ -82,6 +83,39 @@ std::vector<std::string> split_csv(const std::string& csv) {
     start = comma + 1;
   }
   return out;
+}
+
+void print_latency_line(const char* label, const util::LatencyHistogram& h) {
+  std::printf("  %-9s count %-6llu p50 %8.1f us  p99 %8.1f us  max %8.1f us\n", label,
+              static_cast<unsigned long long>(h.count()), h.p50_ns() / 1e3, h.p99_ns() / 1e3,
+              static_cast<double>(h.max_ns()) / 1e3);
+}
+
+void print_monitor_stats(core::RuntimeMonitor& monitor) {
+  const core::MonitorStats& stats = monitor.stats();
+  std::printf("monitor stats:\n");
+  std::printf("  ingested %llu (calibration %llu, scored %llu)\n",
+              static_cast<unsigned long long>(stats.traces_ingested),
+              static_cast<unsigned long long>(stats.calibration_captures),
+              static_cast<unsigned long long>(stats.scored_captures));
+  std::printf("  anomalies: per-trace %llu, windowed %llu (of %llu spectral passes)\n",
+              static_cast<unsigned long long>(stats.per_trace_anomalies),
+              static_cast<unsigned long long>(stats.windowed_anomalies),
+              static_cast<unsigned long long>(stats.spectral_passes));
+  std::printf("  alarms: latched %llu, acknowledged %llu\n",
+              static_cast<unsigned long long>(stats.alarms_latched),
+              static_cast<unsigned long long>(stats.alarms_acknowledged));
+  print_latency_line("push", stats.push_latency);
+  print_latency_line("spectral", stats.spectral_latency);
+
+  const auto events = monitor.drain_events();
+  std::printf("  events (%zu buffered, %llu dropped):\n", events.size(),
+              static_cast<unsigned long long>(stats.events_dropped));
+  for (const auto& event : events) {
+    std::printf("    #%-6llu %-18s %.6g\n",
+                static_cast<unsigned long long>(event.trace_index),
+                core::monitor_event_label(event.kind), event.value);
+  }
 }
 
 void print_stage_lines(const core::TrustReport& report) {
@@ -204,6 +238,7 @@ int cmd_monitor(const std::vector<std::string>& args) {
   std::string model_path;
   std::size_t windows = 32;
   bool silicon = false;
+  bool show_stats = false;
   bool has_trojan = false;
   trojan::TrojanKind kind{};
 
@@ -219,6 +254,8 @@ int cmd_monitor(const std::vector<std::string>& args) {
       windows = std::stoul(next());
     } else if (a == "--silicon") {
       silicon = true;
+    } else if (a == "--stats") {
+      show_stats = true;
     } else if (a == "--trojan") {
       EMTS_REQUIRE(parse_trojan(next(), &kind), "unknown trojan label");
       has_trojan = true;
@@ -254,6 +291,7 @@ int cmd_monitor(const std::vector<std::string>& args) {
               has_trojan ? (std::string(" (trojan ") + trojan::kind_label(kind) + " armed)").c_str()
                          : "",
               core::monitor_state_label(monitor.state()));
+  if (show_stats) print_monitor_stats(monitor);
   return monitor.state() == core::MonitorState::kAlarm ? 1 : 0;
 }
 
