@@ -7,11 +7,15 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/euclidean.hpp"
 #include "core/evaluator.hpp"
 #include "core/monitor.hpp"
 #include "core/spectral.hpp"
+#include "fleet/fleet.hpp"
 #include "io/calibration.hpp"
 #include "dsp/fft.hpp"
 #include "em/mutual.hpp"
@@ -300,6 +304,179 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+// ---------------------------------------------------------------------------
+// Fleet monitor: shard scaling and queue saturation.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> fleet_device_ids(std::size_t devices) {
+  std::vector<std::string> ids;
+  ids.reserve(devices);
+  for (std::size_t d = 0; d < devices; ++d) ids.push_back("chip-" + std::to_string(d));
+  return ids;
+}
+
+fleet::FleetOptions fleet_options(std::size_t shards, fleet::BackpressurePolicy policy,
+                                  std::size_t queue_capacity) {
+  fleet::FleetOptions options;
+  options.shards = shards;
+  options.queue_capacity = queue_capacity;
+  options.backpressure = policy;
+  options.monitor.spectral_window = kMonitorWindow;
+  return options;
+}
+
+/// One producer feeding a device fleet round-robin, as a shared capture
+/// front-end would. Scoring dominates (a submit is a 32 KiB copy plus a
+/// queue push; a push through the detector stack is ~100x that), so
+/// traces/sec tracks how many shard workers the machine keeps busy.
+double fleet_rate(std::size_t shards, std::size_t devices, std::size_t per_device) {
+  const auto& stream = shared_stream();
+  fleet::FleetMonitor monitor{
+      fleet_options(shards, fleet::BackpressurePolicy::kBlock, 64)};
+  const std::vector<std::string> ids = fleet_device_ids(devices);
+  for (const std::string& id : ids) {
+    monitor.add_device(id, core::TrustEvaluator{shared_evaluator()});
+  }
+  // Warm-up round: size every session's scratches and plans.
+  for (const std::string& id : ids) {
+    monitor.submit(id, core::Trace{stream.traces[0]});
+  }
+  monitor.flush();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < per_device; ++t) {
+    const core::Trace& trace = stream.traces[t % stream.size()];
+    for (const std::string& id : ids) monitor.submit(id, core::Trace{trace});
+  }
+  monitor.flush();
+  const double elapsed = seconds_since(t0);
+  return static_cast<double>(devices) * static_cast<double>(per_device) / elapsed;
+}
+
+void BM_FleetSubmit(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto devices = static_cast<std::size_t>(state.range(1));
+  const auto& stream = shared_stream();
+  fleet::FleetMonitor monitor{
+      fleet_options(shards, fleet::BackpressurePolicy::kBlock, 64)};
+  const std::vector<std::string> ids = fleet_device_ids(devices);
+  for (const std::string& id : ids) {
+    monitor.add_device(id, core::TrustEvaluator{shared_evaluator()});
+  }
+  constexpr std::size_t kRound = 8;
+  std::size_t t = 0;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kRound; ++r) {
+      const core::Trace& trace = stream.traces[t++ % stream.size()];
+      for (const std::string& id : ids) monitor.submit(id, core::Trace{trace});
+    }
+    monitor.flush();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRound * devices));
+}
+BENCHMARK(BM_FleetSubmit)
+    ->ArgNames({"shards", "devices"})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({4, 16})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+struct FleetSaturationResult {
+  std::uint64_t submitted = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t rejected = 0;
+  std::size_t queue_high_water = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Slams one shard with a burst far beyond its queue capacity: the producer
+/// outruns the scorer by ~100x, so the queue saturates immediately and the
+/// policy decides what gives — the producer (BLOCK), completeness
+/// (DROP_OLDEST) or admission (REJECT).
+FleetSaturationResult fleet_saturation(fleet::BackpressurePolicy policy, std::size_t burst) {
+  const auto& stream = shared_stream();
+  constexpr std::size_t kQueue = 8;
+  fleet::FleetMonitor monitor{fleet_options(1, policy, kQueue)};
+  monitor.add_device("chip-0", core::TrustEvaluator{shared_evaluator()});
+  monitor.submit("chip-0", core::Trace{stream.traces[0]});  // warm-up
+  monitor.flush();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < burst; ++t) {
+    monitor.submit("chip-0", core::Trace{stream.traces[t % stream.size()]});
+  }
+  monitor.flush();
+  const double elapsed = seconds_since(t0);
+
+  const fleet::FleetStats stats = monitor.stats();
+  FleetSaturationResult result;
+  result.submitted = stats.shards[0].submitted;
+  result.processed = stats.shards[0].processed;
+  result.dropped = stats.shards[0].dropped_oldest;
+  result.rejected = stats.shards[0].rejected_full;
+  result.queue_high_water = stats.shards[0].queue_high_water;
+  result.wall_seconds = elapsed;
+  return result;
+}
+
+/// Fleet measurements serialized to BENCH_fleet.json: traces/sec against
+/// shard count at 1/4/16/64 devices, the 1->4 shard speedup at 16 devices,
+/// and the per-policy queue-saturation accounting. Shard scaling needs
+/// hardware parallelism — on a single-core host every curve is flat, so the
+/// file records hardware_threads alongside the rates.
+void write_fleet_bench_json(const char* path) {
+  const std::size_t shard_counts[] = {1, 2, 4};
+  const std::size_t device_counts[] = {1, 4, 16, 64};
+
+  std::ofstream out{path};
+  out << "{\n"
+      << "  \"trace_samples\": " << shared_stream().trace_length() << ",\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"queue_capacity\": 64,\n"
+      << "  \"scaling\": [\n";
+  double rate_1_shard_16_dev = 0.0;
+  double rate_4_shards_16_dev = 0.0;
+  bool first = true;
+  for (const std::size_t devices : device_counts) {
+    // Every device streams exactly one spectral window, so each row carries
+    // the same per-trace work mix and rates compare across device counts.
+    const std::size_t per_device = kMonitorWindow;
+    for (const std::size_t shards : shard_counts) {
+      const double rate = fleet_rate(shards, devices, per_device);
+      if (devices == 16 && shards == 1) rate_1_shard_16_dev = rate;
+      if (devices == 16 && shards == 4) rate_4_shards_16_dev = rate;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"shards\": " << shards << ", \"devices\": " << devices
+          << ", \"traces_per_sec\": " << rate << "}";
+    }
+  }
+  const double speedup = rate_4_shards_16_dev / rate_1_shard_16_dev;
+  out << "\n  ],\n"
+      << "  \"speedup_1_to_4_shards_at_16_devices\": " << speedup << ",\n"
+      << "  \"saturation\": [\n";
+
+  const fleet::BackpressurePolicy policies[] = {fleet::BackpressurePolicy::kBlock,
+                                                fleet::BackpressurePolicy::kDropOldest,
+                                                fleet::BackpressurePolicy::kReject};
+  constexpr std::size_t kBurst = 256;
+  for (std::size_t p = 0; p < 3; ++p) {
+    const FleetSaturationResult r = fleet_saturation(policies[p], kBurst);
+    out << "    {\"policy\": \"" << fleet::backpressure_label(policies[p]) << "\""
+        << ", \"burst\": " << kBurst << ", \"queue_capacity\": 8"
+        << ", \"submitted\": " << r.submitted << ", \"processed\": " << r.processed
+        << ", \"dropped_oldest\": " << r.dropped << ", \"rejected\": " << r.rejected
+        << ", \"queue_high_water\": " << r.queue_high_water
+        << ", \"wall_seconds\": " << r.wall_seconds << "}" << (p + 1 < 3 ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("fleet: 1->4 shards at 16 devices %.2fx (%u hardware threads) -> %s\n",
+              speedup, std::thread::hardware_concurrency(), path);
+}
+
 /// Direct head-to-head measurement serialized to BENCH_monitor.json: streamed
 /// vs seed-style traces/sec on a 64-trace window, steady-state allocation
 /// counts for both paths, and the monitor's own p50/p99 push latency.
@@ -374,5 +551,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_monitor_bench_json("BENCH_monitor.json");
+  write_fleet_bench_json("BENCH_fleet.json");
   return 0;
 }

@@ -123,6 +123,22 @@ const SpectralDetector& TrustEvaluator::spectral() const {
   return *detector;
 }
 
+bool TrustEvaluator::accepts_trace_length(std::size_t trace_length) const {
+  if (trace_length == 0) return false;
+  if (const EuclideanDetector* e = try_euclidean()) {
+    if (e->preprocessor().feature_dim(trace_length) != e->pca().input_dim()) return false;
+  }
+  if (const SpectralDetector* s = try_spectral()) {
+    // Golden bins = padded/2 + 1, so the suspect's padded length must land on
+    // the same grid or every bin comparison would be against the wrong
+    // frequency.
+    const std::size_t golden_bins = s->golden_spectrum().size();
+    if (golden_bins < 2) return false;
+    if (dsp::next_power_of_two(trace_length) != 2 * (golden_bins - 1)) return false;
+  }
+  return true;
+}
+
 void TrustEvaluator::score_batch(const TraceSet& batch, ScoreScratch& scratch,
                                  std::vector<std::vector<double>>& scores) const {
   EMTS_REQUIRE(!batch.empty(), "score_batch needs traces");

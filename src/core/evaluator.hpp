@@ -87,6 +87,13 @@ class TrustEvaluator {
   const EuclideanDetector& euclidean() const;
   const SpectralDetector& spectral() const;
 
+  /// Whether traces of `trace_length` samples are shape-compatible with the
+  /// fitted stack. With a euclidean stage this requires the preprocessed
+  /// feature count to match the fitted PCA input dimension — the gate the
+  /// runtime monitor applies before a capture may pin its stream shape.
+  /// Stacks without a euclidean stage accept any non-zero length.
+  bool accepts_trace_length(std::size_t trace_length) const;
+
   /// Sample rate of the calibration campaign (Hz).
   double sample_rate() const { return sample_rate_; }
   const Options& options() const { return options_; }

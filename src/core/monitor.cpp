@@ -33,6 +33,10 @@ const char* monitor_event_label(MonitorEventKind kind) {
       return "ALARM_LATCHED";
     case MonitorEventKind::kAlarmAcknowledged:
       return "ALARM_ACKNOWLEDGED";
+    case MonitorEventKind::kTraceRejectedShape:
+      return "TRACE_REJECTED_SHAPE";
+    case MonitorEventKind::kTraceRejectedNonFinite:
+      return "TRACE_REJECTED_NON_FINITE";
   }
   return "?";
 }
@@ -132,11 +136,50 @@ MonitorState RuntimeMonitor::push_batch(const TraceSet& batch) {
   return state_;
 }
 
+bool RuntimeMonitor::admit_trace(const Trace& trace) {
+  // Shape gate. The first capture pins the stream length; a pre-fitted
+  // evaluator additionally vets it against the fitted feature shape, so a
+  // wrong-length first capture cannot pin a shape the detectors would choke
+  // on (or silently mis-score through block decimation).
+  if (expected_length_ != 0) {
+    if (trace.size() != expected_length_) {
+      ++stats_.traces_rejected;
+      record_event(MonitorEventKind::kTraceRejectedShape,
+                   static_cast<double>(trace.size()));
+      return false;
+    }
+  } else if (evaluator_.has_value() && !evaluator_->accepts_trace_length(trace.size())) {
+    ++stats_.traces_rejected;
+    record_event(MonitorEventKind::kTraceRejectedShape,
+                 static_cast<double>(trace.size()));
+    return false;
+  }
+
+  // Finiteness gate: one NaN poisons every running statistic downstream
+  // (PCA projection, spectral mean, latched scores), so it must never reach
+  // the preprocessor.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!std::isfinite(trace[i])) {
+      ++stats_.traces_rejected;
+      record_event(MonitorEventKind::kTraceRejectedNonFinite, static_cast<double>(i));
+      return false;
+    }
+  }
+
+  if (expected_length_ == 0) expected_length_ = trace.size();
+  return true;
+}
+
 MonitorState RuntimeMonitor::ingest(const Trace& trace) {
   EMTS_REQUIRE(!trace.empty(), "cannot push an empty trace");
   const std::uint64_t t0 = util::monotonic_ns();
   ++traces_seen_;
   ++stats_.traces_ingested;
+
+  if (!admit_trace(trace)) {
+    stats_.push_latency.record(util::monotonic_ns() - t0);
+    return state_;
+  }
 
   if (state_ == MonitorState::kCalibrating) {
     calibration_.add(trace);

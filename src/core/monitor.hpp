@@ -34,12 +34,14 @@ enum class MonitorState { kCalibrating, kMonitoring, kAlarm };
 /// Structured happenings on the monitoring loop, drainable via
 /// RuntimeMonitor::drain_events(). `value` is kind-specific (see each kind).
 enum class MonitorEventKind : std::uint8_t {
-  kCalibrated,        // value = calibration traces consumed
-  kPerTraceAnomaly,   // value = offending per-trace score
-  kSpectralPass,      // value = window size analyzed
-  kWindowedAnomaly,   // value = strongest spectral ratio (0 if non-spectral)
-  kAlarmLatched,      // value = consecutive anomalies at latch time
-  kAlarmAcknowledged  // value = traces seen while latched
+  kCalibrated,             // value = calibration traces consumed
+  kPerTraceAnomaly,        // value = offending per-trace score
+  kSpectralPass,           // value = window size analyzed
+  kWindowedAnomaly,        // value = strongest spectral ratio (0 if non-spectral)
+  kAlarmLatched,           // value = consecutive anomalies at latch time
+  kAlarmAcknowledged,      // value = traces seen while latched
+  kTraceRejectedShape,     // value = offending sample count
+  kTraceRejectedNonFinite  // value = index of the first non-finite sample
 };
 
 struct MonitorEvent {
@@ -54,6 +56,7 @@ const char* monitor_event_label(MonitorEventKind kind);
 /// every push with O(1) allocation-free work.
 struct MonitorStats {
   std::uint64_t traces_ingested = 0;      // every push, any state
+  std::uint64_t traces_rejected = 0;      // pushes refused by the input gate
   std::uint64_t calibration_captures = 0; // pushes consumed while calibrating
   std::uint64_t scored_captures = 0;      // pushes scored by the detectors
   std::uint64_t per_trace_anomalies = 0;  // pushes with a per-trace exceedance
@@ -93,7 +96,25 @@ class RuntimeMonitor {
   RuntimeMonitor(double sample_rate, TrustEvaluator evaluator);
   RuntimeMonitor(double sample_rate, TrustEvaluator evaluator, const Options& options);
 
+  /// A monitor is a relocatable value: every member owns its storage by value
+  /// (rings, scratch buffers, cached FFT plans are all vector-backed with no
+  /// self-references), so a moved-to monitor continues its stream with
+  /// bit-identical scores. Copying is disabled — a monitor is the identity of
+  /// one capture stream, and a fleet session must never fork it silently.
+  RuntimeMonitor(RuntimeMonitor&&) noexcept = default;
+  RuntimeMonitor& operator=(RuntimeMonitor&&) noexcept = default;
+  RuntimeMonitor(const RuntimeMonitor&) = delete;
+  RuntimeMonitor& operator=(const RuntimeMonitor&) = delete;
+
   /// Feeds one capture; returns the state after ingesting it.
+  ///
+  /// Input gate: the first accepted capture pins the stream's trace length
+  /// (a pre-fitted evaluator additionally vets that length against its
+  /// fitted feature shape). A later push whose sample count differs, or any
+  /// push containing a non-finite sample, is *rejected* instead of flowing
+  /// into the preprocessor: the push counts in traces_ingested and
+  /// traces_rejected, records a kTraceRejected* event, perturbs no detector
+  /// state, and returns the current state. Only an empty trace throws.
   MonitorState push(const Trace& trace);
 
   /// Feeds a whole capture batch through the same hot path. State
@@ -104,6 +125,10 @@ class RuntimeMonitor {
 
   MonitorState state() const { return state_; }
   std::size_t traces_seen() const { return traces_seen_; }
+
+  /// Sample count every capture on this stream must have; 0 until the first
+  /// capture is accepted.
+  std::size_t expected_trace_length() const { return expected_length_; }
 
   /// Score of the most recent monitored capture under the first per-trace
   /// detector (the Euclidean stage in the default stack).
@@ -138,6 +163,8 @@ class RuntimeMonitor {
 
  private:
   void validate_options() const;
+  /// Non-throwing input gate; records the rejection event when it fails.
+  bool admit_trace(const Trace& trace);
   void finish_calibration();
   /// Builds the per-stream scratches once an evaluator exists.
   void bind_evaluator();
@@ -157,6 +184,7 @@ class RuntimeMonitor {
   std::optional<double> last_score_;
   std::optional<SpectralReport> last_spectral_;
   std::size_t traces_seen_ = 0;
+  std::size_t expected_length_ = 0;  // pinned by the first accepted capture
   std::size_t consecutive_anomalies_ = 0;
   std::uint64_t alarm_latched_at_ = 0;  // traces_seen_ when the alarm latched
   std::function<void(const TrustReport&)> alarm_callback_;

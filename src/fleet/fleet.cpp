@@ -1,0 +1,323 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace emts::fleet {
+
+const char* backpressure_label(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "BLOCK";
+    case BackpressurePolicy::kDropOldest:
+      return "DROP_OLDEST";
+    case BackpressurePolicy::kReject:
+      return "REJECT";
+  }
+  return "?";
+}
+
+std::uint64_t device_hash(const std::string& device_id) {
+  // FNV-1a, 64-bit. std::hash<std::string> is implementation-defined, which
+  // would let the same manifest land on different shards across toolchains.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : device_id) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+FleetMonitor::FleetMonitor(const FleetOptions& options) : options_{options} {
+  EMTS_REQUIRE(options_.shards >= 1, "fleet needs at least one shard");
+  EMTS_REQUIRE(options_.queue_capacity >= 1, "shard queue capacity must be >= 1");
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Sessions may be added (and submits arrive) as soon as the constructor
+  // returns, so the workers start only after every Shard exists.
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { worker_loop(*raw); });
+  }
+}
+
+FleetMonitor::~FleetMonitor() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->stopping = true;
+    shard->work_ready.notify_all();
+    shard->space_ready.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::size_t FleetMonitor::shard_of(const std::string& device_id) const {
+  return static_cast<std::size_t>(device_hash(device_id) %
+                                  static_cast<std::uint64_t>(shards_.size()));
+}
+
+void FleetMonitor::add_device(const std::string& device_id, core::TrustEvaluator evaluator) {
+  add_device(device_id, std::move(evaluator), options_.monitor);
+}
+
+void FleetMonitor::add_device(const std::string& device_id, core::TrustEvaluator evaluator,
+                              const core::RuntimeMonitor::Options& monitor_options) {
+  EMTS_REQUIRE(!device_id.empty(), "device id must be non-empty");
+  const double sample_rate = evaluator.sample_rate();
+  const std::size_t shard = shard_of(device_id);
+  auto session = std::make_unique<Session>(
+      device_id, shard,
+      core::RuntimeMonitor{sample_rate, std::move(evaluator), monitor_options});
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  EMTS_REQUIRE(sessions_.find(device_id) == sessions_.end(),
+               "duplicate device '" + device_id + "'");
+  sessions_.emplace(device_id, std::move(session));
+}
+
+bool FleetMonitor::has_device(const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.find(device_id) != sessions_.end();
+}
+
+std::size_t FleetMonitor::device_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::vector<std::string> FleetMonitor::device_ids() const {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    ids.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+FleetMonitor::Session* FleetMonitor::find_session(const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(device_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+SubmitResult FleetMonitor::submit(const std::string& device_id, core::Trace trace) {
+  EMTS_REQUIRE(!trace.empty(), "cannot submit an empty trace");
+  Session* session = find_session(device_id);
+  EMTS_REQUIRE(session != nullptr, "unknown device '" + device_id + "'");
+  // Sessions are never removed, so `session` stays valid after the lookup
+  // lock drops; its shard assignment is immutable.
+  Shard& shard = *shards_[session->shard];
+
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  SubmitResult result = SubmitResult::kAccepted;
+  if (shard.queue.size() >= options_.queue_capacity) {
+    switch (options_.backpressure) {
+      case BackpressurePolicy::kBlock:
+        ++shard.stats.blocked;
+        shard.space_ready.wait(lock, [&] {
+          return shard.queue.size() < options_.queue_capacity || shard.stopping;
+        });
+        if (shard.stopping) {
+          // Shutdown raced the wait; refuse rather than enqueue into a
+          // draining fleet.
+          ++shard.stats.rejected_full;
+          return SubmitResult::kRejected;
+        }
+        break;
+      case BackpressurePolicy::kDropOldest:
+        shard.queue.pop_front();
+        ++shard.stats.dropped_oldest;
+        result = SubmitResult::kReplacedOldest;
+        break;
+      case BackpressurePolicy::kReject:
+        ++shard.stats.rejected_full;
+        return SubmitResult::kRejected;
+    }
+  }
+  shard.queue.push_back(WorkItem{session, std::move(trace)});
+  ++shard.stats.submitted;
+  shard.stats.queue_high_water = std::max(shard.stats.queue_high_water, shard.queue.size());
+  shard.work_ready.notify_one();
+  return result;
+}
+
+std::size_t FleetMonitor::submit_batch(const std::string& device_id,
+                                       const core::TraceSet& batch) {
+  EMTS_REQUIRE(!batch.empty(), "submit_batch needs traces");
+  std::size_t accepted = 0;
+  for (const core::Trace& trace : batch.traces) {
+    if (submit(device_id, core::Trace{trace}) != SubmitResult::kRejected) ++accepted;
+  }
+  return accepted;
+}
+
+void FleetMonitor::worker_loop(Shard& shard) {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      // A stopping shard drains even while paused (the destructor's
+      // flush-then-stop semantics must not hang on a paused fleet).
+      shard.work_ready.wait(lock, [&] {
+        return shard.stopping || (!shard.queue.empty() && !shard.paused);
+      });
+      if (shard.queue.empty()) return;  // only reachable when stopping
+      item = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.busy = true;
+      shard.space_ready.notify_one();
+    }
+
+    // Score outside the queue lock (producers keep flowing) but under the
+    // shard's exec lock (snapshot readers never observe a half-updated
+    // monitor). push() cannot throw here — empty traces are refused at
+    // submit() and malformed traces are rejected by the monitor's input gate
+    // — but a worker must outlive any detector bug, so swallow and count.
+    bool fault = false;
+    {
+      std::lock_guard<std::mutex> exec(shard.exec_mutex);
+      try {
+        item.session->monitor.push(item.trace);
+      } catch (const std::exception&) {
+        fault = true;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.stats.processed;
+      if (fault) ++shard.stats.worker_faults;
+      shard.busy = false;
+      // flush() waits on (empty && !busy); pause() waits on !busy alone.
+      if (shard.queue.empty() || shard.paused) shard.idle.notify_all();
+    }
+  }
+}
+
+void FleetMonitor::pause() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    shard->paused = true;
+    shard->idle.wait(lock, [&] { return !shard->busy; });
+  }
+}
+
+void FleetMonitor::resume() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->paused = false;
+    shard->work_ready.notify_all();
+  }
+}
+
+void FleetMonitor::flush() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    shard->idle.wait(lock, [&] { return shard->queue.empty() && !shard->busy; });
+  }
+}
+
+core::MonitorState FleetMonitor::device_state(const std::string& device_id) const {
+  const Session* session = find_session(device_id);
+  EMTS_REQUIRE(session != nullptr, "unknown device '" + device_id + "'");
+  std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+  return session->monitor.state();
+}
+
+void FleetMonitor::acknowledge_alarm(const std::string& device_id) {
+  Session* session = find_session(device_id);
+  EMTS_REQUIRE(session != nullptr, "unknown device '" + device_id + "'");
+  std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+  session->monitor.acknowledge_alarm();
+}
+
+FleetStats FleetMonitor::stats() const {
+  FleetStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    ShardStats snapshot = shard->stats;
+    snapshot.queue_depth = shard->queue.size();
+    out.traces_submitted += snapshot.submitted;
+    out.traces_processed += snapshot.processed;
+    out.backpressure_dropped += snapshot.dropped_oldest;
+    out.backpressure_rejected += snapshot.rejected_full;
+    out.shards.push_back(snapshot);
+  }
+
+  std::vector<Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session.get());
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session* a, const Session* b) { return a->device_id < b->device_id; });
+
+  out.devices = sessions.size();
+  out.sessions.reserve(sessions.size());
+  for (const Session* session : sessions) {
+    std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+    SessionStats snapshot;
+    snapshot.device_id = session->device_id;
+    snapshot.shard = session->shard;
+    snapshot.state = session->monitor.state();
+    snapshot.last_score = session->monitor.last_score();
+    snapshot.monitor = session->monitor.stats();
+    switch (snapshot.state) {
+      case core::MonitorState::kCalibrating:
+        ++out.devices_calibrating;
+        break;
+      case core::MonitorState::kMonitoring:
+        ++out.devices_monitoring;
+        break;
+      case core::MonitorState::kAlarm:
+        ++out.devices_alarm;
+        break;
+    }
+    out.alarms_latched += snapshot.monitor.alarms_latched;
+    out.traces_rejected_invalid += snapshot.monitor.traces_rejected;
+    out.sessions.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+std::size_t FleetMonitor::drain_events(std::vector<FleetEvent>& out) {
+  std::vector<Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session.get());
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session* a, const Session* b) { return a->device_id < b->device_id; });
+
+  std::size_t drained = 0;
+  std::vector<core::MonitorEvent> scratch;
+  for (Session* session : sessions) {
+    scratch.clear();
+    {
+      std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+      session->monitor.drain_events(scratch);
+    }
+    drained += scratch.size();
+    for (core::MonitorEvent& event : scratch) {
+      out.push_back(FleetEvent{session->device_id, event});
+    }
+  }
+  return drained;
+}
+
+std::vector<FleetEvent> FleetMonitor::drain_events() {
+  std::vector<FleetEvent> out;
+  drain_events(out);
+  return out;
+}
+
+}  // namespace emts::fleet

@@ -1,0 +1,249 @@
+// Fleet monitor: the multi-chip deployment layer above RuntimeMonitor. The
+// paper's end state is runtime trust evaluation of deployed silicon, and the
+// sensor-array follow-up (Wang et al., arXiv:2401.12193) makes explicit that
+// real deployments watch *many* sensors/chips at once. FleetMonitor hosts N
+// independent monitoring sessions keyed by a stable device id — each wrapping
+// a pre-fitted RuntimeMonitor, typically loaded from one shared EMCA
+// calibration artifact ("calibrate once, monitor many", now fleet-wide) —
+// and routes incoming (device_id, Trace) captures to them through a fixed
+// set of worker shards.
+//
+// Guarantees:
+//   * Per-device ordering — a device maps to one shard (stable FNV-1a hash,
+//     device_hash() % shards), each shard runs one worker draining a FIFO
+//     queue, so one device's captures are scored in submission order while
+//     different devices run concurrently.
+//   * Bit-identical scoring — a session's monitor sees exactly the trace
+//     sequence submitted for its device, so per-device results (scores,
+//     states, stats, events) are bit-identical to running that device
+//     through its own standalone RuntimeMonitor.
+//   * Bounded ingest — every shard queue holds at most queue_capacity
+//     traces; the backpressure policy decides what a full queue does to a
+//     submitter (block, evict the oldest queued capture, or refuse), with
+//     per-shard accounting for every outcome.
+//   * Fault isolation — shape-mismatched or non-finite captures are rejected
+//     by the session monitor's input gate (a structured MonitorEvent plus a
+//     traces_rejected counter), never poisoning the detector stack or the
+//     shard worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/trace.hpp"
+
+namespace emts::fleet {
+
+/// What a full shard queue does to a submitter.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,       // wait until the worker frees a slot (lossless, applies flow
+                // control to the producer)
+  kDropOldest,  // evict the oldest queued capture to admit the new one
+                // (bounded latency, sacrifices completeness)
+  kReject       // refuse the new capture (caller decides; lossless for the
+                // queue, lossy for the stream)
+};
+
+const char* backpressure_label(BackpressurePolicy policy);
+
+/// Outcome of one submit().
+enum class SubmitResult : std::uint8_t {
+  kAccepted,        // enqueued (possibly after blocking)
+  kReplacedOldest,  // enqueued; the shard's oldest queued capture was evicted
+  kRejected         // refused by the kReject policy; the trace was not taken
+};
+
+struct FleetOptions {
+  /// Worker shards (>= 1). Devices hash onto shards; each shard owns one
+  /// worker thread and one bounded queue.
+  std::size_t shards = 2;
+  /// Per-shard queue capacity (>= 1), in traces.
+  std::size_t queue_capacity = 64;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Options for every session's RuntimeMonitor (calibration_traces is
+  /// irrelevant — fleet sessions are pre-fitted).
+  core::RuntimeMonitor::Options monitor{};
+};
+
+/// One shard's lifetime accounting. All counters are exact (mutex-guarded).
+struct ShardStats {
+  std::uint64_t submitted = 0;       // captures accepted into the queue
+  std::uint64_t processed = 0;       // captures drained and scored
+  std::uint64_t dropped_oldest = 0;  // kDropOldest evictions
+  std::uint64_t rejected_full = 0;   // kReject refusals
+  std::uint64_t blocked = 0;         // kBlock submissions that had to wait
+  std::uint64_t worker_faults = 0;   // exceptions swallowed by the worker
+  std::size_t queue_depth = 0;       // at snapshot time
+  std::size_t queue_high_water = 0;  // deepest the queue has ever been
+};
+
+/// One session's snapshot inside FleetStats.
+struct SessionStats {
+  std::string device_id;
+  std::size_t shard = 0;
+  core::MonitorState state{};
+  std::optional<double> last_score{};
+  core::MonitorStats monitor;
+};
+
+/// Fleet-wide observability snapshot (stats()).
+struct FleetStats {
+  std::vector<ShardStats> shards;
+  std::vector<SessionStats> sessions;  // sorted by device id
+
+  // Aggregates over the shards…
+  std::uint64_t traces_submitted = 0;
+  std::uint64_t traces_processed = 0;
+  std::uint64_t backpressure_dropped = 0;   // kDropOldest evictions
+  std::uint64_t backpressure_rejected = 0;  // kReject refusals
+
+  // …and over the sessions (the fleet verdict counts).
+  std::size_t devices = 0;
+  std::size_t devices_calibrating = 0;
+  std::size_t devices_monitoring = 0;
+  std::size_t devices_alarm = 0;
+  std::uint64_t alarms_latched = 0;
+  std::uint64_t traces_rejected_invalid = 0;  // session input-gate rejections
+};
+
+/// A session monitor event tagged with its device.
+struct FleetEvent {
+  std::string device_id;
+  core::MonitorEvent event;
+};
+
+/// Stable 64-bit FNV-1a hash of a device id — the shard router. Stable
+/// across platforms and runs (std::hash is not), so a fleet replay assigns
+/// the same devices to the same shards everywhere.
+std::uint64_t device_hash(const std::string& device_id);
+
+class FleetMonitor {
+ public:
+  explicit FleetMonitor(const FleetOptions& options = {});
+
+  /// Drains every queue, then stops and joins the shard workers.
+  ~FleetMonitor();
+
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const FleetOptions& options() const { return options_; }
+
+  /// Shard a device id routes to: device_hash(id) % shard_count().
+  std::size_t shard_of(const std::string& device_id) const;
+
+  /// Registers a monitoring session for `device_id` around a pre-fitted
+  /// evaluator (io::load_calibration). The session cold-starts in
+  /// kMonitoring. Throws precondition_error on a duplicate id or an empty
+  /// id. Safe to call while traffic is flowing for other devices.
+  void add_device(const std::string& device_id, core::TrustEvaluator evaluator);
+  void add_device(const std::string& device_id, core::TrustEvaluator evaluator,
+                  const core::RuntimeMonitor::Options& monitor_options);
+
+  bool has_device(const std::string& device_id) const;
+  std::size_t device_count() const;
+  std::vector<std::string> device_ids() const;  // sorted
+
+  /// Routes one capture to its device's session. Thread-safe; callers that
+  /// need per-device ordering must submit a given device's captures from one
+  /// thread (the natural shape: one producer per sensor front-end).
+  /// Throws precondition_error for an unknown device or an empty trace;
+  /// malformed-but-plausible traces (wrong shape, non-finite samples) are
+  /// accepted here and rejected by the session's input gate with a
+  /// structured event — see RuntimeMonitor::push.
+  SubmitResult submit(const std::string& device_id, core::Trace trace);
+
+  /// submit() for every trace of a batch, in order. Returns the number of
+  /// traces accepted (kReject refusals are counted out; with kBlock or
+  /// kDropOldest this always equals batch.size()).
+  std::size_t submit_batch(const std::string& device_id, const core::TraceSet& batch);
+
+  /// Barrier: returns once every capture submitted before the call has been
+  /// scored and all workers are idle. Concurrent submitters may of course
+  /// re-fill the queues afterwards. Must not be called on a paused fleet
+  /// with queued work — a paused worker never drains.
+  void flush();
+
+  /// Quiesces the shard workers: any capture in flight finishes, then nothing
+  /// further is scored until resume(). Captures keep queueing (and the
+  /// backpressure policy keeps applying), which is exactly what a maintenance
+  /// window looks like — and what deterministic queue-saturation tests need.
+  void pause();
+  void resume();
+
+  /// Current state of one device's session (safe while traffic flows).
+  core::MonitorState device_state(const std::string& device_id) const;
+
+  /// Clears a latched alarm on one device (RuntimeMonitor::acknowledge_alarm
+  /// semantics; throws if that session is not alarmed).
+  void acknowledge_alarm(const std::string& device_id);
+
+  /// Consistent fleet-wide snapshot: per-shard queue accounting, per-session
+  /// monitor stats, and the fleet verdict counts. Safe while traffic flows
+  /// (workers pause between captures, never mid-score).
+  FleetStats stats() const;
+
+  /// Moves every session's buffered events into `out` (appended), tagged
+  /// with their device id, sessions in sorted-id order, each session's
+  /// events oldest first. Clears the session logs. Returns the number of
+  /// events drained.
+  std::size_t drain_events(std::vector<FleetEvent>& out);
+  std::vector<FleetEvent> drain_events();
+
+ private:
+  struct Session {
+    std::string device_id;
+    std::size_t shard = 0;
+    core::RuntimeMonitor monitor;  // pinned: sessions live behind unique_ptr
+
+    Session(std::string id, std::size_t shard_index, core::RuntimeMonitor m)
+        : device_id{std::move(id)}, shard{shard_index}, monitor{std::move(m)} {}
+  };
+
+  struct WorkItem {
+    Session* session = nullptr;
+    core::Trace trace;
+  };
+
+  /// One worker shard: a bounded FIFO plus the worker that drains it. The
+  /// queue mutex guards the deque, flags and ShardStats; exec_mutex guards
+  /// the shard's session monitors (held by the worker per capture, and by
+  /// snapshot readers) so stats()/drain_events() never race a score in
+  /// flight and never block producers.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable work_ready;   // worker: queue non-empty / stopping
+    std::condition_variable space_ready;  // kBlock producers: slot freed
+    std::condition_variable idle;         // flush(): queue empty and not busy
+    std::deque<WorkItem> queue;
+    bool busy = false;  // worker is scoring an item popped from the queue
+    bool paused = false;
+    bool stopping = false;
+    ShardStats stats;
+
+    mutable std::mutex exec_mutex;
+    std::thread worker;
+  };
+
+  Session* find_session(const std::string& device_id) const;
+  void worker_loop(Shard& shard);
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex sessions_mutex_;  // guards the map itself
+  std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace emts::fleet

@@ -1,0 +1,498 @@
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/monitor.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::fleet {
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 2048;
+
+core::Trace golden_trace(emts::Rng& rng) {
+  core::Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] = std::sin(2.0 * units::pi * 48e6 * static_cast<double>(i) / kFs) +
+           rng.gaussian(0.0, 0.08);
+  }
+  return t;
+}
+
+core::Trace infected_trace(emts::Rng& rng) {
+  core::Trace t = golden_trace(rng);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] += 0.6 * std::sin(2.0 * units::pi * 72e6 * static_cast<double>(i) / kFs) +
+            0.3 * std::sin(2.0 * units::pi * 3e6 * static_cast<double>(i) / kFs);
+  }
+  return t;
+}
+
+core::TraceSet make_set(std::size_t n, bool infected, std::uint64_t seed) {
+  emts::Rng rng{seed};
+  core::TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) {
+    set.add(infected ? infected_trace(rng) : golden_trace(rng));
+  }
+  return set;
+}
+
+// One shared calibration for the whole suite — the fleet deployment shape
+// (calibrate once, monitor many) and much cheaper than refitting per test.
+const core::TrustEvaluator& fitted() {
+  static const core::TrustEvaluator evaluator =
+      core::TrustEvaluator::calibrate(make_set(30, false, 1));
+  return evaluator;
+}
+
+core::RuntimeMonitor::Options small_options() {
+  core::RuntimeMonitor::Options opt;
+  opt.alarm_debounce = 3;
+  opt.spectral_window = 8;
+  return opt;
+}
+
+// ---------- routing ----------
+
+TEST(DeviceHash, MatchesKnownFnv1aVectors) {
+  EXPECT_EQ(device_hash(""), 14695981039346656037ull);
+  EXPECT_EQ(device_hash("a"), 0xaf63dc4c8601ec8cull);  // published FNV-1a("a")
+  EXPECT_EQ(device_hash("chip-00"), device_hash("chip-00"));
+  EXPECT_NE(device_hash("chip-00"), device_hash("chip-01"));
+}
+
+TEST(FleetMonitor, ShardRoutingIsHashModuloShards) {
+  FleetOptions opt;
+  opt.shards = 4;
+  FleetMonitor fleet{opt};
+  EXPECT_EQ(fleet.shard_count(), 4u);
+  for (const char* id : {"chip-00", "chip-07", "sensor/ne", "x"}) {
+    EXPECT_EQ(fleet.shard_of(id), device_hash(id) % 4u);
+  }
+}
+
+TEST(FleetMonitor, DeviceRegistry) {
+  FleetOptions opt;
+  opt.shards = 2;
+  FleetMonitor fleet{opt};
+  fleet.add_device("chip-01", fitted());
+  fleet.add_device("chip-00", fitted());
+  EXPECT_TRUE(fleet.has_device("chip-00"));
+  EXPECT_FALSE(fleet.has_device("chip-99"));
+  EXPECT_EQ(fleet.device_count(), 2u);
+  const std::vector<std::string> ids = fleet.device_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "chip-00");  // sorted, not insertion order
+  EXPECT_EQ(ids[1], "chip-01");
+}
+
+TEST(BackpressureLabels, AreDistinct) {
+  EXPECT_STREQ(backpressure_label(BackpressurePolicy::kBlock), "BLOCK");
+  EXPECT_STREQ(backpressure_label(BackpressurePolicy::kDropOldest), "DROP_OLDEST");
+  EXPECT_STREQ(backpressure_label(BackpressurePolicy::kReject), "REJECT");
+}
+
+// ---------- the acceptance criterion: fleet == standalone, bit for bit ----
+
+TEST(FleetMonitor, PerDeviceResultsMatchStandaloneBitIdentically) {
+  const core::RuntimeMonitor::Options mon = small_options();
+  FleetOptions opt;
+  opt.shards = 4;
+  opt.queue_capacity = 8;
+  opt.monitor = mon;
+  FleetMonitor fleet{opt};
+
+  const std::vector<std::string> ids = {"chip-00", "chip-01", "chip-02", "chip-03",
+                                        "chip-04"};
+  std::vector<core::RuntimeMonitor> standalone;
+  standalone.reserve(ids.size());
+  for (const std::string& id : ids) {
+    fleet.add_device(id, core::TrustEvaluator{fitted()});
+    standalone.emplace_back(kFs, core::TrustEvaluator{fitted()}, mon);
+  }
+
+  // Unique stream per device; the last device turns infected halfway.
+  constexpr std::size_t kPerDevice = 24;
+  std::vector<std::vector<core::Trace>> streams(ids.size());
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    emts::Rng rng{100 + d};
+    for (std::size_t t = 0; t < kPerDevice; ++t) {
+      const bool infected = d == ids.size() - 1 && t >= kPerDevice / 2;
+      streams[d].push_back(infected ? infected_trace(rng) : golden_trace(rng));
+    }
+  }
+
+  // Interleave submissions round-robin across devices — the fleet must
+  // untangle them back into per-device order.
+  for (std::size_t t = 0; t < kPerDevice; ++t) {
+    for (std::size_t d = 0; d < ids.size(); ++d) {
+      EXPECT_EQ(fleet.submit(ids[d], core::Trace{streams[d][t]}), SubmitResult::kAccepted);
+    }
+  }
+  fleet.flush();
+
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    for (const core::Trace& trace : streams[d]) standalone[d].push(trace);
+  }
+
+  const FleetStats stats = fleet.stats();
+  ASSERT_EQ(stats.sessions.size(), ids.size());
+  EXPECT_EQ(stats.traces_submitted, kPerDevice * ids.size());
+  EXPECT_EQ(stats.traces_processed, kPerDevice * ids.size());
+  EXPECT_EQ(stats.devices, ids.size());
+  EXPECT_EQ(stats.devices_alarm, 1u);
+  EXPECT_EQ(stats.devices_monitoring, ids.size() - 1);
+
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    const SessionStats& session = stats.sessions[d];  // sorted == ids order here
+    ASSERT_EQ(session.device_id, ids[d]);
+    EXPECT_EQ(session.shard, fleet.shard_of(ids[d]));
+    EXPECT_EQ(session.state, standalone[d].state());
+
+    // Exact EQ on purpose: the fleet routes the same doubles through the
+    // same monitor code on one thread per device, so scores must be
+    // bit-identical, not approximately equal.
+    ASSERT_EQ(session.last_score.has_value(), standalone[d].last_score().has_value());
+    if (session.last_score.has_value()) {
+      EXPECT_EQ(*session.last_score, *standalone[d].last_score());
+    }
+
+    const core::MonitorStats& expect = standalone[d].stats();
+    EXPECT_EQ(session.monitor.traces_ingested, expect.traces_ingested);
+    EXPECT_EQ(session.monitor.traces_rejected, expect.traces_rejected);
+    EXPECT_EQ(session.monitor.scored_captures, expect.scored_captures);
+    EXPECT_EQ(session.monitor.per_trace_anomalies, expect.per_trace_anomalies);
+    EXPECT_EQ(session.monitor.spectral_passes, expect.spectral_passes);
+    EXPECT_EQ(session.monitor.windowed_anomalies, expect.windowed_anomalies);
+    EXPECT_EQ(session.monitor.alarms_latched, expect.alarms_latched);
+  }
+
+  // Event streams match too: same kinds, same trace indices, same payloads.
+  std::vector<FleetEvent> fleet_events = fleet.drain_events();
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    std::vector<core::MonitorEvent> expect = standalone[d].drain_events();
+    std::vector<core::MonitorEvent> got;
+    for (const FleetEvent& event : fleet_events) {
+      if (event.device_id == ids[d]) got.push_back(event.event);
+    }
+    ASSERT_EQ(got.size(), expect.size()) << ids[d];
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].kind, expect[i].kind);
+      EXPECT_EQ(got[i].trace_index, expect[i].trace_index);
+      EXPECT_EQ(got[i].value, expect[i].value);
+    }
+  }
+}
+
+// ---------- backpressure (deterministic via pause()) ----------
+
+TEST(FleetMonitor, RejectPolicyRefusesWhenSaturated) {
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.queue_capacity = 4;
+  opt.backpressure = BackpressurePolicy::kReject;
+  opt.monitor = small_options();
+  FleetMonitor fleet{opt};
+  fleet.add_device("dev", core::TrustEvaluator{fitted()});
+
+  emts::Rng rng{7};
+  std::vector<core::Trace> traces;
+  for (std::size_t i = 0; i < 7; ++i) traces.push_back(golden_trace(rng));
+
+  fleet.pause();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fleet.submit("dev", core::Trace{traces[i]}), SubmitResult::kAccepted);
+  }
+  for (std::size_t i = 4; i < 7; ++i) {
+    EXPECT_EQ(fleet.submit("dev", core::Trace{traces[i]}), SubmitResult::kRejected);
+  }
+
+  const FleetStats saturated = fleet.stats();
+  EXPECT_EQ(saturated.shards[0].queue_depth, 4u);
+  EXPECT_EQ(saturated.shards[0].queue_high_water, 4u);
+  EXPECT_EQ(saturated.shards[0].submitted, 4u);
+  EXPECT_EQ(saturated.shards[0].rejected_full, 3u);
+  EXPECT_EQ(saturated.backpressure_rejected, 3u);
+
+  fleet.resume();
+  fleet.flush();
+  const FleetStats drained = fleet.stats();
+  EXPECT_EQ(drained.traces_processed, 4u);
+  EXPECT_EQ(drained.shards[0].queue_depth, 0u);
+  EXPECT_EQ(drained.sessions[0].monitor.traces_ingested, 4u);
+}
+
+TEST(FleetMonitor, DropOldestPolicyEvictsButStaysBounded) {
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.queue_capacity = 4;
+  opt.backpressure = BackpressurePolicy::kDropOldest;
+  opt.monitor = small_options();
+  FleetMonitor fleet{opt};
+  fleet.add_device("dev", core::TrustEvaluator{fitted()});
+
+  emts::Rng rng{8};
+  fleet.pause();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fleet.submit("dev", golden_trace(rng)), SubmitResult::kAccepted);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fleet.submit("dev", golden_trace(rng)), SubmitResult::kReplacedOldest);
+  }
+
+  const FleetStats saturated = fleet.stats();
+  EXPECT_EQ(saturated.shards[0].queue_depth, 4u);  // bounded despite 7 submits
+  EXPECT_EQ(saturated.shards[0].submitted, 7u);
+  EXPECT_EQ(saturated.shards[0].dropped_oldest, 3u);
+  EXPECT_EQ(saturated.backpressure_dropped, 3u);
+
+  fleet.resume();
+  fleet.flush();
+  const FleetStats drained = fleet.stats();
+  EXPECT_EQ(drained.traces_processed, 4u);  // only the survivors were scored
+  EXPECT_EQ(drained.sessions[0].monitor.traces_ingested, 4u);
+}
+
+TEST(FleetMonitor, BlockPolicyAppliesFlowControl) {
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.queue_capacity = 2;
+  opt.backpressure = BackpressurePolicy::kBlock;
+  opt.monitor = small_options();
+  FleetMonitor fleet{opt};
+  fleet.add_device("dev", core::TrustEvaluator{fitted()});
+
+  emts::Rng rng{9};
+  fleet.pause();
+  EXPECT_EQ(fleet.submit("dev", golden_trace(rng)), SubmitResult::kAccepted);
+  EXPECT_EQ(fleet.submit("dev", golden_trace(rng)), SubmitResult::kAccepted);
+
+  std::atomic<int> result{-1};
+  std::thread producer([&] {
+    result.store(static_cast<int>(fleet.submit("dev", golden_trace(rng))),
+                 std::memory_order_release);
+  });
+  // The producer found the queue full and is parked; `blocked` flips exactly
+  // when it commits to waiting.
+  while (fleet.stats().shards[0].blocked == 0) std::this_thread::yield();
+  EXPECT_EQ(result.load(std::memory_order_acquire), -1);
+
+  fleet.resume();
+  producer.join();
+  EXPECT_EQ(result.load(), static_cast<int>(SubmitResult::kAccepted));
+
+  fleet.flush();
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.traces_processed, 3u);
+  EXPECT_EQ(stats.shards[0].blocked, 1u);
+  EXPECT_EQ(stats.backpressure_dropped, 0u);
+  EXPECT_EQ(stats.backpressure_rejected, 0u);
+}
+
+TEST(FleetMonitor, SubmitBatchCountsRejections) {
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.queue_capacity = 2;
+  opt.backpressure = BackpressurePolicy::kReject;
+  opt.monitor = small_options();
+  FleetMonitor fleet{opt};
+  fleet.add_device("dev", core::TrustEvaluator{fitted()});
+
+  fleet.pause();
+  EXPECT_EQ(fleet.submit_batch("dev", make_set(5, false, 10)), 2u);
+  fleet.resume();
+  fleet.flush();
+  EXPECT_EQ(fleet.stats().sessions[0].monitor.traces_ingested, 2u);
+}
+
+// ---------- fault injection ----------
+
+TEST(FleetMonitor, MalformedCapturesAreRejectedAndDeviceTagged) {
+  FleetOptions opt;
+  opt.shards = 2;
+  opt.monitor = small_options();
+  FleetMonitor fleet{opt};
+  fleet.add_device("good", core::TrustEvaluator{fitted()});
+  fleet.add_device("bad", core::TrustEvaluator{fitted()});
+
+  emts::Rng rng{11};
+  for (std::size_t i = 0; i < 4; ++i) fleet.submit("good", golden_trace(rng));
+
+  fleet.submit("bad", golden_trace(rng));  // pins the stream shape
+  core::Trace truncated(kLen / 2, 0.25);
+  fleet.submit("bad", std::move(truncated));
+  core::Trace poisoned = golden_trace(rng);
+  poisoned[5] = std::numeric_limits<double>::quiet_NaN();
+  fleet.submit("bad", std::move(poisoned));
+  fleet.flush();
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.traces_rejected_invalid, 2u);
+  ASSERT_EQ(stats.sessions.size(), 2u);
+  const SessionStats& bad = stats.sessions[0];   // "bad" < "good"
+  const SessionStats& good = stats.sessions[1];
+  ASSERT_EQ(bad.device_id, "bad");
+  EXPECT_EQ(bad.monitor.traces_ingested, 3u);
+  EXPECT_EQ(bad.monitor.traces_rejected, 2u);
+  EXPECT_EQ(bad.monitor.scored_captures, 1u);
+  EXPECT_EQ(good.monitor.traces_rejected, 0u);
+  EXPECT_EQ(good.monitor.scored_captures, 4u);
+
+  bool saw_shape = false;
+  bool saw_non_finite = false;
+  for (const FleetEvent& event : fleet.drain_events()) {
+    if (event.event.kind == core::MonitorEventKind::kTraceRejectedShape) {
+      EXPECT_EQ(event.device_id, "bad");
+      EXPECT_EQ(event.event.value, static_cast<double>(kLen / 2));
+      saw_shape = true;
+    }
+    if (event.event.kind == core::MonitorEventKind::kTraceRejectedNonFinite) {
+      EXPECT_EQ(event.device_id, "bad");
+      EXPECT_EQ(event.event.value, 5.0);
+      saw_non_finite = true;
+    }
+  }
+  EXPECT_TRUE(saw_shape);
+  EXPECT_TRUE(saw_non_finite);
+}
+
+// ---------- alarm lifecycle ----------
+
+TEST(FleetMonitor, AcknowledgeAlarmRearmsOneDevice) {
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.monitor = small_options();
+  FleetMonitor fleet{opt};
+  fleet.add_device("dev", core::TrustEvaluator{fitted()});
+
+  emts::Rng rng{12};
+  for (std::size_t i = 0; i < 8; ++i) fleet.submit("dev", infected_trace(rng));
+  fleet.flush();
+  EXPECT_EQ(fleet.device_state("dev"), core::MonitorState::kAlarm);
+  EXPECT_EQ(fleet.stats().devices_alarm, 1u);
+
+  fleet.acknowledge_alarm("dev");
+  EXPECT_EQ(fleet.device_state("dev"), core::MonitorState::kMonitoring);
+  EXPECT_EQ(fleet.stats().devices_alarm, 0u);
+  EXPECT_THROW(fleet.acknowledge_alarm("dev"), emts::precondition_error);
+}
+
+// ---------- preconditions ----------
+
+TEST(FleetMonitor, PreconditionsThrow) {
+  {
+    FleetOptions opt;
+    opt.shards = 0;
+    EXPECT_THROW(FleetMonitor{opt}, emts::precondition_error);
+  }
+  {
+    FleetOptions opt;
+    opt.queue_capacity = 0;
+    EXPECT_THROW(FleetMonitor{opt}, emts::precondition_error);
+  }
+
+  FleetMonitor fleet{FleetOptions{}};
+  EXPECT_THROW(fleet.add_device("", core::TrustEvaluator{fitted()}),
+               emts::precondition_error);
+  fleet.add_device("dev", core::TrustEvaluator{fitted()});
+  EXPECT_THROW(fleet.add_device("dev", core::TrustEvaluator{fitted()}),
+               emts::precondition_error);
+
+  emts::Rng rng{13};
+  EXPECT_THROW(fleet.submit("ghost", golden_trace(rng)), emts::precondition_error);
+  EXPECT_THROW(fleet.submit("dev", core::Trace{}), emts::precondition_error);
+  EXPECT_THROW(fleet.submit_batch("dev", core::TraceSet{}), emts::precondition_error);
+  EXPECT_THROW(fleet.device_state("ghost"), emts::precondition_error);
+  EXPECT_THROW(fleet.acknowledge_alarm("ghost"), emts::precondition_error);
+}
+
+// ---------- concurrency (the TSan target) ----------
+
+TEST(FleetMonitor, ConcurrentProducersAndObserversAreSafe) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kDevicesPerProducer = 2;
+  constexpr std::size_t kTracesPerDevice = 20;
+
+  FleetOptions opt;
+  opt.shards = 4;
+  opt.queue_capacity = 4;  // small on purpose: exercise the kBlock wait path
+  opt.backpressure = BackpressurePolicy::kBlock;
+  opt.monitor = small_options();
+  FleetMonitor fleet{opt};
+
+  std::vector<std::string> ids;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t d = 0; d < kDevicesPerProducer; ++d) {
+      ids.push_back("chip-" + std::to_string(p) + "-" + std::to_string(d));
+      fleet.add_device(ids.back(), core::TrustEvaluator{fitted()});
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    // Live observability must not perturb or race the hot path.
+    std::vector<FleetEvent> sink;
+    while (!done.load(std::memory_order_acquire)) {
+      const FleetStats stats = fleet.stats();
+      EXPECT_LE(stats.traces_processed, stats.traces_submitted);
+      fleet.drain_events(sink);
+      fleet.device_state(ids.front());
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // One producer per device group keeps per-device submission ordered.
+      emts::Rng rng{200 + p};
+      for (std::size_t t = 0; t < kTracesPerDevice; ++t) {
+        for (std::size_t d = 0; d < kDevicesPerProducer; ++d) {
+          fleet.submit(ids[p * kDevicesPerProducer + d], golden_trace(rng));
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  fleet.flush();
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.traces_submitted, kProducers * kDevicesPerProducer * kTracesPerDevice);
+  EXPECT_EQ(stats.traces_processed, stats.traces_submitted);
+  ASSERT_EQ(stats.sessions.size(), ids.size());
+  for (const SessionStats& session : stats.sessions) {
+    EXPECT_EQ(session.monitor.traces_ingested, kTracesPerDevice);
+    EXPECT_EQ(session.monitor.traces_rejected, 0u);
+  }
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_EQ(shard.worker_faults, 0u);
+    EXPECT_LE(shard.queue_high_water, opt.queue_capacity);
+  }
+}
+
+TEST(FleetMonitor, FlushOnIdleFleetReturnsImmediately) {
+  FleetMonitor fleet{FleetOptions{}};
+  fleet.flush();
+  fleet.pause();
+  fleet.resume();
+  fleet.flush();
+  EXPECT_EQ(fleet.stats().traces_submitted, 0u);
+}
+
+}  // namespace
+}  // namespace emts::fleet

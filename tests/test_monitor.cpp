@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -384,6 +387,221 @@ TEST(RuntimeMonitor, SteadyStatePushIsAllocationFree) {
   const auto after = util::alloc::thread_counts();
   EXPECT_EQ(after.allocations - before.allocations, 0u)
       << "steady-state push allocated " << (after.bytes - before.bytes) << " bytes";
+}
+
+// ---------- movability (fleet sessions relocate monitors) ----------
+
+static_assert(std::is_nothrow_move_constructible_v<RuntimeMonitor>,
+              "fleet sessions relocate monitors; moves must not throw");
+static_assert(std::is_nothrow_move_assignable_v<RuntimeMonitor>);
+static_assert(!std::is_copy_constructible_v<RuntimeMonitor>,
+              "a monitor is one stream's identity; copying must not compile");
+static_assert(std::is_move_constructible_v<TrustEvaluator>);
+static_assert(std::is_move_assignable_v<TrustEvaluator>);
+
+// Regression for shard-local session storage: every internal buffer (ring
+// slots, score scratch, cached FFT plan, event ring) must survive relocation
+// with no dangling self-references — a moved monitor continues the stream
+// with bit-identical scores, stats and events.
+TEST(RuntimeMonitor, MoveMidStreamScoresBitIdentically) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 50));
+  RuntimeMonitor control{kFs, evaluator, small_options()};
+  RuntimeMonitor original{kFs, evaluator, small_options()};
+
+  TraceSet stream = make_set(12, false, 51);
+  for (auto& t : make_set(6, true, 52).traces) stream.add(std::move(t));
+  for (auto& t : make_set(10, false, 53).traces) stream.add(std::move(t));
+
+  for (const auto& trace : stream.traces) control.push(trace);
+
+  // Push half the stream, relocate twice (construction + assignment), finish.
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) original.push(stream.traces[i]);
+  RuntimeMonitor moved{std::move(original)};
+  RuntimeMonitor target{kFs, TrustEvaluator::calibrate(make_set(30, false, 54)),
+                        small_options()};
+  target = std::move(moved);
+  for (std::size_t i = half; i < stream.size(); ++i) target.push(stream.traces[i]);
+
+  EXPECT_EQ(target.state(), control.state());
+  EXPECT_EQ(target.traces_seen(), control.traces_seen());
+  EXPECT_EQ(target.expected_trace_length(), control.expected_trace_length());
+  ASSERT_EQ(target.last_score().has_value(), control.last_score().has_value());
+  if (target.last_score().has_value()) {
+    EXPECT_EQ(*target.last_score(), *control.last_score());  // bit-identical
+  }
+  EXPECT_EQ(target.stats().scored_captures, control.stats().scored_captures);
+  EXPECT_EQ(target.stats().per_trace_anomalies, control.stats().per_trace_anomalies);
+  EXPECT_EQ(target.stats().spectral_passes, control.stats().spectral_passes);
+  EXPECT_EQ(target.stats().windowed_anomalies, control.stats().windowed_anomalies);
+  EXPECT_EQ(target.stats().alarms_latched, control.stats().alarms_latched);
+
+  auto target_events = target.drain_events();
+  auto control_events = control.drain_events();
+  ASSERT_EQ(target_events.size(), control_events.size());
+  for (std::size_t i = 0; i < target_events.size(); ++i) {
+    EXPECT_EQ(target_events[i].kind, control_events[i].kind) << i;
+    EXPECT_EQ(target_events[i].trace_index, control_events[i].trace_index) << i;
+    EXPECT_EQ(target_events[i].value, control_events[i].value) << i;
+  }
+}
+
+// ---------- input gate (shape / finiteness rejection) ----------
+
+TEST(RuntimeMonitor, RejectsShapeMismatchWithoutPoisoningTheStack) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 60));
+  RuntimeMonitor control{kFs, evaluator, small_options()};
+  RuntimeMonitor monitor{kFs, evaluator, small_options()};
+  const TraceSet stream = make_set(10, false, 61);
+
+  for (const auto& trace : stream.traces) control.push(trace);
+
+  // Interleave wrong-length traces; every good trace must score exactly as
+  // if the bad ones were never pushed.
+  Trace truncated(kLen / 2, 0.01);
+  Trace extended(kLen + 7, 0.01);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    monitor.push(stream.traces[i]);
+    if (i % 3 == 0) {
+      EXPECT_EQ(monitor.push(truncated), monitor.state());
+    }
+    if (i % 4 == 0) monitor.push(extended);
+  }
+
+  EXPECT_EQ(monitor.expected_trace_length(), kLen);
+  EXPECT_GT(monitor.stats().traces_rejected, 0u);
+  EXPECT_EQ(monitor.state(), control.state());
+  ASSERT_TRUE(monitor.last_score().has_value());
+  EXPECT_EQ(*monitor.last_score(), *control.last_score());  // bit-identical
+  EXPECT_EQ(monitor.stats().scored_captures, control.stats().scored_captures);
+  EXPECT_EQ(monitor.stats().spectral_passes, control.stats().spectral_passes);
+  EXPECT_EQ(monitor.stats().traces_ingested,
+            control.stats().traces_ingested + monitor.stats().traces_rejected);
+
+  std::size_t shape_events = 0;
+  for (const auto& e : monitor.drain_events()) {
+    if (e.kind == MonitorEventKind::kTraceRejectedShape) {
+      ++shape_events;
+      EXPECT_TRUE(e.value == static_cast<double>(truncated.size()) ||
+                  e.value == static_cast<double>(extended.size()));
+    }
+  }
+  EXPECT_EQ(shape_events, monitor.stats().traces_rejected);
+}
+
+TEST(RuntimeMonitor, RejectsShapeMismatchWhileCalibrating) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{62};
+  monitor.push(golden_trace(rng));
+  // Previously this ragged capture would flow into the calibration set and
+  // throw from deep inside TraceSet::add; now it is a structured rejection.
+  Trace ragged(kLen + 1, 0.01);
+  EXPECT_EQ(monitor.push(ragged), MonitorState::kCalibrating);
+  EXPECT_EQ(monitor.stats().traces_rejected, 1u);
+  EXPECT_EQ(monitor.stats().calibration_captures, 1u);
+  // Calibration still completes on the good stream.
+  for (int i = 0; i < 20; ++i) monitor.push(golden_trace(rng));
+  EXPECT_EQ(monitor.state(), MonitorState::kMonitoring);
+}
+
+TEST(RuntimeMonitor, PreFittedVetsTheFirstCaptureShape) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 63));
+  RuntimeMonitor monitor{kFs, evaluator, small_options()};
+  // A first capture the fitted stack cannot host must not pin the stream
+  // shape — the next, correctly-shaped capture starts the stream.
+  Trace wrong(kLen / 4, 0.01);
+  monitor.push(wrong);
+  EXPECT_EQ(monitor.stats().traces_rejected, 1u);
+  EXPECT_EQ(monitor.expected_trace_length(), 0u);
+  EXPECT_FALSE(monitor.last_score().has_value());
+
+  emts::Rng rng{64};
+  monitor.push(golden_trace(rng));
+  EXPECT_EQ(monitor.expected_trace_length(), kLen);
+  EXPECT_TRUE(monitor.last_score().has_value());
+}
+
+TEST(RuntimeMonitor, RejectsNonFiniteSamples) {
+  const auto evaluator = TrustEvaluator::calibrate(make_set(30, false, 65));
+  RuntimeMonitor monitor{kFs, evaluator, small_options()};
+  emts::Rng rng{66};
+  monitor.push(golden_trace(rng));
+  const double before = *monitor.last_score();
+
+  Trace nan_trace = golden_trace(rng);
+  nan_trace[37] = std::nan("");
+  Trace inf_trace = golden_trace(rng);
+  inf_trace[kLen - 1] = std::numeric_limits<double>::infinity();
+  monitor.push(nan_trace);
+  monitor.push(inf_trace);
+
+  EXPECT_EQ(monitor.stats().traces_rejected, 2u);
+  EXPECT_EQ(*monitor.last_score(), before);  // nothing downstream moved
+  EXPECT_EQ(monitor.stats().scored_captures, 1u);
+
+  const auto events = monitor.drain_events();
+  std::vector<double> rejected_at;
+  for (const auto& e : events) {
+    if (e.kind == MonitorEventKind::kTraceRejectedNonFinite) rejected_at.push_back(e.value);
+  }
+  ASSERT_EQ(rejected_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(rejected_at[0], 37.0);
+  EXPECT_DOUBLE_EQ(rejected_at[1], static_cast<double>(kLen - 1));
+}
+
+TEST(TrustEvaluator, AcceptsTraceLengthMatchesFittedShape) {
+  const auto eval = TrustEvaluator::calibrate(make_set(30, false, 67));
+  EXPECT_TRUE(eval.accepts_trace_length(kLen));
+  EXPECT_FALSE(eval.accepts_trace_length(0));
+  EXPECT_FALSE(eval.accepts_trace_length(kLen / 2));
+  EXPECT_FALSE(eval.accepts_trace_length(4 * kLen));
+}
+
+// ---------- event ring accounting ----------
+
+// events_dropped must stay exact across interleaved push/drain cycles and
+// across both drain overloads: every recorded event is either drained
+// exactly once or counted dropped exactly once.
+TEST(RuntimeMonitor, EventOverflowAccountingStaysExactAcrossInterleavedDrains) {
+  RuntimeMonitor::Options opt = small_options();
+  opt.event_log_capacity = 3;
+  opt.calibration_traces = 1000;  // stay calibrating: rejections are the only events
+  RuntimeMonitor monitor{kFs, opt};
+  emts::Rng rng{71};
+  monitor.push(golden_trace(rng));  // pins the stream shape; records no event
+
+  std::uint64_t recorded = 0;
+  std::uint64_t drained_total = 0;
+  std::vector<MonitorEvent> sink;
+  const Trace bad(kLen + 3, 0.0);
+  for (int round = 0; round < 6; ++round) {
+    const int burst = 1 + round;  // 1..6 events against a 3-slot ring
+    for (int i = 0; i < burst; ++i) monitor.push(bad);
+    recorded += static_cast<std::uint64_t>(burst);
+    if (round % 2 == 0) {
+      const std::size_t before = sink.size();
+      const std::size_t n = monitor.drain_events(sink);  // appending overload
+      EXPECT_EQ(sink.size() - before, n);  // appends, never clears the sink
+      drained_total += n;
+    } else {
+      drained_total += monitor.drain_events().size();  // value overload
+    }
+    // The invariant under test: every recorded event is either drained
+    // exactly once or counted dropped exactly once, at every interleaving.
+    EXPECT_EQ(recorded, drained_total + monitor.stats().events_dropped)
+        << "round " << round;
+    EXPECT_TRUE(monitor.drain_events().empty());  // drain is complete
+  }
+
+  // Bursts of 1..6 against capacity 3 drop max(0, burst - 3) each.
+  EXPECT_EQ(recorded, 21u);
+  EXPECT_EQ(monitor.stats().events_dropped, 6u);
+  EXPECT_EQ(drained_total, 15u);
+  EXPECT_EQ(monitor.stats().traces_rejected, recorded);
+  for (const auto& e : sink) {
+    EXPECT_EQ(e.kind, MonitorEventKind::kTraceRejectedShape);
+    EXPECT_DOUBLE_EQ(e.value, static_cast<double>(kLen + 3));
+  }
 }
 
 TEST(RuntimeMonitor, StateLabelsAreDistinct) {

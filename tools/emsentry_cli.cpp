@@ -9,6 +9,7 @@
 //   emsentry_cli evaluate golden.emta suspect.emta
 //   emsentry_cli calibrate golden.emta model.emca
 //   emsentry_cli monitor --model model.emca --windows 40 --trojan T2
+//   emsentry_cli fleet fleet.manifest --model model.emca --shards 4
 //   emsentry_cli snr signal.emta noise.emta
 //   emsentry_cli info golden.emta
 //
@@ -16,12 +17,16 @@
 // 2 malformed arguments (usage on stderr), 3 runtime error.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "baseline/ron.hpp"
 #include "core/evaluator.hpp"
 #include "core/monitor.hpp"
+#include "fleet/fleet.hpp"
 #include "io/calibration.hpp"
 #include "io/trace_archive.hpp"
 #include "sim/chip.hpp"
@@ -48,13 +53,26 @@ void print_usage(std::FILE* stream) {
                "  emsentry_cli evaluate <golden.emta> <suspect.emta>\n"
                "  emsentry_cli calibrate <golden.emta> <out.emca> [--detectors a,b,...]\n"
                "  emsentry_cli monitor --model <model.emca> [--windows N]\n"
-               "                [--trojan T1|T2|T3|T4|A2] [--silicon] [--stats]\n"
+               "                [--trojan T1|T2|T3|T4|A2] [--silicon] [--stats] [--json]\n"
+               "  emsentry_cli fleet <fleet.manifest> [--model <model.emca>] [--shards N]\n"
+               "                [--queue N] [--policy block|drop-oldest|reject]\n"
+               "                [--stats] [--json]\n"
                "  emsentry_cli snr <signal.emta> <noise.emta>\n"
                "  emsentry_cli info <archive.emta>\n"
                "  emsentry_cli help | --help | -h\n"
                "  emsentry_cli --version\n"
                "\n"
-               "detectors: euclidean, spectral, ron (default: euclidean,spectral)\n");
+               "detectors: euclidean, spectral, ron (default: euclidean,spectral)\n"
+               "\n"
+               "fleet manifest: one device per line, `<device_id> <archive.emta>\n"
+               "[<model.emca>]`; the per-device model overrides --model. Blank lines\n"
+               "and #-comments are skipped.\n"
+               "\n"
+               "exit codes:\n"
+               "  0  success; verdict trusted / no device alarmed\n"
+               "  1  verdict not trusted, or a monitor (any fleet device) alarmed\n"
+               "  2  malformed arguments (usage printed on stderr)\n"
+               "  3  runtime error (I/O failure, corrupt artifact, ...)\n");
 }
 
 int usage_error() {
@@ -91,13 +109,13 @@ void print_latency_line(const char* label, const util::LatencyHistogram& h) {
               static_cast<double>(h.max_ns()) / 1e3);
 }
 
-void print_monitor_stats(core::RuntimeMonitor& monitor) {
-  const core::MonitorStats& stats = monitor.stats();
-  std::printf("monitor stats:\n");
-  std::printf("  ingested %llu (calibration %llu, scored %llu)\n",
+void print_monitor_stats(const core::MonitorStats& stats,
+                         const std::vector<core::MonitorEvent>& events) {
+  std::printf("  ingested %llu (calibration %llu, scored %llu, rejected %llu)\n",
               static_cast<unsigned long long>(stats.traces_ingested),
               static_cast<unsigned long long>(stats.calibration_captures),
-              static_cast<unsigned long long>(stats.scored_captures));
+              static_cast<unsigned long long>(stats.scored_captures),
+              static_cast<unsigned long long>(stats.traces_rejected));
   std::printf("  anomalies: per-trace %llu, windowed %llu (of %llu spectral passes)\n",
               static_cast<unsigned long long>(stats.per_trace_anomalies),
               static_cast<unsigned long long>(stats.windowed_anomalies),
@@ -108,7 +126,6 @@ void print_monitor_stats(core::RuntimeMonitor& monitor) {
   print_latency_line("push", stats.push_latency);
   print_latency_line("spectral", stats.spectral_latency);
 
-  const auto events = monitor.drain_events();
   std::printf("  events (%zu buffered, %llu dropped):\n", events.size(),
               static_cast<unsigned long long>(stats.events_dropped));
   for (const auto& event : events) {
@@ -116,6 +133,107 @@ void print_monitor_stats(core::RuntimeMonitor& monitor) {
                 static_cast<unsigned long long>(event.trace_index),
                 core::monitor_event_label(event.kind), event.value);
   }
+}
+
+// ---------- JSON rendering (no deps; the schema is the API) ----------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+std::string latency_json(const util::LatencyHistogram& h) {
+  std::string out = "{";
+  append_u64(out, "count", h.count());
+  out += ",\"p50_us\":" + json_number(h.p50_ns() / 1e3);
+  out += ",\"p99_us\":" + json_number(h.p99_ns() / 1e3);
+  out += ",\"max_us\":" + json_number(static_cast<double>(h.max_ns()) / 1e3);
+  out += "}";
+  return out;
+}
+
+/// One monitor session as a JSON object. `monitor --stats --json` prints
+/// exactly this object; `fleet --stats --json` embeds the identical object
+/// per device, so downstream tooling parses both with one schema.
+std::string monitor_stats_json(core::MonitorState state, const std::optional<double>& last_score,
+                               const core::MonitorStats& stats,
+                               const std::vector<core::MonitorEvent>& events) {
+  std::string out = "{";
+  out += "\"state\":\"";
+  out += core::monitor_state_label(state);
+  out += "\",\"last_score\":";
+  out += last_score.has_value() ? json_number(*last_score) : "null";
+  out += ',';
+  append_u64(out, "traces_ingested", stats.traces_ingested);
+  out += ',';
+  append_u64(out, "traces_rejected", stats.traces_rejected);
+  out += ',';
+  append_u64(out, "calibration_captures", stats.calibration_captures);
+  out += ',';
+  append_u64(out, "scored_captures", stats.scored_captures);
+  out += ',';
+  append_u64(out, "per_trace_anomalies", stats.per_trace_anomalies);
+  out += ',';
+  append_u64(out, "spectral_passes", stats.spectral_passes);
+  out += ',';
+  append_u64(out, "windowed_anomalies", stats.windowed_anomalies);
+  out += ',';
+  append_u64(out, "alarms_latched", stats.alarms_latched);
+  out += ',';
+  append_u64(out, "alarms_acknowledged", stats.alarms_acknowledged);
+  out += ',';
+  append_u64(out, "events_dropped", stats.events_dropped);
+  out += ",\"push_latency\":" + latency_json(stats.push_latency);
+  out += ",\"spectral_latency\":" + latency_json(stats.spectral_latency);
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{";
+    append_u64(out, "trace_index", events[i].trace_index);
+    out += ",\"kind\":\"";
+    out += core::monitor_event_label(events[i].kind);
+    out += "\",\"value\":" + json_number(events[i].value) + "}";
+  }
+  out += "]}";
+  return out;
 }
 
 void print_stage_lines(const core::TrustReport& report) {
@@ -239,6 +357,7 @@ int cmd_monitor(const std::vector<std::string>& args) {
   std::size_t windows = 32;
   bool silicon = false;
   bool show_stats = false;
+  bool json = false;
   bool has_trojan = false;
   trojan::TrojanKind kind{};
 
@@ -256,6 +375,9 @@ int cmd_monitor(const std::vector<std::string>& args) {
       silicon = true;
     } else if (a == "--stats") {
       show_stats = true;
+    } else if (a == "--json") {
+      json = true;  // implies --stats; the object on stdout is the output
+      show_stats = true;
     } else if (a == "--trojan") {
       EMTS_REQUIRE(parse_trojan(next(), &kind), "unknown trojan label");
       has_trojan = true;
@@ -271,8 +393,10 @@ int cmd_monitor(const std::vector<std::string>& args) {
 
   auto evaluator = io::load_calibration(model_path);
   core::RuntimeMonitor monitor{evaluator.sample_rate(), std::move(evaluator)};
-  std::printf("cold start from %s: state %s, %zu calibration captures\n", model_path.c_str(),
-              core::monitor_state_label(monitor.state()), monitor.traces_seen());
+  if (!json) {
+    std::printf("cold start from %s: state %s, %zu calibration captures\n", model_path.c_str(),
+                core::monitor_state_label(monitor.state()), monitor.traces_seen());
+  }
 
   sim::Chip chip{silicon ? sim::make_silicon_config(sim::SiliconOptions{})
                          : sim::make_default_config()};
@@ -287,12 +411,245 @@ int cmd_monitor(const std::vector<std::string>& args) {
     if (state == core::MonitorState::kAlarm) break;
   }
 
+  if (json) {
+    // A single JSON object on stdout — the same schema fleet --json embeds
+    // per device.
+    std::printf("%s\n", monitor_stats_json(monitor.state(), monitor.last_score(),
+                                           monitor.stats(), monitor.drain_events())
+                            .c_str());
+    return monitor.state() == core::MonitorState::kAlarm ? 1 : 0;
+  }
   std::printf("monitored %zu captures%s: final state %s\n", pushed,
               has_trojan ? (std::string(" (trojan ") + trojan::kind_label(kind) + " armed)").c_str()
                          : "",
               core::monitor_state_label(monitor.state()));
-  if (show_stats) print_monitor_stats(monitor);
+  if (show_stats) {
+    std::printf("monitor stats:\n");
+    print_monitor_stats(monitor.stats(), monitor.drain_events());
+  }
   return monitor.state() == core::MonitorState::kAlarm ? 1 : 0;
+}
+
+// ---------- fleet ----------
+
+struct FleetManifestEntry {
+  std::string device_id;
+  std::string archive_path;
+  std::string model_path;  // empty: fall back to --model
+};
+
+std::vector<FleetManifestEntry> parse_fleet_manifest(const std::string& path) {
+  std::ifstream in(path);
+  EMTS_REQUIRE(in.good(), "cannot open manifest " + path);
+  std::vector<FleetManifestEntry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    FleetManifestEntry entry;
+    if (!(fields >> entry.device_id)) continue;     // blank line
+    if (entry.device_id.front() == '#') continue;   // comment
+    EMTS_REQUIRE(static_cast<bool>(fields >> entry.archive_path),
+                 path + ":" + std::to_string(line_no) + ": expected `device_id archive.emta"
+                 " [model.emca]`");
+    fields >> entry.model_path;  // optional
+    std::string extra;
+    EMTS_REQUIRE(!(fields >> extra),
+                 path + ":" + std::to_string(line_no) + ": trailing fields after model path");
+    entries.push_back(std::move(entry));
+  }
+  EMTS_REQUIRE(!entries.empty(), "manifest " + path + " lists no devices");
+  return entries;
+}
+
+int cmd_fleet(const std::vector<std::string>& args) {
+  std::string manifest_path;
+  std::string model_path;
+  fleet::FleetOptions options;
+  bool show_stats = false;
+  bool json = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      EMTS_REQUIRE(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--model") {
+      model_path = next();
+    } else if (a == "--shards") {
+      options.shards = std::stoul(next());
+    } else if (a == "--queue") {
+      options.queue_capacity = std::stoul(next());
+    } else if (a == "--policy") {
+      const std::string& p = next();
+      if (p == "block") {
+        options.backpressure = fleet::BackpressurePolicy::kBlock;
+      } else if (p == "drop-oldest") {
+        options.backpressure = fleet::BackpressurePolicy::kDropOldest;
+      } else if (p == "reject") {
+        options.backpressure = fleet::BackpressurePolicy::kReject;
+      } else {
+        EMTS_REQUIRE(false, "--policy takes block|drop-oldest|reject");
+      }
+    } else if (a == "--stats") {
+      show_stats = true;
+    } else if (a == "--json") {
+      json = true;
+      show_stats = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage_error();
+    } else if (manifest_path.empty()) {
+      manifest_path = a;
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", a.c_str());
+      return usage_error();
+    }
+  }
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "fleet needs a <fleet.manifest>\n");
+    return usage_error();
+  }
+
+  const std::vector<FleetManifestEntry> entries = parse_fleet_manifest(manifest_path);
+  fleet::FleetMonitor fleet_monitor{options};
+
+  std::vector<core::TraceSet> streams;
+  streams.reserve(entries.size());
+  std::size_t longest = 0;
+  for (const FleetManifestEntry& entry : entries) {
+    const std::string& model = entry.model_path.empty() ? model_path : entry.model_path;
+    EMTS_REQUIRE(!model.empty(),
+                 "device " + entry.device_id + " has no model (give one in the manifest"
+                 " or via --model)");
+    fleet_monitor.add_device(entry.device_id, io::load_calibration(model));
+    streams.push_back(io::load_trace_archive(entry.archive_path));
+    longest = std::max(longest, streams.back().size());
+  }
+
+  // Deterministic replay: round-robin across the manifest order, one capture
+  // per device per round — the interleaving a shared capture front-end
+  // produces, and the same schedule on every run.
+  std::size_t refused = 0;
+  for (std::size_t t = 0; t < longest; ++t) {
+    for (std::size_t d = 0; d < entries.size(); ++d) {
+      if (t >= streams[d].size()) continue;
+      if (fleet_monitor.submit(entries[d].device_id, core::Trace{streams[d].traces[t]}) ==
+          fleet::SubmitResult::kRejected) {
+        ++refused;
+      }
+    }
+  }
+  fleet_monitor.flush();
+
+  const fleet::FleetStats stats = fleet_monitor.stats();
+  std::vector<fleet::FleetEvent> events = fleet_monitor.drain_events();
+
+  if (json) {
+    std::string out = "{";
+    append_u64(out, "devices", stats.devices);
+    out += ",\"shards\":" + std::to_string(stats.shards.size());
+    out += ",\"policy\":\"";
+    out += fleet::backpressure_label(options.backpressure);
+    out += "\",";
+    append_u64(out, "queue_capacity", options.queue_capacity);
+    out += ',';
+    append_u64(out, "traces_submitted", stats.traces_submitted);
+    out += ',';
+    append_u64(out, "traces_processed", stats.traces_processed);
+    out += ',';
+    append_u64(out, "backpressure_dropped", stats.backpressure_dropped);
+    out += ',';
+    append_u64(out, "backpressure_rejected", stats.backpressure_rejected);
+    out += ',';
+    append_u64(out, "traces_rejected_invalid", stats.traces_rejected_invalid);
+    out += ',';
+    append_u64(out, "devices_calibrating", stats.devices_calibrating);
+    out += ',';
+    append_u64(out, "devices_monitoring", stats.devices_monitoring);
+    out += ',';
+    append_u64(out, "devices_alarm", stats.devices_alarm);
+    out += ',';
+    append_u64(out, "alarms_latched", stats.alarms_latched);
+    out += ",\"shard_queues\":[";
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      const fleet::ShardStats& shard = stats.shards[s];
+      if (s != 0) out += ',';
+      out += "{";
+      append_u64(out, "submitted", shard.submitted);
+      out += ',';
+      append_u64(out, "processed", shard.processed);
+      out += ',';
+      append_u64(out, "dropped_oldest", shard.dropped_oldest);
+      out += ',';
+      append_u64(out, "rejected_full", shard.rejected_full);
+      out += ',';
+      append_u64(out, "blocked", shard.blocked);
+      out += ',';
+      append_u64(out, "queue_high_water", shard.queue_high_water);
+      out += "}";
+    }
+    out += "],\"sessions\":{";
+    for (std::size_t d = 0; d < stats.sessions.size(); ++d) {
+      const fleet::SessionStats& session = stats.sessions[d];
+      std::vector<core::MonitorEvent> session_events;
+      for (const fleet::FleetEvent& event : events) {
+        if (event.device_id == session.device_id) session_events.push_back(event.event);
+      }
+      if (d != 0) out += ',';
+      out += "\"" + json_escape(session.device_id) + "\":{\"shard\":" +
+             std::to_string(session.shard) + ",\"monitor\":" +
+             monitor_stats_json(session.state, session.last_score, session.monitor,
+                                session_events) +
+             "}";
+    }
+    out += "}}";
+    std::printf("%s\n", out.c_str());
+    return stats.devices_alarm > 0 ? 1 : 0;
+  }
+
+  std::printf("fleet: %zu devices over %zu shards (policy %s, queue %zu)\n", stats.devices,
+              stats.shards.size(), fleet::backpressure_label(options.backpressure),
+              options.queue_capacity);
+  std::printf("replayed %llu captures (%llu scored, %llu dropped, %zu refused)\n",
+              static_cast<unsigned long long>(stats.traces_submitted),
+              static_cast<unsigned long long>(stats.traces_processed),
+              static_cast<unsigned long long>(stats.backpressure_dropped), refused);
+  for (const fleet::SessionStats& session : stats.sessions) {
+    std::printf("  %-16s shard %zu  %-10s scored %-6llu rejected %-4llu alarms %llu\n",
+                session.device_id.c_str(), session.shard,
+                core::monitor_state_label(session.state),
+                static_cast<unsigned long long>(session.monitor.scored_captures),
+                static_cast<unsigned long long>(session.monitor.traces_rejected),
+                static_cast<unsigned long long>(session.monitor.alarms_latched));
+  }
+  std::printf("verdict: %zu alarmed, %zu monitoring, %zu calibrating\n", stats.devices_alarm,
+              stats.devices_monitoring, stats.devices_calibrating);
+
+  if (show_stats) {
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      const fleet::ShardStats& shard = stats.shards[s];
+      std::printf("shard %zu: submitted %llu processed %llu dropped %llu rejected %llu"
+                  " blocked %llu high-water %zu\n",
+                  s, static_cast<unsigned long long>(shard.submitted),
+                  static_cast<unsigned long long>(shard.processed),
+                  static_cast<unsigned long long>(shard.dropped_oldest),
+                  static_cast<unsigned long long>(shard.rejected_full),
+                  static_cast<unsigned long long>(shard.blocked), shard.queue_high_water);
+    }
+    for (const fleet::SessionStats& session : stats.sessions) {
+      std::vector<core::MonitorEvent> session_events;
+      for (const fleet::FleetEvent& event : events) {
+        if (event.device_id == session.device_id) session_events.push_back(event.event);
+      }
+      std::printf("device %s (shard %zu, %s):\n", session.device_id.c_str(), session.shard,
+                  core::monitor_state_label(session.state));
+      print_monitor_stats(session.monitor, session_events);
+    }
+  }
+  return stats.devices_alarm > 0 ? 1 : 0;
 }
 
 int cmd_snr(const std::vector<std::string>& args) {
@@ -340,6 +697,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "calibrate") return cmd_calibrate(args);
     if (command == "monitor") return cmd_monitor(args);
+    if (command == "fleet") return cmd_fleet(args);
     if (command == "snr") return cmd_snr(args);
     if (command == "info") return cmd_info(args);
   } catch (const std::exception& e) {
