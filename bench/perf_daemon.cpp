@@ -1,0 +1,227 @@
+// Sustained-ingest benchmark of the daemon stack: synthetic captures encoded
+// as EMWF wire frames, pushed through the FrameDecoder into
+// FleetMonitor::submit_frame — the exact per-byte path `emsentry_cli serve`
+// runs, minus the kernel socket hop. Measures:
+//   * sustained ingest rate (traces/sec) under the kBlock policy,
+//   * end-to-end frame latency (encode -> decode -> scored), p50/p99,
+//   * snapshot pause (fleet quiesce + EMFS serialization) and restore cost.
+// Results land in BENCH_daemon.json; hardware_threads is recorded up front
+// because every rate here is meaningless without it, and a shard count above
+// the core count is flagged the same way the JSON records it.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/monitor.hpp"
+#include "fleet/fleet.hpp"
+#include "io/snapshot.hpp"
+#include "io/wire.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+using namespace emts;
+
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 2048;
+
+core::Trace golden_trace(Rng& rng) {
+  core::Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] = std::sin(2.0 * units::pi * 48e6 * static_cast<double>(i) / kFs) +
+           rng.gaussian(0.0, 0.08);
+  }
+  return t;
+}
+
+core::TraceSet make_set(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  core::TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) set.add(golden_trace(rng));
+  return set;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Encoded frames for `devices` interleaved streams, round-robin — the
+/// arrival order a shared capture front-end produces.
+std::vector<std::string> encode_streams(std::size_t devices, std::size_t traces_per_device) {
+  std::vector<std::string> frames;
+  frames.reserve(devices * traces_per_device);
+  Rng rng{99};
+  std::string buffer;
+  for (std::size_t t = 0; t < traces_per_device; ++t) {
+    for (std::size_t d = 0; d < devices; ++d) {
+      const core::Trace trace = golden_trace(rng);
+      buffer.clear();
+      io::wire::encode_trace_frame("chip-" + std::to_string(d), kFs, trace.data(),
+                                   trace.size(), buffer);
+      frames.push_back(buffer);
+    }
+  }
+  return frames;
+}
+
+fleet::FleetOptions daemon_options(std::size_t shards) {
+  fleet::FleetOptions options;
+  options.shards = shards;
+  options.queue_capacity = 64;
+  options.backpressure = fleet::BackpressurePolicy::kBlock;
+  return options;
+}
+
+void add_devices(fleet::FleetMonitor& fleet, const core::TrustEvaluator& evaluator,
+                 std::size_t devices) {
+  for (std::size_t d = 0; d < devices; ++d) {
+    fleet.add_device("chip-" + std::to_string(d), evaluator);
+  }
+}
+
+/// Feeds pre-encoded frames through decode + submit_frame; returns traces/sec.
+double measure_ingest_rate(const core::TrustEvaluator& evaluator, std::size_t shards,
+                           std::size_t devices, const std::vector<std::string>& frames) {
+  fleet::FleetMonitor fleet{daemon_options(shards)};
+  add_devices(fleet, evaluator, devices);
+  io::wire::FrameDecoder decoder;
+  const auto t0 = std::chrono::steady_clock::now();
+  io::wire::TraceFrame frame;
+  for (const std::string& bytes : frames) {
+    decoder.feed(bytes.data(), bytes.size());
+    while (decoder.next(frame)) fleet.submit_frame(std::move(frame));
+  }
+  fleet.flush();
+  return static_cast<double>(frames.size()) / seconds_since(t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_daemon.json";
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+
+  std::printf("perf_daemon: %u hardware threads\n", hardware_threads);
+  const core::TrustEvaluator evaluator = core::TrustEvaluator::calibrate(make_set(30, 1));
+
+  // --- sustained ingest, shards x devices ---
+  struct RatePoint {
+    std::size_t shards, devices;
+    double traces_per_sec;
+    bool oversubscribed;
+  };
+  std::vector<RatePoint> rates;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t devices : {std::size_t{1}, std::size_t{8}}) {
+      const auto frames = encode_streams(devices, 512 / devices);
+      const double rate = measure_ingest_rate(evaluator, shards, devices, frames);
+      const bool oversubscribed = hardware_threads > 0 && shards > hardware_threads;
+      if (oversubscribed) {
+        std::fprintf(stderr,
+                     "warning: %zu shards exceed %u hardware threads — rate below is"
+                     " a contention measurement, not a capacity\n",
+                     shards, hardware_threads);
+      }
+      std::printf("  shards %zu devices %zu: %.0f traces/s%s\n", shards, devices, rate,
+                  oversubscribed ? " (oversubscribed)" : "");
+      rates.push_back(RatePoint{shards, devices, rate, oversubscribed});
+    }
+  }
+
+  // --- end-to-end frame latency: one frame in an idle fleet, spin until the
+  // worker has scored it ---
+  std::vector<double> latencies_us;
+  {
+    fleet::FleetMonitor fleet{daemon_options(2)};
+    add_devices(fleet, evaluator, 1);
+    Rng rng{7};
+    std::string buffer;
+    io::wire::FrameDecoder decoder;
+    io::wire::TraceFrame frame;
+    for (int i = 0; i < 200; ++i) {
+      const core::Trace trace = golden_trace(rng);
+      const auto t0 = std::chrono::steady_clock::now();
+      buffer.clear();
+      io::wire::encode_trace_frame("chip-0", kFs, trace.data(), trace.size(), buffer);
+      decoder.feed(buffer.data(), buffer.size());
+      while (decoder.next(frame)) fleet.submit_frame(std::move(frame));
+      const std::uint64_t target = static_cast<std::uint64_t>(i + 1);
+      while (fleet.stats().traces_processed < target) {
+      }
+      latencies_us.push_back(seconds_since(t0) * 1e6);
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+  }
+  const double lat_p50 = latencies_us[latencies_us.size() / 2];
+  const double lat_p99 = latencies_us[latencies_us.size() * 99 / 100];
+  std::printf("  frame latency: p50 %.1f us, p99 %.1f us\n", lat_p50, lat_p99);
+
+  // --- snapshot pause and restore cost, against a warmed 8-device fleet ---
+  double snapshot_pause_ms = 0.0;
+  double snapshot_save_ms = 0.0;
+  double restore_ms = 0.0;
+  std::size_t snapshot_bytes = 0;
+  {
+    const std::filesystem::path tmp =
+        std::filesystem::temp_directory_path() / "perf_daemon_snapshot.emfs";
+    fleet::FleetMonitor fleet{daemon_options(2)};
+    add_devices(fleet, evaluator, 8);
+    const auto warm = encode_streams(8, 32);
+    io::wire::FrameDecoder decoder;
+    io::wire::TraceFrame frame;
+    for (const std::string& bytes : warm) {
+      decoder.feed(bytes.data(), bytes.size());
+      while (decoder.next(frame)) fleet.submit_frame(std::move(frame));
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    const io::FleetSnapshot snapshot = fleet.snapshot();
+    snapshot_pause_ms = seconds_since(t0) * 1e3;
+
+    t0 = std::chrono::steady_clock::now();
+    io::save_fleet_snapshot(tmp.string(), snapshot);
+    snapshot_save_ms = seconds_since(t0) * 1e3;
+    snapshot_bytes = static_cast<std::size_t>(std::filesystem::file_size(tmp));
+
+    t0 = std::chrono::steady_clock::now();
+    const io::FleetSnapshot loaded = io::load_fleet_snapshot(tmp.string());
+    fleet::FleetMonitor reborn{daemon_options(2)};
+    reborn.restore(loaded);
+    restore_ms = seconds_since(t0) * 1e3;
+    std::filesystem::remove(tmp);
+  }
+  std::printf("  snapshot: pause %.2f ms, save %.2f ms (%zu bytes), restore %.2f ms\n",
+              snapshot_pause_ms, snapshot_save_ms, snapshot_bytes, restore_ms);
+
+  std::ofstream out{out_path};
+  out << "{\n";
+  out << "  \"hardware_threads\": " << hardware_threads << ",\n";
+  out << "  \"trace_samples\": " << kLen << ",\n";
+  out << "  \"queue_capacity\": 64,\n";
+  out << "  \"policy\": \"BLOCK\",\n";
+  out << "  \"sustained_ingest\": [\n";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    out << "    {\"shards\": " << rates[i].shards << ", \"devices\": " << rates[i].devices
+        << ", \"traces_per_sec\": " << rates[i].traces_per_sec
+        << ", \"oversubscribed\": " << (rates[i].oversubscribed ? "true" : "false") << "}"
+        << (i + 1 < rates.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"frame_latency_us\": {\"p50\": " << lat_p50 << ", \"p99\": " << lat_p99
+      << "},\n";
+  out << "  \"snapshot\": {\"pause_ms\": " << snapshot_pause_ms
+      << ", \"save_ms\": " << snapshot_save_ms << ", \"bytes\": " << snapshot_bytes
+      << ", \"restore_ms\": " << restore_ms << "}\n";
+  out << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -97,5 +97,20 @@ int main() {
       infected.monitor.per_trace_anomalies == standalone.stats().per_trace_anomalies;
   std::printf("\nchip-02 fleet vs standalone: %s\n",
               identical ? "bit-identical" : "MISMATCH (bug!)");
-  return identical ? 0 : 1;
+
+  // Snapshot/restore: the daemon's crash-recovery story in miniature. Cut
+  // the fleet's state, rebuild a fresh fleet from the cut, and check the
+  // latched alarm and every counter came through exactly.
+  const io::FleetSnapshot cut = fleet_monitor.snapshot();
+  fleet::FleetMonitor reborn{options};
+  reborn.restore(cut);
+  const fleet::FleetStats after = reborn.stats();
+  const bool survived =
+      after.devices_alarm == stats.devices_alarm &&
+      after.sessions[2].state == core::MonitorState::kAlarm &&
+      after.sessions[2].monitor.per_trace_anomalies ==
+          stats.sessions[2].monitor.per_trace_anomalies;
+  std::printf("restored fleet from snapshot: %zu devices, alarm %s\n",
+              reborn.device_count(), survived ? "still latched" : "LOST (bug!)");
+  return identical && survived ? 0 : 1;
 }

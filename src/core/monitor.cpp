@@ -289,6 +289,85 @@ void RuntimeMonitor::run_windowed_pass(bool& windowed_anomaly) {
   stats_.spectral_latency.record(util::monotonic_ns() - t0);
 }
 
+MonitorStateImage RuntimeMonitor::export_state() const {
+  MonitorStateImage image;
+  image.sample_rate = sample_rate_;
+  image.calibration_traces = options_.calibration_traces;
+  image.alarm_debounce = options_.alarm_debounce;
+  image.spectral_window = options_.spectral_window;
+  image.event_log_capacity = options_.event_log_capacity;
+
+  image.state = state_;
+  image.traces_seen = traces_seen_;
+  image.expected_length = expected_length_;
+  image.consecutive_anomalies = consecutive_anomalies_;
+  image.alarm_latched_at = alarm_latched_at_;
+  image.last_score = last_score_;
+  image.last_spectral = last_spectral_;
+  image.calibration = calibration_.traces;
+  image.window.reserve(window_.size());
+  for (std::size_t i = 0; i < window_.size(); ++i) image.window.push_back(window_.oldest(i));
+  image.window_total_pushed = window_.total_pushed();
+  image.stats = stats_;
+  // Buffered events, oldest first — the order drain_events() would emit.
+  if (!events_.empty()) {
+    const std::size_t cap = events_.size();
+    image.events.reserve(event_count_);
+    for (std::size_t i = 0; i < event_count_; ++i) {
+      image.events.push_back(events_[(event_head_ + cap - event_count_ + i) % cap]);
+    }
+  }
+  return image;
+}
+
+void RuntimeMonitor::restore_state(const MonitorStateImage& image) {
+  EMTS_REQUIRE(traces_seen_ == 0 && stats_.traces_ingested == 0,
+               "restore_state needs an untouched monitor");
+  EMTS_REQUIRE(std::abs(image.sample_rate - sample_rate_) < 1e-6 * sample_rate_,
+               "restore_state: image sample rate differs from the monitor");
+  EMTS_REQUIRE(image.alarm_debounce == options_.alarm_debounce &&
+                   image.spectral_window == options_.spectral_window &&
+                   image.event_log_capacity == options_.event_log_capacity,
+               "restore_state: image was captured under different monitor options");
+  EMTS_REQUIRE((image.state == MonitorState::kCalibrating) == !evaluator_.has_value(),
+               image.state == MonitorState::kCalibrating
+                   ? "restore_state: a calibrating image needs a self-calibrating monitor"
+                   : "restore_state: a monitoring image needs a pre-fitted monitor");
+  if (!evaluator_.has_value()) {
+    EMTS_REQUIRE(image.calibration_traces == options_.calibration_traces,
+                 "restore_state: image was captured under different monitor options");
+    EMTS_REQUIRE(image.calibration.size() < options_.calibration_traces,
+                 "restore_state: calibrating image holds a full calibration set");
+  }
+  EMTS_REQUIRE(image.window.size() <= window_.capacity(),
+               "restore_state: image window exceeds the spectral window");
+  EMTS_REQUIRE(image.events.size() <= events_.size() ||
+                   (events_.empty() && image.events.empty()),
+               "restore_state: image events exceed the event log capacity");
+  EMTS_REQUIRE(image.window_total_pushed >= image.window.size(),
+               "restore_state: inconsistent window push counter");
+  for (const Trace& trace : image.window) {
+    EMTS_REQUIRE(image.expected_length != 0 && trace.size() == image.expected_length,
+                 "restore_state: window trace shape disagrees with the pinned length");
+  }
+
+  state_ = image.state;
+  traces_seen_ = static_cast<std::size_t>(image.traces_seen);
+  expected_length_ = static_cast<std::size_t>(image.expected_length);
+  consecutive_anomalies_ = static_cast<std::size_t>(image.consecutive_anomalies);
+  alarm_latched_at_ = image.alarm_latched_at;
+  last_score_ = image.last_score;
+  last_spectral_ = image.last_spectral;
+  calibration_.traces = image.calibration;
+  window_.clear();
+  for (const Trace& trace : image.window) window_.push(trace);
+  window_.restore_total_pushed(image.window_total_pushed);
+  stats_ = image.stats;
+  event_head_ = events_.empty() ? 0 : image.events.size() % events_.size();
+  event_count_ = image.events.size();
+  for (std::size_t i = 0; i < image.events.size(); ++i) events_[i] = image.events[i];
+}
+
 void RuntimeMonitor::acknowledge_alarm() {
   EMTS_REQUIRE(state_ == MonitorState::kAlarm, "no alarm to acknowledge");
   state_ = MonitorState::kMonitoring;

@@ -69,6 +69,36 @@ struct MonitorStats {
   util::LatencyHistogram spectral_latency; // wall time of each windowed pass
 };
 
+/// Complete image of one monitor's mutable state — everything push() can
+/// change, and nothing it cannot (the fitted evaluator travels separately as
+/// an EMCA artifact; scratch buffers and cached FFT plans are value-neutral
+/// and rebuilt on construction). A monitor restored from an image continues
+/// its stream with bit-identical scores, states, stats and events to one
+/// that was never interrupted (io::write_monitor_state serializes it).
+struct MonitorStateImage {
+  // Option/stream mirrors: restore_state() refuses an image captured under
+  // different options — a different spectral window or debounce would make
+  // the restored stream diverge silently.
+  double sample_rate = 0.0;
+  std::uint64_t calibration_traces = 0;
+  std::uint64_t alarm_debounce = 0;
+  std::uint64_t spectral_window = 0;
+  std::uint64_t event_log_capacity = 0;
+
+  MonitorState state = MonitorState::kCalibrating;
+  std::uint64_t traces_seen = 0;
+  std::uint64_t expected_length = 0;    // 0 until the first accepted capture
+  std::uint64_t consecutive_anomalies = 0;
+  std::uint64_t alarm_latched_at = 0;
+  std::optional<double> last_score;
+  std::optional<SpectralReport> last_spectral;
+  std::vector<Trace> calibration;       // pending self-calibration captures
+  std::vector<Trace> window;            // spectral-window ring, oldest first
+  std::uint64_t window_total_pushed = 0;
+  MonitorStats stats;                   // counters + latency histograms
+  std::vector<MonitorEvent> events;     // buffered event log, oldest first
+};
+
 class RuntimeMonitor {
  public:
   struct Options {
@@ -125,6 +155,25 @@ class RuntimeMonitor {
 
   MonitorState state() const { return state_; }
   std::size_t traces_seen() const { return traces_seen_; }
+
+  /// Sample rate of this monitor's capture stream (Hz). Immutable after
+  /// construction, so safe to read concurrently with pushes.
+  double sample_rate() const { return sample_rate_; }
+
+  /// Captures every piece of mutable loop state into a transportable image.
+  /// The fitted evaluator is NOT part of the image — persist it separately
+  /// (io::save_calibration round-trips it bit-identically) and hand it to
+  /// the monitor the image is restored into.
+  MonitorStateImage export_state() const;
+
+  /// Reinstates an exported image onto a freshly constructed monitor. The
+  /// target must be untouched (zero pushes), built with the same options and
+  /// sample rate the image mirrors, and hold an evaluator iff the image is
+  /// past calibration. After restore, the monitor's observable state is
+  /// exactly the exporter's, and every subsequent push produces bit-identical
+  /// scores, transitions, stats and events to the uninterrupted stream.
+  /// Throws precondition_error on any mismatch.
+  void restore_state(const MonitorStateImage& image);
 
   /// Sample count every capture on this stream must have; 0 until the first
   /// capture is accepted.

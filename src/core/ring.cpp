@@ -33,4 +33,9 @@ void TraceRing::clear() {
   count_ = 0;
 }
 
+void TraceRing::restore_total_pushed(std::uint64_t total) {
+  EMTS_REQUIRE(total >= total_pushed_, "trace ring lifetime counter cannot run backward");
+  total_pushed_ = total;
+}
+
 }  // namespace emts::core

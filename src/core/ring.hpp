@@ -41,6 +41,11 @@ class TraceRing {
   /// preserving the zero-allocation guarantee across window boundaries.
   void clear();
 
+  /// Reinstates the lifetime push counter after a snapshot restore — the one
+  /// piece of ring state push() cannot reconstruct. Requires `total` to be
+  /// at least the pushes already recorded (the counter never runs backward).
+  void restore_total_pushed(std::uint64_t total);
+
  private:
   std::vector<Trace> slots_;
   std::size_t head_ = 0;  // next write position

@@ -1,8 +1,10 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
+#include "util/fnv.hpp"
 
 namespace emts::fleet {
 
@@ -19,14 +21,11 @@ const char* backpressure_label(BackpressurePolicy policy) {
 }
 
 std::uint64_t device_hash(const std::string& device_id) {
-  // FNV-1a, 64-bit. std::hash<std::string> is implementation-defined, which
-  // would let the same manifest land on different shards across toolchains.
-  std::uint64_t hash = 14695981039346656037ull;
-  for (const char c : device_id) {
-    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    hash *= 1099511628211ull;
-  }
-  return hash;
+  // FNV-1a, 64-bit (util::fnv1a64 — the same function the wire frames and
+  // snapshot records use for checksums). std::hash<std::string> is
+  // implementation-defined, which would let the same manifest land on
+  // different shards across toolchains.
+  return util::fnv1a64(device_id.data(), device_id.size());
 }
 
 FleetMonitor::FleetMonitor(const FleetOptions& options) : options_{options} {
@@ -155,6 +154,72 @@ std::size_t FleetMonitor::submit_batch(const std::string& device_id,
     if (submit(device_id, core::Trace{trace}) != SubmitResult::kRejected) ++accepted;
   }
   return accepted;
+}
+
+SubmitResult FleetMonitor::submit_frame(io::wire::TraceFrame&& frame) {
+  Session* session = find_session(frame.device_id);
+  EMTS_REQUIRE(session != nullptr, "unknown device '" + frame.device_id + "'");
+  // sample_rate() is immutable after construction, so this read needs no
+  // exec lock even while the session's worker is scoring.
+  const double expected = session->monitor.sample_rate();
+  EMTS_REQUIRE(std::abs(frame.sample_rate - expected) <= 1e-6 * expected,
+               "frame sample rate for '" + frame.device_id +
+                   "' disagrees with the session's calibration");
+  return submit(frame.device_id, std::move(frame.trace));
+}
+
+io::FleetSnapshot FleetMonitor::snapshot() {
+  // Score everything already queued, then quiesce: the cut lands on a
+  // whole-capture boundary for every device. Captures submitted after the
+  // flush keep queueing (backpressure applies) and are simply on the far
+  // side of the cut.
+  flush();
+  pause();
+
+  io::FleetSnapshot out;
+  out.shards = static_cast<std::uint32_t>(shards_.size());
+  out.queue_capacity = static_cast<std::uint32_t>(options_.queue_capacity);
+  out.backpressure = static_cast<std::uint8_t>(options_.backpressure);
+
+  std::vector<const Session*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session.get());
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session* a, const Session* b) { return a->device_id < b->device_id; });
+
+  out.devices.reserve(sessions.size());
+  for (const Session* session : sessions) {
+    std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+    const core::TrustEvaluator* evaluator = session->monitor.evaluator();
+    EMTS_REQUIRE(evaluator != nullptr,
+                 "fleet snapshot: session '" + session->device_id + "' has no evaluator");
+    out.devices.push_back(io::FleetSnapshot::Device{
+        session->device_id, *evaluator, session->monitor.export_state()});
+  }
+  resume();
+  return out;
+}
+
+void FleetMonitor::restore(const io::FleetSnapshot& snapshot) {
+  EMTS_REQUIRE(device_count() == 0, "fleet restore requires a fleet with no devices");
+  for (const io::FleetSnapshot::Device& device : snapshot.devices) {
+    const core::MonitorStateImage& image = device.monitor;
+    // Per-session options come from the image's mirrors — restore_state()
+    // refuses a mismatch, so defaults on this fleet can never silently
+    // change a restored stream's debounce or window.
+    core::RuntimeMonitor::Options monitor_options = options_.monitor;
+    monitor_options.calibration_traces = static_cast<std::size_t>(image.calibration_traces);
+    monitor_options.alarm_debounce = static_cast<std::size_t>(image.alarm_debounce);
+    monitor_options.spectral_window = static_cast<std::size_t>(image.spectral_window);
+    monitor_options.event_log_capacity = static_cast<std::size_t>(image.event_log_capacity);
+    add_device(device.device_id, device.evaluator, monitor_options);
+    Session* session = find_session(device.device_id);
+    std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+    session->monitor.restore_state(image);
+  }
 }
 
 void FleetMonitor::worker_loop(Shard& shard) {

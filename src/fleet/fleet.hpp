@@ -41,6 +41,8 @@
 
 #include "core/monitor.hpp"
 #include "core/trace.hpp"
+#include "io/snapshot.hpp"
+#include "io/wire.hpp"
 
 namespace emts::fleet {
 
@@ -169,6 +171,13 @@ class FleetMonitor {
   /// kDropOldest this always equals batch.size()).
   std::size_t submit_batch(const std::string& device_id, const core::TraceSet& batch);
 
+  /// submit() for a decoded wire frame (io::wire::FrameDecoder output) — the
+  /// ingest daemon's entry point. The frame's device must be registered and
+  /// its sample rate must match the session's (within 1e-6 relative); either
+  /// mismatch throws precondition_error, so a daemon can refuse a frame
+  /// without perturbing any session state.
+  SubmitResult submit_frame(io::wire::TraceFrame&& frame);
+
   /// Barrier: returns once every capture submitted before the call has been
   /// scored and all workers are idle. Concurrent submitters may of course
   /// re-fill the queues afterwards. Must not be called on a paused fleet
@@ -181,6 +190,24 @@ class FleetMonitor {
   /// window looks like — and what deterministic queue-saturation tests need.
   void pause();
   void resume();
+
+  /// Consistent point-in-time image of the whole fleet: every queued capture
+  /// is scored (flush), the workers quiesce (pause), every session's fitted
+  /// evaluator and complete monitor state are copied, and the workers resume.
+  /// Concurrent submitters land on one side of the cut or the other — never
+  /// half-scored. The image round-trips through io::save_fleet_snapshot /
+  /// load_fleet_snapshot and restore(), after which every session continues
+  /// its stream bit-identically to one that was never interrupted.
+  io::FleetSnapshot snapshot();
+
+  /// Reinstates a snapshot's sessions onto this fleet, which must not have
+  /// any devices yet (shard layout may differ from the snapshot's — device
+  /// routing is a pure function of the id). Each session resumes with the
+  /// exported monitor state; per-session monitor options come from the
+  /// image's option mirrors, not this fleet's defaults. Throws
+  /// precondition_error if the fleet already has devices or an image is
+  /// inconsistent.
+  void restore(const io::FleetSnapshot& snapshot);
 
   /// Current state of one device's session (safe while traffic flows).
   core::MonitorState device_state(const std::string& device_id) const;

@@ -1,0 +1,235 @@
+#include "fleet/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "fleet/stats_json.hpp"
+#include "io/snapshot.hpp"
+#include "io/wire.hpp"
+#include "util/assert.hpp"
+
+namespace emts::fleet {
+
+struct IngestServer::Client {
+  int fd = -1;
+  io::wire::FrameDecoder decoder;
+
+  explicit Client(int fd_in) : fd{fd_in} {}
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+IngestServer::IngestServer(FleetMonitor& fleet, ServerOptions options)
+    : fleet_{fleet}, options_{std::move(options)} {
+  EMTS_REQUIRE(!options_.socket_path.empty(), "ingest server needs a socket path");
+  EMTS_REQUIRE(options_.max_clients >= 1, "ingest server needs max_clients >= 1");
+  EMTS_REQUIRE(options_.poll_timeout_ms > 0, "ingest server poll timeout must be > 0");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  EMTS_REQUIRE(options_.socket_path.size() < sizeof addr.sun_path,
+               "socket path too long: " + options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EMTS_REQUIRE(listen_fd_ >= 0, "ingest server: socket() failed");
+  // Non-blocking accepts: accept_clients() drains the whole backlog per poll
+  // round and must get EAGAIN, not block, when it is empty.
+  ::fcntl(listen_fd_, F_SETFL, ::fcntl(listen_fd_, F_GETFL, 0) | O_NONBLOCK);
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    EMTS_REQUIRE(false, "ingest server: cannot bind " + options_.socket_path);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    EMTS_REQUIRE(false, "ingest server: listen failed on " + options_.socket_path);
+  }
+}
+
+IngestServer::~IngestServer() {
+  clients_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void IngestServer::accept_clients() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EWOULDBLOCK via non-blocking accept round
+    if (clients_.size() >= options_.max_clients) {
+      ::close(fd);
+      ++counters_.connections_dropped;
+      continue;
+    }
+    clients_.push_back(std::make_unique<Client>(fd));
+    ++counters_.connections_accepted;
+  }
+}
+
+bool IngestServer::service_client(Client& client) {
+  // Drain what the kernel already has; poll() told us at least one read will
+  // not block, and MSG_DONTWAIT keeps the follow-ups from blocking either.
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::recv(client.fd, buffer, sizeof buffer, MSG_DONTWAIT);
+    if (got == 0) {
+      ++counters_.connections_closed;
+      return false;  // clean EOF
+    }
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return true;
+      ++counters_.connections_dropped;
+      return false;
+    }
+    counters_.bytes_received += static_cast<std::uint64_t>(got);
+    try {
+      client.decoder.feed(buffer, static_cast<std::size_t>(got));
+      io::wire::TraceFrame frame;
+      while (client.decoder.next(frame)) {
+        try {
+          if (fleet_.submit_frame(std::move(frame)) == SubmitResult::kRejected) {
+            ++counters_.frames_rejected;
+          } else {
+            ++counters_.frames_accepted;
+          }
+        } catch (const precondition_error&) {
+          // Well-formed frame, unacceptable content (unknown device, sample
+          // rate mismatch): count and keep the connection — framing is intact.
+          ++counters_.frames_rejected;
+        }
+      }
+    } catch (const precondition_error&) {
+      // Malformed stream: the framing is unrecoverable, drop the connection.
+      ++counters_.connections_dropped;
+      return false;
+    }
+  }
+}
+
+void IngestServer::drain_all_clients() {
+  // Shutdown barrier: keep polling with a zero timeout until no connection
+  // has bytes pending, so every frame a client managed to send before the
+  // stop signal is ingested and counted on this side of the final flush.
+  for (;;) {
+    if (clients_.empty()) return;
+    std::vector<pollfd> fds;
+    fds.reserve(clients_.size());
+    for (const auto& client : clients_) {
+      fds.push_back(pollfd{client->fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 0);
+    if (ready <= 0) return;
+    for (std::size_t c = fds.size(); c-- > 0;) {
+      if ((fds[c].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (!service_client(*clients_[c])) {
+        clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(c));
+      }
+    }
+  }
+}
+
+void IngestServer::write_snapshot() {
+  if (options_.snapshot_path.empty()) return;
+  const io::FleetSnapshot snapshot = fleet_.snapshot();
+  const std::string tmp = options_.snapshot_path + ".tmp";
+  io::save_fleet_snapshot(tmp, snapshot);
+  EMTS_REQUIRE(::rename(tmp.c_str(), options_.snapshot_path.c_str()) == 0,
+               "ingest server: cannot rename snapshot into " + options_.snapshot_path);
+  ++counters_.snapshots_written;
+}
+
+void IngestServer::export_stats(bool final_export) {
+  if (options_.stats_path.empty()) return;
+  // Periodic exports must not drain the event logs — draining would change
+  // what a later snapshot carries. Only the final export consumes them.
+  std::vector<FleetEvent> events;
+  if (final_export) fleet_.drain_events(events);
+  const std::string json = fleet_stats_json(fleet_.stats(), fleet_.options().backpressure,
+                                            fleet_.options().queue_capacity, events);
+  const std::string tmp = options_.stats_path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary};
+    EMTS_REQUIRE(out.good(), "ingest server: cannot open " + tmp);
+    out << json << '\n';
+    EMTS_REQUIRE(out.good(), "ingest server: stats write failed for " + tmp);
+  }
+  EMTS_REQUIRE(::rename(tmp.c_str(), options_.stats_path.c_str()) == 0,
+               "ingest server: cannot rename stats into " + options_.stats_path);
+  ++counters_.stats_exports;
+}
+
+void IngestServer::run(const std::atomic<bool>& stop, std::atomic<bool>& snapshot_request) {
+  std::uint64_t frames_at_snapshot = 0;
+  std::uint64_t frames_at_stats = 0;
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.reserve(clients_.size() + 1);
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& client : clients_) {
+      fds.push_back(pollfd{client->fd, POLLIN, 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), options_.poll_timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal (stop/snapshot) interrupted us
+      EMTS_REQUIRE(false, "ingest server: poll failed");
+    }
+
+    if (ready > 0) {
+      // Clients first (reverse order keeps erase indices stable), accepts
+      // last: bytes already sent always land before a new connection's.
+      for (std::size_t c = clients_.size(); c-- > 0;) {
+        if ((fds[c + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (!service_client(*clients_[c])) {
+          clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(c));
+        }
+      }
+      if ((fds[0].revents & POLLIN) != 0) accept_clients();
+    }
+
+    const bool frame_due =
+        options_.snapshot_every_frames > 0 &&
+        counters_.frames_accepted - frames_at_snapshot >= options_.snapshot_every_frames;
+    if (ready == 0 && (snapshot_request.exchange(false) || frame_due)) {
+      // Idle round: every byte the clients had sent is ingested, so the
+      // snapshot cut is a stable point of the stream, not a race with the
+      // kernel's socket buffers.
+      write_snapshot();
+      frames_at_snapshot = counters_.frames_accepted;
+    }
+    if (ready == 0 && options_.stats_every_frames > 0 &&
+        counters_.frames_accepted - frames_at_stats >= options_.stats_every_frames) {
+      export_stats(/*final_export=*/false);
+      frames_at_stats = counters_.frames_accepted;
+    }
+  }
+
+  // Clean shutdown: no more accepts, ingest what's already in flight, score
+  // it all, then persist the terminal state.
+  ::close(listen_fd_);
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = -1;
+  drain_all_clients();
+  clients_.clear();
+  fleet_.flush();
+  write_snapshot();
+  export_stats(/*final_export=*/true);
+}
+
+}  // namespace emts::fleet

@@ -1,0 +1,104 @@
+// Ingest daemon around a FleetMonitor: a unix-domain-socket accept loop that
+// decodes EMWF trace frames from any number of client connections and routes
+// them into the fleet's shard queues (submit_frame). This is the service
+// surface of the paper's deployment story — sensors stream captures to a
+// long-running trust evaluator instead of batch replays — grown on top of
+// the existing bounded-ingest machinery: the shard queues, backpressure
+// policies and per-device ordering all apply unchanged to socket traffic.
+//
+// The loop is cooperative and signal-driven. `stop` (set by SIGINT/SIGTERM
+// in the CLI) triggers a clean shutdown: drain every connection's kernel
+// buffer, flush the fleet, write a final snapshot and stats export, then
+// return. `snapshot_request` (SIGUSR1) asks for a mid-flight snapshot; it is
+// honored only on an idle poll round, after every byte the clients have
+// already sent has been ingested — so the cut is deterministic for a client
+// that stops sending and then raises the signal. Snapshots and stats land
+// via write-to-temp-then-rename, so a file that exists is always complete.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace emts::fleet {
+
+struct ServerOptions {
+  /// Path of the unix-domain listening socket (created; a stale file at the
+  /// path is unlinked first; unlinked again on shutdown).
+  std::string socket_path;
+
+  /// Snapshot (EMFS) destination. Empty disables snapshots entirely —
+  /// including the shutdown snapshot and SIGUSR1 requests.
+  std::string snapshot_path;
+  /// Also snapshot automatically every N accepted frames (0 = only on
+  /// request and shutdown).
+  std::uint64_t snapshot_every_frames = 0;
+
+  /// Periodic fleet stats JSON destination (fleet_stats_json schema). Empty
+  /// disables the export. The final export at shutdown drains and includes
+  /// buffered events; periodic exports do not drain them (observability must
+  /// not perturb the stream).
+  std::string stats_path;
+  /// Export stats every N accepted frames (0 = only the final export).
+  std::uint64_t stats_every_frames = 0;
+
+  /// poll() granularity; bounds signal-to-reaction latency.
+  int poll_timeout_ms = 50;
+  /// Concurrent client connections; further accepts are closed immediately.
+  std::size_t max_clients = 64;
+};
+
+/// Lifetime accounting of one serve run.
+struct ServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;    // clean EOFs
+  std::uint64_t connections_dropped = 0;   // protocol violations, over-limit
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_accepted = 0;       // decoded and routed into the fleet
+  std::uint64_t frames_rejected = 0;       // unknown device, rate mismatch, or
+                                           // kReject backpressure refusals
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t stats_exports = 0;
+};
+
+class IngestServer {
+ public:
+  /// Binds and listens immediately (throws precondition_error on failure);
+  /// traffic flows once run() is entered. The fleet must outlive the server.
+  IngestServer(FleetMonitor& fleet, ServerOptions options);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Serves until `stop` becomes true, then shuts down cleanly (drain,
+  /// flush, final snapshot + stats). `snapshot_request` may be set at any
+  /// time (signal-safe); it is consumed on the next idle poll round.
+  void run(const std::atomic<bool>& stop, std::atomic<bool>& snapshot_request);
+
+  const ServerCounters& counters() const { return counters_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Client;
+
+  void accept_clients();
+  /// Reads every byte currently available on one client; returns false when
+  /// the connection is finished (EOF or protocol error) and must be closed.
+  bool service_client(Client& client);
+  void drain_all_clients();
+  void write_snapshot();
+  void export_stats(bool final_export);
+
+  FleetMonitor& fleet_;
+  ServerOptions options_;
+  ServerCounters counters_{};
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace emts::fleet

@@ -21,10 +21,7 @@ constexpr std::uint32_t kMaxDetectors = 64;
 
 }  // namespace
 
-void save_calibration(const std::string& path, const core::TrustEvaluator& evaluator) {
-  std::ofstream out{path, std::ios::binary};
-  EMTS_REQUIRE(out.good(), "save_calibration: cannot open " + path);
-
+void save_calibration(std::ostream& out, const core::TrustEvaluator& evaluator) {
   out.write(kMagic, sizeof kMagic);
   util::write_u32(out, kVersion);
   util::write_f64(out, evaluator.sample_rate());
@@ -41,18 +38,22 @@ void save_calibration(const std::string& path, const core::TrustEvaluator& evalu
     util::write_u64(out, bytes.size());
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
+  EMTS_REQUIRE(out.good(), "save_calibration: write failed");
+}
+
+void save_calibration(const std::string& path, const core::TrustEvaluator& evaluator) {
+  std::ofstream out{path, std::ios::binary};
+  EMTS_REQUIRE(out.good(), "save_calibration: cannot open " + path);
+  save_calibration(out, evaluator);
   EMTS_REQUIRE(out.good(), "save_calibration: write failed for " + path);
 }
 
-core::TrustEvaluator load_calibration(const std::string& path) {
-  std::ifstream in{path, std::ios::binary};
-  EMTS_REQUIRE(in.good(), "load_calibration: cannot open " + path);
-
+core::TrustEvaluator load_calibration(std::istream& in) {
   char magic[4] = {};
   in.read(magic, sizeof magic);
-  EMTS_REQUIRE(in.gcount() == sizeof magic, "load_calibration: truncated header in " + path);
+  EMTS_REQUIRE(in.gcount() == sizeof magic, "load_calibration: truncated header");
   EMTS_REQUIRE(std::memcmp(magic, kMagic, sizeof magic) == 0,
-               "load_calibration: bad magic in " + path);
+               "load_calibration: bad magic");
   const std::uint32_t version = util::read_u32(in);
   EMTS_REQUIRE(version == kVersion, "load_calibration: unsupported version");
 
@@ -72,7 +73,11 @@ core::TrustEvaluator load_calibration(const std::string& path) {
     EMTS_REQUIRE(core::DetectorRegistry::instance().contains(name),
                  "load_calibration: unknown detector '" + name + "' (not registered)");
     const std::uint64_t payload_size = util::read_u64(in);
-    EMTS_REQUIRE(payload_size < (1ull << 32), "load_calibration: implausible payload size");
+    // A declared payload the stream cannot possibly hold is a corrupt
+    // header; refuse it before the allocation it would otherwise trigger.
+    EMTS_REQUIRE(payload_size <= util::stream_remaining(in),
+                 "load_calibration: payload size for '" + name +
+                     "' exceeds remaining bytes");
 
     std::string bytes(static_cast<std::size_t>(payload_size), '\0');
     in.read(bytes.data(), static_cast<std::streamsize>(payload_size));
@@ -85,10 +90,16 @@ core::TrustEvaluator load_calibration(const std::string& path) {
                  "load_calibration: unconsumed payload bytes for '" + name + "'");
     detectors.push_back(std::move(detector));
   }
+  return core::TrustEvaluator::assemble(std::move(detectors), alarm_fraction, sample_rate);
+}
 
+core::TrustEvaluator load_calibration(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EMTS_REQUIRE(in.good(), "load_calibration: cannot open " + path);
+  core::TrustEvaluator evaluator = load_calibration(in);
   EMTS_REQUIRE(in.peek() == std::ifstream::traits_type::eof(),
                "load_calibration: trailing bytes in " + path);
-  return core::TrustEvaluator::assemble(std::move(detectors), alarm_fraction, sample_rate);
+  return evaluator;
 }
 
 }  // namespace emts::io

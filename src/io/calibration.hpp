@@ -19,6 +19,7 @@
 // every trace exactly as the evaluator that was saved.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "core/evaluator.hpp"
@@ -26,14 +27,21 @@
 namespace emts::io {
 
 /// Writes the evaluator's full fitted state. Throws precondition_error on
-/// I/O failure.
+/// I/O failure. The stream form writes the identical bytes into an open
+/// stream — the embedding the EMFS fleet snapshot uses to bundle one EMCA
+/// artifact per device.
 void save_calibration(const std::string& path, const core::TrustEvaluator& evaluator);
+void save_calibration(std::ostream& out, const core::TrustEvaluator& evaluator);
 
 /// Reads an artifact written by save_calibration and reassembles the
 /// evaluator. Every named detector must be present in the DetectorRegistry
 /// (call baseline::register_ron_detector() first for "ron" stacks). Throws
 /// precondition_error on bad magic, version, sizes, unknown detectors,
-/// under/over-consumed payloads, or trailing bytes.
+/// under/over-consumed payloads, or trailing bytes. The stream form stops
+/// exactly after the last detector payload (no trailing-byte check), so an
+/// artifact can be embedded in a larger container; the path form requires
+/// the file to end there.
 core::TrustEvaluator load_calibration(const std::string& path);
+core::TrustEvaluator load_calibration(std::istream& in);
 
 }  // namespace emts::io

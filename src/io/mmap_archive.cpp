@@ -1,0 +1,137 @@
+#include "io/mmap_archive.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace emts::io {
+
+namespace {
+
+// Mirror of the EMTA v1 header in trace_archive.cpp (private there by
+// design; the wire layout is the contract, not the struct).
+constexpr char kMagic[4] = {'E', 'M', 'T', 'A'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 32;
+
+}  // namespace
+
+MappedTraceArchive::MappedTraceArchive(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  EMTS_REQUIRE(fd >= 0, "mmap_archive: cannot open " + path);
+
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    EMTS_REQUIRE(false, "mmap_archive: cannot stat " + path);
+  }
+  const std::size_t file_bytes = static_cast<std::size_t>(st.st_size);
+  if (file_bytes < kHeaderBytes) {
+    ::close(fd);
+    EMTS_REQUIRE(false, "mmap_archive: truncated header in " + path);
+  }
+
+  void* mapping = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  EMTS_REQUIRE(mapping != MAP_FAILED, "mmap_archive: mmap failed for " + path);
+  mapping_ = mapping;
+  mapping_bytes_ = file_bytes;
+
+  const char* bytes = static_cast<const char*>(mapping);
+  std::uint32_t version = 0;
+  std::uint64_t trace_count = 0;
+  std::uint64_t trace_length = 0;
+  double sample_rate = 0.0;
+  std::memcpy(&version, bytes + 4, sizeof version);
+  std::memcpy(&trace_count, bytes + 8, sizeof trace_count);
+  std::memcpy(&trace_length, bytes + 16, sizeof trace_length);
+  std::memcpy(&sample_rate, bytes + 24, sizeof sample_rate);
+
+  try {
+    EMTS_REQUIRE(std::memcmp(bytes, kMagic, sizeof kMagic) == 0,
+                 "mmap_archive: bad magic in " + path);
+    EMTS_REQUIRE(version == kVersion, "mmap_archive: unsupported version");
+    EMTS_REQUIRE(trace_count > 0 && trace_length > 0,
+                 "mmap_archive: empty archive " + path);
+    EMTS_REQUIRE(std::isfinite(sample_rate) && sample_rate > 0.0,
+                 "mmap_archive: bad sample rate");
+    EMTS_REQUIRE(trace_count < (1ull << 32) && trace_length < (1ull << 32),
+                 "mmap_archive: implausible sizes in " + path);
+    // The whole-file shape check: header + samples must account for every
+    // byte, so a truncated or padded file is rejected up front — there is no
+    // per-trace read to fail later.
+    EMTS_REQUIRE(file_bytes ==
+                     kHeaderBytes + trace_count * trace_length * sizeof(double),
+                 "mmap_archive: file size disagrees with declared shape in " + path);
+  } catch (...) {
+    unmap();
+    throw;
+  }
+
+  samples_ = reinterpret_cast<const double*>(bytes + kHeaderBytes);
+  trace_count_ = static_cast<std::size_t>(trace_count);
+  trace_length_ = static_cast<std::size_t>(trace_length);
+  sample_rate_ = sample_rate;
+}
+
+MappedTraceArchive::~MappedTraceArchive() { unmap(); }
+
+MappedTraceArchive::MappedTraceArchive(MappedTraceArchive&& other) noexcept
+    : mapping_{other.mapping_},
+      mapping_bytes_{other.mapping_bytes_},
+      samples_{other.samples_},
+      trace_count_{other.trace_count_},
+      trace_length_{other.trace_length_},
+      sample_rate_{other.sample_rate_} {
+  other.mapping_ = nullptr;
+  other.mapping_bytes_ = 0;
+  other.samples_ = nullptr;
+  other.trace_count_ = 0;
+  other.trace_length_ = 0;
+}
+
+MappedTraceArchive& MappedTraceArchive::operator=(MappedTraceArchive&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    mapping_ = other.mapping_;
+    mapping_bytes_ = other.mapping_bytes_;
+    samples_ = other.samples_;
+    trace_count_ = other.trace_count_;
+    trace_length_ = other.trace_length_;
+    sample_rate_ = other.sample_rate_;
+    other.mapping_ = nullptr;
+    other.mapping_bytes_ = 0;
+    other.samples_ = nullptr;
+    other.trace_count_ = 0;
+    other.trace_length_ = 0;
+  }
+  return *this;
+}
+
+void MappedTraceArchive::unmap() noexcept {
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, mapping_bytes_);
+    mapping_ = nullptr;
+    mapping_bytes_ = 0;
+    samples_ = nullptr;
+  }
+}
+
+const double* MappedTraceArchive::trace(std::size_t i) const {
+  EMTS_REQUIRE(i < trace_count_, "mmap_archive: trace index out of range");
+  return samples_ + i * trace_length_;
+}
+
+core::Trace MappedTraceArchive::trace_copy(std::size_t i) const {
+  const double* begin = trace(i);
+  return core::Trace(begin, begin + trace_length_);
+}
+
+}  // namespace emts::io

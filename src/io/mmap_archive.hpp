@@ -1,0 +1,56 @@
+// Zero-copy EMTA archive access for load generation. load_trace_archive()
+// deserializes every sample into freshly allocated Traces — fine for
+// analysis, wasteful for a replay client whose only job is to push bytes at
+// a socket as fast as possible. MappedTraceArchive mmap()s the archive and
+// validates the same header invariants, then hands out pointers straight
+// into the mapping: the EMTA payload is little-endian float64 starting at a
+// double-aligned offset, so a trace is readable in place with no copy and no
+// per-trace heap traffic. The kernel pages samples in on demand, which is
+// what lets a replay client stream archives much larger than RAM at line
+// rate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/trace.hpp"
+
+namespace emts::io {
+
+class MappedTraceArchive {
+ public:
+  /// Opens and maps the archive read-only, validating the EMTA header
+  /// against the actual file size (declared shape must account for every
+  /// byte). Throws precondition_error on open/map failure or any header
+  /// mismatch — the same corruption checks load_trace_archive applies.
+  explicit MappedTraceArchive(const std::string& path);
+  ~MappedTraceArchive();
+
+  MappedTraceArchive(MappedTraceArchive&& other) noexcept;
+  MappedTraceArchive& operator=(MappedTraceArchive&& other) noexcept;
+  MappedTraceArchive(const MappedTraceArchive&) = delete;
+  MappedTraceArchive& operator=(const MappedTraceArchive&) = delete;
+
+  std::size_t size() const { return trace_count_; }
+  std::size_t trace_length() const { return trace_length_; }
+  double sample_rate() const { return sample_rate_; }
+
+  /// Pointer to trace i's samples inside the mapping (trace_length doubles).
+  /// Valid for the archive's lifetime. Requires i < size().
+  const double* trace(std::size_t i) const;
+
+  /// Materializes trace i as an owned Trace (copies out of the mapping).
+  core::Trace trace_copy(std::size_t i) const;
+
+ private:
+  void unmap() noexcept;
+
+  void* mapping_ = nullptr;
+  std::size_t mapping_bytes_ = 0;
+  const double* samples_ = nullptr;  // payload start inside the mapping
+  std::size_t trace_count_ = 0;
+  std::size_t trace_length_ = 0;
+  double sample_rate_ = 0.0;
+};
+
+}  // namespace emts::io

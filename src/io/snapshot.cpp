@@ -1,0 +1,316 @@
+#include "io/snapshot.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/calibration.hpp"
+#include "util/assert.hpp"
+#include "util/binio.hpp"
+#include "util/fnv.hpp"
+
+namespace emts::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'M', 'F', 'S'};
+constexpr std::uint32_t kVersion = 1;
+// A fleet snapshot is an operational artifact, not a data lake: caps sized
+// generously above any believable deployment, tight enough that a corrupt
+// count is refused before it turns into an allocation.
+constexpr std::uint32_t kMaxDevices = 1u << 16;
+constexpr std::uint32_t kMaxBufferedTraces = 1u << 20;
+constexpr std::uint32_t kMaxAnomalies = 1u << 20;
+constexpr std::uint64_t kMaxDeviceBytes = 1ull << 32;
+
+void write_histogram(std::ostream& out, const util::LatencyHistogram& h) {
+  for (const std::uint64_t b : h.buckets()) util::write_u64(out, b);
+  util::write_u64(out, h.count());
+  util::write_u64(out, h.total_ns());
+  util::write_u64(out, h.raw_min_ns());
+  util::write_u64(out, h.max_ns());
+}
+
+void read_histogram(std::istream& in, util::LatencyHistogram& h) {
+  std::array<std::uint64_t, util::LatencyHistogram::kBuckets> buckets{};
+  for (std::uint64_t& b : buckets) b = util::read_u64(in);
+  const std::uint64_t count = util::read_u64(in);
+  const std::uint64_t total = util::read_u64(in);
+  const std::uint64_t raw_min = util::read_u64(in);
+  const std::uint64_t max = util::read_u64(in);
+  h.restore(buckets, count, total, raw_min, max);  // validates consistency
+}
+
+void write_traces(std::ostream& out, const std::vector<core::Trace>& traces) {
+  util::write_u32(out, static_cast<std::uint32_t>(traces.size()));
+  for (const core::Trace& trace : traces) util::write_f64_vec(out, trace);
+}
+
+std::vector<core::Trace> read_traces(std::istream& in) {
+  const std::uint32_t count = util::read_u32(in);
+  EMTS_REQUIRE(count <= kMaxBufferedTraces, "monitor state: implausible trace count");
+  std::vector<core::Trace> traces;
+  traces.reserve(count);
+  for (std::uint32_t t = 0; t < count; ++t) traces.push_back(util::read_f64_vec(in));
+  return traces;
+}
+
+}  // namespace
+
+void write_monitor_state(std::ostream& out, const core::MonitorStateImage& image) {
+  util::write_f64(out, image.sample_rate);
+  util::write_u64(out, image.calibration_traces);
+  util::write_u64(out, image.alarm_debounce);
+  util::write_u64(out, image.spectral_window);
+  util::write_u64(out, image.event_log_capacity);
+
+  util::write_u8(out, static_cast<std::uint8_t>(image.state));
+  util::write_u64(out, image.traces_seen);
+  util::write_u64(out, image.expected_length);
+  util::write_u64(out, image.consecutive_anomalies);
+  util::write_u64(out, image.alarm_latched_at);
+
+  util::write_u8(out, image.last_score.has_value() ? 1 : 0);
+  util::write_f64(out, image.last_score.value_or(0.0));
+
+  util::write_u8(out, image.last_spectral.has_value() ? 1 : 0);
+  const std::size_t anomaly_count =
+      image.last_spectral.has_value() ? image.last_spectral->anomalies.size() : 0;
+  util::write_u32(out, static_cast<std::uint32_t>(anomaly_count));
+  if (image.last_spectral.has_value()) {
+    for (const core::SpectralAnomaly& a : image.last_spectral->anomalies) {
+      util::write_u8(out, static_cast<std::uint8_t>(a.kind));
+      util::write_f64(out, a.frequency_hz);
+      util::write_f64(out, a.golden_amplitude);
+      util::write_f64(out, a.suspect_amplitude);
+      util::write_f64(out, a.ratio);
+    }
+  }
+
+  write_traces(out, image.calibration);
+  write_traces(out, image.window);
+  util::write_u64(out, image.window_total_pushed);
+
+  const core::MonitorStats& s = image.stats;
+  util::write_u64(out, s.traces_ingested);
+  util::write_u64(out, s.traces_rejected);
+  util::write_u64(out, s.calibration_captures);
+  util::write_u64(out, s.scored_captures);
+  util::write_u64(out, s.per_trace_anomalies);
+  util::write_u64(out, s.spectral_passes);
+  util::write_u64(out, s.windowed_anomalies);
+  util::write_u64(out, s.alarms_latched);
+  util::write_u64(out, s.alarms_acknowledged);
+  util::write_u64(out, s.events_dropped);
+  write_histogram(out, s.push_latency);
+  write_histogram(out, s.spectral_latency);
+
+  util::write_u32(out, static_cast<std::uint32_t>(image.events.size()));
+  for (const core::MonitorEvent& e : image.events) {
+    util::write_u8(out, static_cast<std::uint8_t>(e.kind));
+    util::write_u64(out, e.trace_index);
+    util::write_f64(out, e.value);
+  }
+  EMTS_REQUIRE(out.good(), "write_monitor_state: write failed");
+}
+
+core::MonitorStateImage read_monitor_state(std::istream& in) {
+  core::MonitorStateImage image;
+  image.sample_rate = util::read_f64(in);
+  EMTS_REQUIRE(std::isfinite(image.sample_rate) && image.sample_rate > 0.0,
+               "monitor state: bad sample rate");
+  image.calibration_traces = util::read_u64(in);
+  image.alarm_debounce = util::read_u64(in);
+  image.spectral_window = util::read_u64(in);
+  image.event_log_capacity = util::read_u64(in);
+
+  const std::uint8_t state = util::read_u8(in);
+  EMTS_REQUIRE(state <= static_cast<std::uint8_t>(core::MonitorState::kAlarm),
+               "monitor state: bad state tag");
+  image.state = static_cast<core::MonitorState>(state);
+  image.traces_seen = util::read_u64(in);
+  image.expected_length = util::read_u64(in);
+  image.consecutive_anomalies = util::read_u64(in);
+  image.alarm_latched_at = util::read_u64(in);
+
+  const std::uint8_t has_score = util::read_u8(in);
+  EMTS_REQUIRE(has_score <= 1, "monitor state: bad last-score flag");
+  const double last_score = util::read_f64(in);
+  if (has_score == 1) image.last_score = last_score;
+
+  const std::uint8_t has_spectral = util::read_u8(in);
+  EMTS_REQUIRE(has_spectral <= 1, "monitor state: bad spectral flag");
+  const std::uint32_t anomaly_count = util::read_u32(in);
+  EMTS_REQUIRE(anomaly_count <= kMaxAnomalies, "monitor state: implausible anomaly count");
+  EMTS_REQUIRE(has_spectral == 1 || anomaly_count == 0,
+               "monitor state: anomalies without a spectral report");
+  // Each anomaly is 33 serialized bytes; bound the declared count against
+  // what the stream can actually hold before reserving.
+  EMTS_REQUIRE(anomaly_count * 33ull <= util::stream_remaining(in),
+               "monitor state: anomaly count exceeds remaining bytes");
+  if (has_spectral == 1) {
+    core::SpectralReport report;
+    report.anomalies.reserve(anomaly_count);
+    for (std::uint32_t a = 0; a < anomaly_count; ++a) {
+      core::SpectralAnomaly anomaly;
+      const std::uint8_t kind = util::read_u8(in);
+      EMTS_REQUIRE(kind <= static_cast<std::uint8_t>(core::SpectralAnomalyKind::kAmplifiedSpot),
+                   "monitor state: bad anomaly kind");
+      anomaly.kind = static_cast<core::SpectralAnomalyKind>(kind);
+      anomaly.frequency_hz = util::read_f64(in);
+      anomaly.golden_amplitude = util::read_f64(in);
+      anomaly.suspect_amplitude = util::read_f64(in);
+      anomaly.ratio = util::read_f64(in);
+      report.anomalies.push_back(anomaly);
+    }
+    image.last_spectral = std::move(report);
+  }
+
+  image.calibration = read_traces(in);
+  image.window = read_traces(in);
+  image.window_total_pushed = util::read_u64(in);
+
+  core::MonitorStats& s = image.stats;
+  s.traces_ingested = util::read_u64(in);
+  s.traces_rejected = util::read_u64(in);
+  s.calibration_captures = util::read_u64(in);
+  s.scored_captures = util::read_u64(in);
+  s.per_trace_anomalies = util::read_u64(in);
+  s.spectral_passes = util::read_u64(in);
+  s.windowed_anomalies = util::read_u64(in);
+  s.alarms_latched = util::read_u64(in);
+  s.alarms_acknowledged = util::read_u64(in);
+  s.events_dropped = util::read_u64(in);
+  read_histogram(in, s.push_latency);
+  read_histogram(in, s.spectral_latency);
+
+  const std::uint32_t event_count = util::read_u32(in);
+  EMTS_REQUIRE(event_count <= image.event_log_capacity,
+               "monitor state: more events than the log can hold");
+  // 17 bytes per serialized event.
+  EMTS_REQUIRE(event_count * 17ull <= util::stream_remaining(in),
+               "monitor state: event count exceeds remaining bytes");
+  image.events.reserve(event_count);
+  for (std::uint32_t e = 0; e < event_count; ++e) {
+    core::MonitorEvent event;
+    const std::uint8_t kind = util::read_u8(in);
+    EMTS_REQUIRE(
+        kind <= static_cast<std::uint8_t>(core::MonitorEventKind::kTraceRejectedNonFinite),
+        "monitor state: bad event kind");
+    event.kind = static_cast<core::MonitorEventKind>(kind);
+    event.trace_index = util::read_u64(in);
+    event.value = util::read_f64(in);
+    image.events.push_back(event);
+  }
+  return image;
+}
+
+void save_fleet_snapshot(const std::string& path, const FleetSnapshot& snapshot) {
+  EMTS_REQUIRE(snapshot.devices.size() <= kMaxDevices,
+               "save_fleet_snapshot: too many devices");
+  for (std::size_t d = 1; d < snapshot.devices.size(); ++d) {
+    EMTS_REQUIRE(snapshot.devices[d - 1].device_id < snapshot.devices[d].device_id,
+                 "save_fleet_snapshot: devices must be sorted by id, without duplicates");
+  }
+
+  std::ofstream out{path, std::ios::binary};
+  EMTS_REQUIRE(out.good(), "save_fleet_snapshot: cannot open " + path);
+
+  out.write(kMagic, sizeof kMagic);
+  util::write_u32(out, kVersion);
+  util::write_u32(out, snapshot.shards);
+  util::write_u32(out, snapshot.queue_capacity);
+  util::write_u8(out, snapshot.backpressure);
+  util::write_u32(out, static_cast<std::uint32_t>(snapshot.devices.size()));
+
+  for (const FleetSnapshot::Device& device : snapshot.devices) {
+    // Stage the payload so it can be length-framed and checksummed: the
+    // loader verifies integrity per record before touching its contents.
+    std::ostringstream staged{std::ios::binary};
+    std::ostringstream emca{std::ios::binary};
+    save_calibration(emca, device.evaluator);
+    const std::string emca_bytes = emca.str();
+    util::write_u64(staged, emca_bytes.size());
+    staged.write(emca_bytes.data(), static_cast<std::streamsize>(emca_bytes.size()));
+    write_monitor_state(staged, device.monitor);
+
+    const std::string payload = staged.str();
+    util::write_string(out, device.device_id);
+    util::write_u64(out, payload.size());
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    util::write_u64(out, util::fnv1a64(payload.data(), payload.size()));
+  }
+  EMTS_REQUIRE(out.good(), "save_fleet_snapshot: write failed for " + path);
+}
+
+FleetSnapshot load_fleet_snapshot(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EMTS_REQUIRE(in.good(), "load_fleet_snapshot: cannot open " + path);
+
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  EMTS_REQUIRE(in.gcount() == sizeof magic, "load_fleet_snapshot: truncated header");
+  EMTS_REQUIRE(std::memcmp(magic, kMagic, sizeof magic) == 0,
+               "load_fleet_snapshot: bad magic in " + path);
+  const std::uint32_t version = util::read_u32(in);
+  EMTS_REQUIRE(version == kVersion, "load_fleet_snapshot: unsupported version");
+
+  FleetSnapshot snapshot;
+  snapshot.shards = util::read_u32(in);
+  snapshot.queue_capacity = util::read_u32(in);
+  snapshot.backpressure = util::read_u8(in);
+  const std::uint32_t device_count = util::read_u32(in);
+  EMTS_REQUIRE(device_count <= kMaxDevices, "load_fleet_snapshot: implausible device count");
+
+  snapshot.devices.reserve(device_count);
+  for (std::uint32_t d = 0; d < device_count; ++d) {
+    std::string device_id = util::read_string(in);
+    EMTS_REQUIRE(!device_id.empty(), "load_fleet_snapshot: empty device id");
+    EMTS_REQUIRE(snapshot.devices.empty() || snapshot.devices.back().device_id < device_id,
+                 "load_fleet_snapshot: device records out of order or duplicated");
+
+    const std::uint64_t payload_size = util::read_u64(in);
+    EMTS_REQUIRE(payload_size <= kMaxDeviceBytes,
+                 "load_fleet_snapshot: implausible record size for '" + device_id + "'");
+    // +8 for the trailing checksum the record still owes.
+    EMTS_REQUIRE(payload_size + 8 <= util::stream_remaining(in),
+                 "load_fleet_snapshot: record size for '" + device_id +
+                     "' exceeds remaining bytes");
+
+    std::string payload(static_cast<std::size_t>(payload_size), '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+    EMTS_REQUIRE(in.gcount() == static_cast<std::streamsize>(payload_size),
+                 "load_fleet_snapshot: truncated record for '" + device_id + "'");
+    const std::uint64_t declared_sum = util::read_u64(in);
+    EMTS_REQUIRE(declared_sum == util::fnv1a64(payload.data(), payload.size()),
+                 "load_fleet_snapshot: checksum mismatch for '" + device_id + "'");
+
+    std::istringstream record{payload, std::ios::binary};
+    const std::uint64_t emca_size = util::read_u64(record);
+    EMTS_REQUIRE(emca_size <= util::stream_remaining(record),
+                 "load_fleet_snapshot: calibration size for '" + device_id +
+                     "' exceeds its record");
+    // Parse the EMCA artifact from its exact sub-range so an artifact that
+    // reads short or long of its declared frame is caught here, not blamed on
+    // the monitor-state bytes that follow.
+    std::string emca_bytes(static_cast<std::size_t>(emca_size), '\0');
+    record.read(emca_bytes.data(), static_cast<std::streamsize>(emca_size));
+    std::istringstream emca{emca_bytes, std::ios::binary};
+    core::TrustEvaluator evaluator = load_calibration(emca);
+    EMTS_REQUIRE(emca.peek() == std::istringstream::traits_type::eof(),
+                 "load_fleet_snapshot: calibration frame for '" + device_id +
+                     "' not fully consumed");
+    core::MonitorStateImage monitor = read_monitor_state(record);
+    EMTS_REQUIRE(record.peek() == std::istringstream::traits_type::eof(),
+                 "load_fleet_snapshot: trailing bytes in record for '" + device_id + "'");
+
+    snapshot.devices.push_back(
+        FleetSnapshot::Device{std::move(device_id), std::move(evaluator), std::move(monitor)});
+  }
+  EMTS_REQUIRE(in.peek() == std::ifstream::traits_type::eof(),
+               "load_fleet_snapshot: trailing bytes in " + path);
+  return snapshot;
+}
+
+}  // namespace emts::io

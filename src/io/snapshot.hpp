@@ -1,0 +1,68 @@
+// EMFS fleet-snapshot container: the durable form of a running fleet. One
+// snapshot bundles, per device, the fitted detector stack (an embedded EMCA
+// calibration artifact) and the monitor's complete mutable state (a
+// core::MonitorStateImage), so a restarted daemon resumes monitoring every
+// device — window contents, debounce runs, latched alarms, lifetime stats —
+// without recalibration, and continues each stream bit-identically to a
+// process that never died. Format "EMFS" v1:
+//
+//   magic   'E' 'M' 'F' 'S'
+//   u32     version (1)
+//   u32     shard count        (the fleet's layout at snapshot time —
+//   u32     queue capacity      restart defaults; a restored fleet may
+//   u8      backpressure policy re-shard freely, device_hash is stable)
+//   u32     device count
+//   then per device, sorted by device id:
+//     string  device id (u32 byte count + bytes)
+//     u64     payload size in bytes
+//     bytes   payload:
+//               u64   EMCA byte count, then the EMCA artifact
+//               bytes monitor state image (read_monitor_state's format)
+//     u64     FNV-1a 64 checksum of the payload bytes
+//
+// Every record is length-framed and checksummed: the loader verifies the
+// checksum, bounds every declared length against the bytes actually
+// remaining (a corrupt header is rejected before it can allocate), and
+// requires the file to end exactly after the last record.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/monitor.hpp"
+
+namespace emts::io {
+
+/// Serializes one monitor state image (every field, both latency
+/// histograms, the buffered event log) such that read_monitor_state returns
+/// a bit-identical image.
+void write_monitor_state(std::ostream& out, const core::MonitorStateImage& image);
+core::MonitorStateImage read_monitor_state(std::istream& in);
+
+/// In-memory form of one EMFS container.
+struct FleetSnapshot {
+  /// Fleet layout at snapshot time; restart defaults, not requirements.
+  std::uint32_t shards = 0;
+  std::uint32_t queue_capacity = 0;
+  std::uint8_t backpressure = 0;  // numeric fleet::BackpressurePolicy
+
+  struct Device {
+    std::string device_id;
+    core::TrustEvaluator evaluator;    // EMCA round-trip: bit-identical scores
+    core::MonitorStateImage monitor;
+  };
+  std::vector<Device> devices;  // sorted by device id
+};
+
+/// Writes/reads a whole container. Loading needs every detector named by the
+/// embedded EMCA artifacts registered (baseline::register_ron_detector() for
+/// "ron" stacks). Throws precondition_error on I/O failure, bad magic or
+/// version, absurd or inconsistent lengths, checksum mismatches, unsorted or
+/// duplicate device records, or trailing bytes.
+void save_fleet_snapshot(const std::string& path, const FleetSnapshot& snapshot);
+FleetSnapshot load_fleet_snapshot(const std::string& path);
+
+}  // namespace emts::io

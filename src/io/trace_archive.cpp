@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 
 namespace emts::io {
 
@@ -63,6 +64,12 @@ core::TraceSet load_trace_archive(const std::string& path) {
   // Guard pathological headers before allocating.
   EMTS_REQUIRE(header.trace_count < (1ull << 32) && header.trace_length < (1ull << 32),
                "load_trace_archive: implausible sizes in " + path);
+  // The declared shape must account for every remaining byte — checked
+  // before the read loop so a header claiming gigabytes against a kilobyte
+  // file is rejected without allocating a single trace.
+  EMTS_REQUIRE(header.trace_count * header.trace_length * sizeof(double) ==
+                   util::stream_remaining(in),
+               "load_trace_archive: declared shape disagrees with file size in " + path);
 
   core::TraceSet set;
   set.sample_rate = header.sample_rate;

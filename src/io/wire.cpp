@@ -1,0 +1,127 @@
+#include "io/wire.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/fnv.hpp"
+
+namespace emts::io::wire {
+
+namespace {
+
+// Device ids ride in a u32-prefixed string; anything beyond this is a
+// corrupt frame, not a plausible fleet identifier.
+constexpr std::uint32_t kMaxDeviceIdBytes = 4096;
+
+void append_raw(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void append_scalar(std::string& out, T value) {
+  append_raw(out, &value, sizeof value);
+}
+
+template <typename T>
+T read_scalar(const char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+void encode_trace_frame(const TraceFrame& frame, std::string& out) {
+  encode_trace_frame(frame.device_id, frame.sample_rate, frame.trace.data(),
+                     frame.trace.size(), out);
+}
+
+void encode_trace_frame(const std::string& device_id, double sample_rate,
+                        const double* samples, std::size_t count, std::string& out) {
+  EMTS_REQUIRE(!device_id.empty() && device_id.size() <= kMaxDeviceIdBytes,
+               "wire: device id must be 1..4096 bytes");
+  EMTS_REQUIRE(count > 0, "wire: cannot frame an empty trace");
+  EMTS_REQUIRE(std::isfinite(sample_rate) && sample_rate > 0.0,
+               "wire: frame needs a positive, finite sample rate");
+  const std::size_t payload_size =
+      sizeof(std::uint32_t) + device_id.size() + sizeof(double) + sizeof(std::uint32_t) +
+      count * sizeof(double);
+  EMTS_REQUIRE(payload_size <= kMaxFramePayload, "wire: trace too large for one frame");
+
+  append_scalar(out, kMagic);
+  append_scalar(out, kVersion);
+  append_scalar(out, kFrameTrace);
+  append_scalar(out, std::uint16_t{0});
+  append_scalar(out, static_cast<std::uint32_t>(payload_size));
+
+  const std::size_t payload_start = out.size();
+  append_scalar(out, static_cast<std::uint32_t>(device_id.size()));
+  append_raw(out, device_id.data(), device_id.size());
+  append_scalar(out, sample_rate);
+  append_scalar(out, static_cast<std::uint32_t>(count));
+  append_raw(out, samples, count * sizeof(double));
+
+  append_scalar(out, util::fnv1a64(out.data() + payload_start, payload_size));
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // never grows the buffer beyond a few frames.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameDecoder::next(TraceFrame& out) {
+  const std::size_t available = buffered();
+  if (available < 12) return false;  // header not yet complete
+  const char* head = buffer_.data() + consumed_;
+
+  EMTS_REQUIRE(read_scalar<std::uint32_t>(head) == kMagic, "wire: bad frame magic");
+  EMTS_REQUIRE(read_scalar<std::uint8_t>(head + 4) == kVersion,
+               "wire: unsupported frame version");
+  EMTS_REQUIRE(read_scalar<std::uint8_t>(head + 5) == kFrameTrace,
+               "wire: unknown frame type");
+  const std::uint32_t payload_size = read_scalar<std::uint32_t>(head + 8);
+  EMTS_REQUIRE(payload_size <= kMaxFramePayload, "wire: implausible frame payload size");
+
+  if (available < 12 + static_cast<std::size_t>(payload_size) + 8) return false;
+  const char* payload = head + 12;
+  const std::uint64_t declared_sum = read_scalar<std::uint64_t>(payload + payload_size);
+  EMTS_REQUIRE(util::fnv1a64(payload, payload_size) == declared_sum,
+               "wire: frame checksum mismatch");
+
+  // Parse the payload; every sub-length must land exactly on the declared
+  // payload size, or the frame lies about its own shape.
+  EMTS_REQUIRE(payload_size >= sizeof(std::uint32_t), "wire: truncated frame payload");
+  const std::uint32_t id_bytes = read_scalar<std::uint32_t>(payload);
+  EMTS_REQUIRE(id_bytes >= 1 && id_bytes <= kMaxDeviceIdBytes,
+               "wire: implausible device id size");
+  const std::size_t fixed = sizeof(std::uint32_t) + id_bytes + sizeof(double) +
+                            sizeof(std::uint32_t);
+  EMTS_REQUIRE(payload_size >= fixed, "wire: truncated frame payload");
+  const char* cursor = payload + sizeof(std::uint32_t);
+  out.device_id.assign(cursor, id_bytes);
+  cursor += id_bytes;
+  out.sample_rate = read_scalar<double>(cursor);
+  cursor += sizeof(double);
+  EMTS_REQUIRE(std::isfinite(out.sample_rate) && out.sample_rate > 0.0,
+               "wire: frame has a non-positive sample rate");
+  const std::uint32_t sample_count = read_scalar<std::uint32_t>(cursor);
+  cursor += sizeof(std::uint32_t);
+  EMTS_REQUIRE(sample_count > 0, "wire: frame holds an empty trace");
+  EMTS_REQUIRE(fixed + sample_count * sizeof(double) == payload_size,
+               "wire: frame sample count disagrees with payload size");
+  out.trace.resize(sample_count);
+  std::memcpy(out.trace.data(), cursor, sample_count * sizeof(double));
+
+  consumed_ += 12 + payload_size + 8;
+  ++frames_decoded_;
+  return true;
+}
+
+}  // namespace emts::io::wire

@@ -11,7 +11,7 @@ namespace {
 
 // Caps on deserialized container sizes: a flipped header bit must fail the
 // precondition check, not attempt a 2^60-element allocation.
-constexpr std::uint64_t kMaxVecElements = 1ull << 32;
+constexpr std::uint64_t kMaxVecElements = 1ull << 26;  // 512 MiB of doubles
 constexpr std::uint32_t kMaxStringBytes = 1u << 20;
 
 template <typename T>
@@ -55,9 +55,23 @@ std::uint32_t read_u32(std::istream& in) { return read_raw<std::uint32_t>(in); }
 std::uint64_t read_u64(std::istream& in) { return read_raw<std::uint64_t>(in); }
 double read_f64(std::istream& in) { return read_raw<double>(in); }
 
+std::size_t stream_remaining(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return SIZE_MAX;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) return SIZE_MAX;
+  return static_cast<std::size_t>(end - here);
+}
+
 std::vector<double> read_f64_vec(std::istream& in) {
   const std::uint64_t n = read_u64(in);
   EMTS_REQUIRE(n < kMaxVecElements, "binio: implausible vector size");
+  // A declared length beyond what the stream still holds is a lie; refuse it
+  // before the allocation, not after a short read.
+  EMTS_REQUIRE(n * sizeof(double) <= stream_remaining(in),
+               "binio: vector size exceeds remaining stream bytes");
   std::vector<double> v(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(double)));
@@ -69,6 +83,8 @@ std::vector<double> read_f64_vec(std::istream& in) {
 std::string read_string(std::istream& in) {
   const std::uint32_t n = read_u32(in);
   EMTS_REQUIRE(n < kMaxStringBytes, "binio: implausible string size");
+  EMTS_REQUIRE(n <= stream_remaining(in),
+               "binio: string size exceeds remaining stream bytes");
   std::string s(n, '\0');
   in.read(s.data(), static_cast<std::streamsize>(n));
   EMTS_REQUIRE(in.gcount() == static_cast<std::streamsize>(n), "binio: truncated stream");

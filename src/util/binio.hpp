@@ -30,4 +30,10 @@ double read_f64(std::istream& in);
 std::vector<double> read_f64_vec(std::istream& in);
 std::string read_string(std::istream& in);
 
+/// Bytes left between the stream's current read position and its end, or
+/// SIZE_MAX when the stream is not seekable. Length-prefixed loaders compare
+/// a declared size against this *before* allocating, so a corrupt header
+/// that claims a multi-gigabyte payload is rejected instead of honored.
+std::size_t stream_remaining(std::istream& in);
+
 }  // namespace emts::util

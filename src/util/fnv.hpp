@@ -1,0 +1,27 @@
+// FNV-1a 64-bit hash, shared by the fleet's device router and the wire /
+// snapshot persistence layers (frame and record checksums). Chosen over
+// std::hash because the result is pinned by the algorithm — stable across
+// platforms, toolchains and runs — which is exactly what a device-to-shard
+// assignment and an on-disk checksum both require.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emts::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t seed = kFnv1aOffset) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<std::uint64_t>(bytes[i]);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+}  // namespace emts::util

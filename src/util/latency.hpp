@@ -76,6 +76,28 @@ class LatencyHistogram {
 
   const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
 
+  /// Raw minimum as stored (UINT64_MAX while empty) — the value restore()
+  /// needs for an exact round-trip; min_ns() folds the empty sentinel to 0.
+  std::uint64_t raw_min_ns() const { return min_; }
+
+  /// Reinstates a histogram captured by a snapshot: the exact counterpart of
+  /// reading buckets()/count()/total_ns()/raw_min_ns()/max_ns(). Validates
+  /// internal consistency so a corrupt snapshot cannot fabricate impossible
+  /// quantiles.
+  void restore(const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t count,
+               std::uint64_t total, std::uint64_t raw_min, std::uint64_t max) {
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t b : buckets) bucket_sum += b;
+    EMTS_REQUIRE(bucket_sum == count, "latency restore: bucket counts disagree with count");
+    EMTS_REQUIRE(count > 0 ? raw_min <= max : (raw_min == UINT64_MAX && max == 0),
+                 "latency restore: inconsistent min/max");
+    buckets_ = buckets;
+    count_ = count;
+    total_ = total;
+    min_ = raw_min;
+    max_ = max;
+  }
+
   void reset() { *this = LatencyHistogram{}; }
 
  private:

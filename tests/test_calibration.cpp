@@ -182,6 +182,31 @@ TEST_F(CalibrationArtifactTest, RejectsTrailingGarbage) {
   EXPECT_THROW(load_calibration(path_), emts::precondition_error);
 }
 
+TEST_F(CalibrationArtifactTest, RejectsAbsurdDetectorNameLength) {
+  // EMCA header is 28 bytes (magic, version, two f64s, detector count); the
+  // first detector's name-length u32 sits right after it. Declaring a name
+  // the stream cannot hold must fail before any allocation.
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 14)));
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  file.seekp(28);
+  const std::uint32_t huge = 0x7fffffffu;
+  file.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  file.close();
+  EXPECT_THROW(load_calibration(path_), emts::precondition_error);
+}
+
+TEST_F(CalibrationArtifactTest, RejectsAbsurdDetectorPayloadSize) {
+  // The length-framed detector payload (u64 after the 9-byte "euclidean"
+  // name) is checked against the stream's remaining bytes before use.
+  save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 15)));
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  file.seekp(28 + 4 + 9);
+  const std::uint64_t huge = 1ull << 40;
+  file.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  file.close();
+  EXPECT_THROW(load_calibration(path_), emts::precondition_error);
+}
+
 TEST_F(CalibrationArtifactTest, RejectsUnknownDetectorName) {
   save_calibration(path_, core::TrustEvaluator::calibrate(make_set(20, false, 13)));
   // The first detector name ("euclidean", u32 length 9 at byte 24) is

@@ -611,5 +611,61 @@ TEST(RuntimeMonitor, StateLabelsAreDistinct) {
                monitor_state_label(MonitorState::kAlarm));
 }
 
+// ---------- export/restore at the core level ----------
+
+TEST(RuntimeMonitor, ExportStateMirrorsOptionsAndStream) {
+  RuntimeMonitor monitor{kFs, small_options()};
+  emts::Rng rng{60};
+  for (int i = 0; i < 5; ++i) monitor.push(golden_trace(rng));
+
+  const MonitorStateImage image = monitor.export_state();
+  EXPECT_EQ(image.sample_rate, kFs);
+  EXPECT_EQ(image.calibration_traces, 16u);
+  EXPECT_EQ(image.alarm_debounce, 3u);
+  EXPECT_EQ(image.spectral_window, 8u);
+  EXPECT_EQ(image.state, MonitorState::kCalibrating);
+  EXPECT_EQ(image.traces_seen, 5u);
+  EXPECT_EQ(image.calibration.size(), 5u);
+  EXPECT_EQ(image.stats.traces_ingested, 5u);
+}
+
+TEST(RuntimeMonitor, RestoredCalibratingMonitorFinishesIdentically) {
+  // Export mid-calibration, restore into a fresh self-calibrating monitor,
+  // and finish the stream in both worlds: the fitted detector stacks and
+  // every subsequent score must coincide exactly.
+  emts::Rng rng_ref{61};
+  emts::Rng rng_cut{61};
+  RuntimeMonitor reference{kFs, small_options()};
+  RuntimeMonitor exporter{kFs, small_options()};
+  for (int i = 0; i < 9; ++i) {
+    reference.push(golden_trace(rng_ref));
+    exporter.push(golden_trace(rng_cut));
+  }
+  RuntimeMonitor restored{kFs, small_options()};
+  restored.restore_state(exporter.export_state());
+  EXPECT_EQ(restored.state(), MonitorState::kCalibrating);
+  EXPECT_EQ(restored.traces_seen(), 9u);
+
+  for (int i = 0; i < 20; ++i) {
+    const Trace t = golden_trace(rng_ref);
+    reference.push(t);
+    restored.push(t);
+    EXPECT_EQ(restored.state(), reference.state());
+    EXPECT_EQ(restored.last_score(), reference.last_score());
+  }
+  EXPECT_EQ(reference.state(), MonitorState::kMonitoring);
+}
+
+TEST(RuntimeMonitor, RestoreRefusesCalibratingImageOnPreFittedMonitor) {
+  RuntimeMonitor calibrating{kFs, small_options()};
+  emts::Rng rng{62};
+  calibrating.push(golden_trace(rng));
+  const MonitorStateImage image = calibrating.export_state();
+
+  const TrustEvaluator evaluator = TrustEvaluator::calibrate(make_set(30, false, 63));
+  RuntimeMonitor pre_fitted{kFs, evaluator, small_options()};
+  EXPECT_THROW(pre_fitted.restore_state(image), emts::precondition_error);
+}
+
 }  // namespace
 }  // namespace emts::core

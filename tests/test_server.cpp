@@ -1,0 +1,377 @@
+// IngestServer over a real unix-domain socket: a client thread streams EMWF
+// frames exactly the way `emsentry_cli replay-client` does, and the tests
+// assert the daemon's counters, the fleet's per-device state, and the
+// shutdown snapshot / stats artifacts.
+#include "fleet/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "io/snapshot.hpp"
+#include "io/wire.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::fleet {
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 2048;
+
+core::Trace golden_trace(emts::Rng& rng) {
+  core::Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] = std::sin(2.0 * units::pi * 48e6 * static_cast<double>(i) / kFs) +
+           rng.gaussian(0.0, 0.08);
+  }
+  return t;
+}
+
+core::TraceSet make_set(std::size_t n, std::uint64_t seed) {
+  emts::Rng rng{seed};
+  core::TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) set.add(golden_trace(rng));
+  return set;
+}
+
+const core::TrustEvaluator& fitted() {
+  static const core::TrustEvaluator evaluator =
+      core::TrustEvaluator::calibrate(make_set(30, 1));
+  return evaluator;
+}
+
+core::RuntimeMonitor::Options small_options() {
+  core::RuntimeMonitor::Options opt;
+  opt.alarm_debounce = 3;
+  opt.spectral_window = 8;
+  return opt;
+}
+
+FleetOptions fleet_options() {
+  FleetOptions options;
+  options.shards = 2;
+  options.monitor = small_options();
+  return options;
+}
+
+/// Connects to the server's unix socket, retrying while the accept loop
+/// starts up. Returns the connected fd.
+int connect_to(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EMTS_REQUIRE(fd >= 0, "test socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  EMTS_REQUIRE(socket_path.size() < sizeof addr.sun_path, "socket path too long");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      return fd;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::close(fd);
+  EMTS_REQUIRE(false, "could not connect to " + socket_path);
+  return -1;
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    EMTS_REQUIRE(n > 0, "test write() failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string encode_frames(const std::string& device_id, const core::TraceSet& batch) {
+  std::string bytes;
+  for (const core::Trace& trace : batch.traces) {
+    io::wire::encode_trace_frame(device_id, batch.sample_rate, trace.data(), trace.size(),
+                                 bytes);
+  }
+  return bytes;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::filesystem::remove(socket_path_);
+    std::filesystem::remove(snapshot_path_);
+    std::filesystem::remove(stats_path_);
+  }
+
+  /// Short socket paths: sun_path caps at ~107 bytes and temp dirs can be
+  /// deep, so anchor them with the pid under /tmp directly.
+  std::string suffix_ = std::to_string(::getpid());
+  std::string socket_path_ = "/tmp/emts_test_" + suffix_ + ".sock";
+  std::string snapshot_path_ =
+      (std::filesystem::temp_directory_path() / ("emts_server_test_" + suffix_ + ".emfs"))
+          .string();
+  std::string stats_path_ =
+      (std::filesystem::temp_directory_path() / ("emts_server_test_" + suffix_ + ".json"))
+          .string();
+};
+
+TEST_F(ServerTest, StreamsFramesIntoTheFleet) {
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+  fleet.add_device("chip-01", fitted());
+
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  IngestServer server{fleet, options};
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const core::TraceSet batch_a = make_set(6, 2);
+  const core::TraceSet batch_b = make_set(4, 3);
+  const int fd = connect_to(socket_path_);
+  const std::string bytes =
+      encode_frames("chip-00", batch_a) + encode_frames("chip-01", batch_b);
+  send_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+
+  // The server ingests asynchronously; wait for all 10 frames to be scored.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 10) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  serve.join();
+
+  const ServerCounters& counters = server.counters();
+  EXPECT_EQ(counters.connections_accepted, 1u);
+  EXPECT_EQ(counters.frames_accepted, 10u);
+  EXPECT_EQ(counters.frames_rejected, 0u);
+  EXPECT_EQ(counters.bytes_received, bytes.size());
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.traces_processed, 10u);
+  ASSERT_EQ(stats.sessions.size(), 2u);
+  EXPECT_EQ(stats.sessions[0].monitor.scored_captures, 6u);
+  EXPECT_EQ(stats.sessions[1].monitor.scored_captures, 4u);
+}
+
+TEST_F(ServerTest, ScoresMatchDirectSubmission) {
+  // The socket hop must not perturb anything: a device streamed through the
+  // daemon scores bit-identically to one fed through submit_batch directly.
+  const core::TraceSet batch = make_set(9, 4);
+
+  FleetMonitor direct{fleet_options()};
+  direct.add_device("chip-00", fitted());
+  direct.submit_batch("chip-00", batch);
+  direct.flush();
+
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const int fd = connect_to(socket_path_);
+  const std::string bytes = encode_frames("chip-00", batch);
+  send_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < batch.size()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  serve.join();
+
+  const FleetStats expect = direct.stats();
+  const FleetStats got = fleet.stats();
+  ASSERT_EQ(got.sessions.size(), 1u);
+  EXPECT_EQ(got.sessions[0].state, expect.sessions[0].state);
+  EXPECT_EQ(got.sessions[0].last_score, expect.sessions[0].last_score);
+  EXPECT_EQ(got.sessions[0].monitor.scored_captures, expect.sessions[0].monitor.scored_captures);
+}
+
+TEST_F(ServerTest, UnknownDeviceFramesAreRejectedNotFatal) {
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const core::TraceSet known = make_set(3, 5);
+  const core::TraceSet unknown = make_set(2, 6);
+  const int fd = connect_to(socket_path_);
+  // Interleave: rejected frames must not derail the frames around them.
+  const std::string bytes = encode_frames("chip-00", known) +
+                            encode_frames("ghost", unknown) +
+                            encode_frames("chip-00", known);
+  send_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 6) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  serve.join();
+
+  EXPECT_EQ(server.counters().frames_accepted, 6u);
+  EXPECT_EQ(server.counters().frames_rejected, 2u);
+  EXPECT_EQ(fleet.stats().traces_processed, 6u);
+}
+
+TEST_F(ServerTest, GarbageBytesDropTheConnectionOnly) {
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  // First client: garbage. The server must drop it and keep serving.
+  {
+    const int fd = connect_to(socket_path_);
+    const std::string garbage(64, 'Z');
+    send_all(fd, garbage.data(), garbage.size());
+    ::close(fd);
+  }
+
+  // Second client: valid traffic still flows.
+  const core::TraceSet batch = make_set(3, 7);
+  const int fd = connect_to(socket_path_);
+  const std::string bytes = encode_frames("chip-00", batch);
+  send_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 3) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  serve.join();
+
+  EXPECT_EQ(server.counters().connections_dropped, 1u);
+  EXPECT_EQ(server.counters().frames_accepted, 3u);
+}
+
+TEST_F(ServerTest, ShutdownWritesSnapshotAndStats) {
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+  fleet.add_device("chip-01", fitted());
+
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.snapshot_path = snapshot_path_;
+  options.stats_path = stats_path_;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const core::TraceSet batch = make_set(5, 8);
+  const int fd = connect_to(socket_path_);
+  const std::string bytes = encode_frames("chip-00", batch);
+  send_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 5) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  serve.join();
+
+  EXPECT_EQ(server.counters().snapshots_written, 1u);
+  EXPECT_EQ(server.counters().stats_exports, 1u);
+
+  // The shutdown snapshot is a loadable EMFS image of the served fleet.
+  const io::FleetSnapshot snapshot = io::load_fleet_snapshot(snapshot_path_);
+  ASSERT_EQ(snapshot.devices.size(), 2u);
+  EXPECT_EQ(snapshot.devices[0].device_id, "chip-00");
+  EXPECT_EQ(snapshot.devices[0].monitor.stats.scored_captures, 5u);
+  EXPECT_EQ(snapshot.devices[1].monitor.stats.scored_captures, 0u);
+
+  // The socket path is unlinked on shutdown; the stats export is JSON with
+  // the versioned schema marker.
+  EXPECT_FALSE(std::filesystem::exists(socket_path_));
+  std::ifstream stats_file{stats_path_};
+  std::stringstream stats;
+  stats << stats_file.rdbuf();
+  EXPECT_NE(stats.str().find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(stats.str().find("\"chip-01\""), std::string::npos);
+}
+
+TEST_F(ServerTest, SnapshotRequestHonoredOnIdleRound) {
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.snapshot_path = snapshot_path_;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const core::TraceSet batch = make_set(4, 9);
+  const int fd = connect_to(socket_path_);
+  const std::string bytes = encode_frames("chip-00", batch);
+  send_all(fd, bytes.data(), bytes.size());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 4) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Client is quiet; the request lands on an idle round after everything
+  // already sent has been ingested.
+  snapshot_request = true;
+  while (!std::filesystem::exists(snapshot_path_)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "snapshot timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const io::FleetSnapshot mid = io::load_fleet_snapshot(snapshot_path_);
+  ASSERT_EQ(mid.devices.size(), 1u);
+  EXPECT_EQ(mid.devices[0].monitor.stats.scored_captures, 4u);
+
+  ::close(fd);
+  stop = true;
+  serve.join();
+  // Shutdown wrote a second (overwriting) snapshot.
+  EXPECT_EQ(server.counters().snapshots_written, 2u);
+}
+
+TEST(ServerOptionsTest, RefusesUnusableSocketPath) {
+  FleetMonitor fleet{fleet_options()};
+  ServerOptions options;
+  options.socket_path = "/nonexistent-dir/emts.sock";
+  EXPECT_THROW((IngestServer{fleet, options}), emts::precondition_error);
+}
+
+}  // namespace
+}  // namespace emts::fleet

@@ -1,0 +1,482 @@
+// Snapshot/restore correctness: the whole point of MonitorStateImage and the
+// EMFS container is that a restored monitor (or fleet) is indistinguishable
+// from one that never stopped — so every comparison here is exact EQ on
+// doubles, never NEAR.
+#include "io/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/monitor.hpp"
+#include "fleet/fleet.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace emts::io {
+namespace {
+
+constexpr double kFs = 384e6;
+constexpr std::size_t kLen = 2048;
+
+core::Trace golden_trace(emts::Rng& rng) {
+  core::Trace t(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] = std::sin(2.0 * units::pi * 48e6 * static_cast<double>(i) / kFs) +
+           rng.gaussian(0.0, 0.08);
+  }
+  return t;
+}
+
+core::Trace infected_trace(emts::Rng& rng) {
+  core::Trace t = golden_trace(rng);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    t[i] += 0.6 * std::sin(2.0 * units::pi * 72e6 * static_cast<double>(i) / kFs) +
+            0.3 * std::sin(2.0 * units::pi * 3e6 * static_cast<double>(i) / kFs);
+  }
+  return t;
+}
+
+core::TraceSet make_set(std::size_t n, bool infected, std::uint64_t seed) {
+  emts::Rng rng{seed};
+  core::TraceSet set;
+  set.sample_rate = kFs;
+  for (std::size_t i = 0; i < n; ++i) {
+    set.add(infected ? infected_trace(rng) : golden_trace(rng));
+  }
+  return set;
+}
+
+const core::TrustEvaluator& fitted() {
+  static const core::TrustEvaluator evaluator =
+      core::TrustEvaluator::calibrate(make_set(30, false, 1));
+  return evaluator;
+}
+
+core::RuntimeMonitor::Options small_options() {
+  core::RuntimeMonitor::Options opt;
+  opt.alarm_debounce = 3;
+  opt.spectral_window = 8;
+  return opt;
+}
+
+void expect_histogram_eq(const util::LatencyHistogram& a, const util::LatencyHistogram& b) {
+  EXPECT_EQ(a.buckets(), b.buckets());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.total_ns(), b.total_ns());
+  EXPECT_EQ(a.raw_min_ns(), b.raw_min_ns());
+  EXPECT_EQ(a.max_ns(), b.max_ns());
+}
+
+void expect_stats_eq(const core::MonitorStats& a, const core::MonitorStats& b,
+                     bool compare_latency) {
+  EXPECT_EQ(a.traces_ingested, b.traces_ingested);
+  EXPECT_EQ(a.traces_rejected, b.traces_rejected);
+  EXPECT_EQ(a.calibration_captures, b.calibration_captures);
+  EXPECT_EQ(a.scored_captures, b.scored_captures);
+  EXPECT_EQ(a.per_trace_anomalies, b.per_trace_anomalies);
+  EXPECT_EQ(a.spectral_passes, b.spectral_passes);
+  EXPECT_EQ(a.windowed_anomalies, b.windowed_anomalies);
+  EXPECT_EQ(a.alarms_latched, b.alarms_latched);
+  EXPECT_EQ(a.alarms_acknowledged, b.alarms_acknowledged);
+  EXPECT_EQ(a.events_dropped, b.events_dropped);
+  if (compare_latency) {
+    expect_histogram_eq(a.push_latency, b.push_latency);
+    expect_histogram_eq(a.spectral_latency, b.spectral_latency);
+  } else {
+    // Continued streams re-time each push, but the *number* of recordings is
+    // part of the deterministic contract.
+    EXPECT_EQ(a.push_latency.count(), b.push_latency.count());
+    EXPECT_EQ(a.spectral_latency.count(), b.spectral_latency.count());
+  }
+}
+
+void expect_events_eq(const std::vector<core::MonitorEvent>& a,
+                      const std::vector<core::MonitorEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].trace_index, b[i].trace_index);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+void expect_image_eq(const core::MonitorStateImage& a, const core::MonitorStateImage& b,
+                     bool compare_latency = true) {
+  EXPECT_EQ(a.sample_rate, b.sample_rate);
+  EXPECT_EQ(a.calibration_traces, b.calibration_traces);
+  EXPECT_EQ(a.alarm_debounce, b.alarm_debounce);
+  EXPECT_EQ(a.spectral_window, b.spectral_window);
+  EXPECT_EQ(a.event_log_capacity, b.event_log_capacity);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.traces_seen, b.traces_seen);
+  EXPECT_EQ(a.expected_length, b.expected_length);
+  EXPECT_EQ(a.consecutive_anomalies, b.consecutive_anomalies);
+  EXPECT_EQ(a.alarm_latched_at, b.alarm_latched_at);
+  EXPECT_EQ(a.last_score, b.last_score);
+  ASSERT_EQ(a.last_spectral.has_value(), b.last_spectral.has_value());
+  if (a.last_spectral.has_value()) {
+    ASSERT_EQ(a.last_spectral->anomalies.size(), b.last_spectral->anomalies.size());
+    for (std::size_t i = 0; i < a.last_spectral->anomalies.size(); ++i) {
+      const core::SpectralAnomaly& x = a.last_spectral->anomalies[i];
+      const core::SpectralAnomaly& y = b.last_spectral->anomalies[i];
+      EXPECT_EQ(x.kind, y.kind);
+      EXPECT_EQ(x.frequency_hz, y.frequency_hz);
+      EXPECT_EQ(x.golden_amplitude, y.golden_amplitude);
+      EXPECT_EQ(x.suspect_amplitude, y.suspect_amplitude);
+      EXPECT_EQ(x.ratio, y.ratio);
+    }
+  }
+  EXPECT_EQ(a.calibration, b.calibration);
+  EXPECT_EQ(a.window, b.window);
+  EXPECT_EQ(a.window_total_pushed, b.window_total_pushed);
+  expect_stats_eq(a.stats, b.stats, compare_latency);
+  expect_events_eq(a.events, b.events);
+}
+
+class SnapshotFile : public ::testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / "emts_snapshot_test.emfs").string();
+};
+
+// ---------- monitor state image serialization ----------
+
+TEST(MonitorStateSerialization, RoundTripsBitIdentically) {
+  core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+  const core::TraceSet golden = make_set(12, false, 2);
+  const core::TraceSet infected = make_set(4, true, 3);
+  monitor.push_batch(golden);
+  monitor.push_batch(infected);  // latches the alarm (debounce 3)
+  ASSERT_EQ(monitor.state(), core::MonitorState::kAlarm);
+
+  const core::MonitorStateImage image = monitor.export_state();
+  std::stringstream stream{std::ios::binary | std::ios::in | std::ios::out};
+  write_monitor_state(stream, image);
+  const core::MonitorStateImage loaded = read_monitor_state(stream);
+  EXPECT_EQ(stream.peek(), std::stringstream::traits_type::eof());
+  expect_image_eq(image, loaded);
+}
+
+TEST(MonitorStateSerialization, SelfCalibratingImageRoundTrips) {
+  core::RuntimeMonitor::Options options = small_options();
+  options.calibration_traces = 16;
+  core::RuntimeMonitor monitor{kFs, options};
+  monitor.push_batch(make_set(5, false, 4));  // mid-calibration
+  ASSERT_EQ(monitor.state(), core::MonitorState::kCalibrating);
+
+  const core::MonitorStateImage image = monitor.export_state();
+  EXPECT_EQ(image.calibration.size(), 5u);
+  std::stringstream stream{std::ios::binary | std::ios::in | std::ios::out};
+  write_monitor_state(stream, image);
+  expect_image_eq(image, read_monitor_state(stream));
+}
+
+TEST(MonitorStateSerialization, CorruptStateTagThrows) {
+  core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+  monitor.push_batch(make_set(3, false, 5));
+  std::stringstream stream{std::ios::binary | std::ios::in | std::ios::out};
+  write_monitor_state(stream, monitor.export_state());
+  std::string bytes = stream.str();
+  bytes[8 + 4 * 8] = 7;  // the state tag after f64 rate + four u64 mirrors
+  std::istringstream corrupt{bytes, std::ios::binary};
+  EXPECT_THROW(read_monitor_state(corrupt), emts::precondition_error);
+}
+
+TEST(MonitorStateSerialization, TruncatedStreamThrows) {
+  core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+  monitor.push_batch(make_set(10, false, 6));
+  std::stringstream stream{std::ios::binary | std::ios::in | std::ios::out};
+  write_monitor_state(stream, monitor.export_state());
+  const std::string bytes = stream.str();
+  std::istringstream truncated{bytes.substr(0, bytes.size() / 2), std::ios::binary};
+  EXPECT_THROW(read_monitor_state(truncated), emts::precondition_error);
+}
+
+// ---------- restored monitor = uninterrupted monitor ----------
+
+TEST(MonitorRestore, ContinuationIsBitIdentical) {
+  // Reference: one monitor runs the whole stream. Candidate: a second
+  // monitor runs the first half, exports, restores into a third, which runs
+  // the second half. Everything observable must match exactly.
+  const core::TraceSet first_half = make_set(13, false, 7);
+  core::TraceSet second_half = make_set(5, false, 8);
+  for (core::Trace& t : make_set(6, true, 9).traces) second_half.add(std::move(t));
+
+  core::RuntimeMonitor reference{kFs, fitted(), small_options()};
+  reference.push_batch(first_half);
+  reference.push_batch(second_half);
+
+  core::RuntimeMonitor exporter{kFs, fitted(), small_options()};
+  exporter.push_batch(first_half);
+  const core::MonitorStateImage cut = exporter.export_state();
+
+  core::RuntimeMonitor restored{kFs, fitted(), small_options()};
+  restored.restore_state(cut);
+  restored.push_batch(second_half);
+
+  EXPECT_EQ(restored.state(), reference.state());
+  EXPECT_EQ(restored.last_score(), reference.last_score());
+  expect_image_eq(restored.export_state(), reference.export_state(),
+                  /*compare_latency=*/false);
+
+  // The alarm latched on the infected tail in both worlds.
+  EXPECT_EQ(reference.state(), core::MonitorState::kAlarm);
+}
+
+TEST(MonitorRestore, LatchedAlarmSurvivesRestore) {
+  core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+  monitor.push_batch(make_set(4, false, 10));
+  monitor.push_batch(make_set(4, true, 11));
+  ASSERT_EQ(monitor.state(), core::MonitorState::kAlarm);
+  const core::MonitorStateImage image = monitor.export_state();
+
+  core::RuntimeMonitor restored{kFs, fitted(), small_options()};
+  restored.restore_state(image);
+  EXPECT_EQ(restored.state(), core::MonitorState::kAlarm);
+
+  // Acknowledge works on the restored monitor exactly as on the original.
+  restored.acknowledge_alarm();
+  monitor.acknowledge_alarm();
+  EXPECT_EQ(restored.state(), monitor.state());
+  expect_image_eq(restored.export_state(), monitor.export_state(),
+                  /*compare_latency=*/false);
+}
+
+TEST(MonitorRestore, RefusesTouchedMonitor) {
+  core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+  monitor.push_batch(make_set(3, false, 12));
+  const core::MonitorStateImage image = monitor.export_state();
+
+  core::RuntimeMonitor touched{kFs, fitted(), small_options()};
+  touched.push_batch(make_set(1, false, 13));
+  EXPECT_THROW(touched.restore_state(image), emts::precondition_error);
+}
+
+TEST(MonitorRestore, RefusesOptionAndRateMismatch) {
+  core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+  monitor.push_batch(make_set(3, false, 14));
+  const core::MonitorStateImage image = monitor.export_state();
+
+  core::RuntimeMonitor::Options other = small_options();
+  other.alarm_debounce = 5;
+  core::RuntimeMonitor wrong_options{kFs, fitted(), other};
+  EXPECT_THROW(wrong_options.restore_state(image), emts::precondition_error);
+
+  core::MonitorStateImage wrong_rate = image;
+  wrong_rate.sample_rate = kFs * 2;
+  core::RuntimeMonitor fresh{kFs, fitted(), small_options()};
+  EXPECT_THROW(fresh.restore_state(wrong_rate), emts::precondition_error);
+}
+
+TEST(MonitorRestore, RefusesEvaluatorPresenceMismatch) {
+  // A monitoring image needs a pre-fitted target; a self-calibrating target
+  // (no evaluator yet) must refuse it.
+  core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+  monitor.push_batch(make_set(3, false, 15));
+  const core::MonitorStateImage image = monitor.export_state();
+
+  core::RuntimeMonitor::Options options = small_options();
+  options.calibration_traces = 8;
+  core::RuntimeMonitor self_calibrating{kFs, options};
+  EXPECT_THROW(self_calibrating.restore_state(image), emts::precondition_error);
+}
+
+// ---------- EMFS container ----------
+
+FleetSnapshot sample_snapshot() {
+  FleetSnapshot snapshot;
+  snapshot.shards = 2;
+  snapshot.queue_capacity = 64;
+  snapshot.backpressure = 0;
+  for (const char* id : {"chip-00", "chip-01", "chip-02"}) {
+    core::RuntimeMonitor monitor{kFs, fitted(), small_options()};
+    monitor.push_batch(make_set(9, false, 16));
+    snapshot.devices.push_back(FleetSnapshot::Device{id, fitted(), monitor.export_state()});
+  }
+  return snapshot;
+}
+
+TEST_F(SnapshotFile, FleetContainerRoundTrips) {
+  const FleetSnapshot snapshot = sample_snapshot();
+  save_fleet_snapshot(path_, snapshot);
+  const FleetSnapshot loaded = load_fleet_snapshot(path_);
+
+  EXPECT_EQ(loaded.shards, snapshot.shards);
+  EXPECT_EQ(loaded.queue_capacity, snapshot.queue_capacity);
+  EXPECT_EQ(loaded.backpressure, snapshot.backpressure);
+  ASSERT_EQ(loaded.devices.size(), snapshot.devices.size());
+  for (std::size_t d = 0; d < loaded.devices.size(); ++d) {
+    EXPECT_EQ(loaded.devices[d].device_id, snapshot.devices[d].device_id);
+    expect_image_eq(loaded.devices[d].monitor, snapshot.devices[d].monitor);
+    // Evaluator round-trips through its EMCA embedding bit-identically:
+    // loaded and original score the same trace to the same double.
+    emts::Rng rng{17};
+    const core::Trace probe = golden_trace(rng);
+    EXPECT_EQ(loaded.devices[d].evaluator.detectors()[0]->score(probe),
+              snapshot.devices[d].evaluator.detectors()[0]->score(probe));
+  }
+}
+
+TEST_F(SnapshotFile, SaveRefusesUnsortedDevices) {
+  FleetSnapshot snapshot = sample_snapshot();
+  std::swap(snapshot.devices[0], snapshot.devices[2]);
+  EXPECT_THROW(save_fleet_snapshot(path_, snapshot), emts::precondition_error);
+}
+
+TEST_F(SnapshotFile, TruncatedContainerThrows) {
+  save_fleet_snapshot(path_, sample_snapshot());
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 9);  // clip into the last checksum
+  EXPECT_THROW(load_fleet_snapshot(path_), emts::precondition_error);
+  std::filesystem::resize_file(path_, full / 3);  // clip mid-record
+  EXPECT_THROW(load_fleet_snapshot(path_), emts::precondition_error);
+}
+
+TEST_F(SnapshotFile, CorruptPayloadFailsItsChecksum) {
+  save_fleet_snapshot(path_, sample_snapshot());
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  file.seekp(120);
+  char byte = 0;
+  file.seekg(120);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(120);
+  file.write(&byte, 1);
+  file.close();
+  EXPECT_THROW(load_fleet_snapshot(path_), emts::precondition_error);
+}
+
+TEST_F(SnapshotFile, AbsurdDeclaredRecordSizeRejectedBeforeAllocating) {
+  save_fleet_snapshot(path_, sample_snapshot());
+  // First record's payload-size u64 sits right after the container header
+  // (21 bytes) and the first device id string (4 + 7 bytes).
+  const std::streamoff size_offset = 21 + 4 + 7;
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  const std::uint64_t absurd = 1ull << 60;
+  file.seekp(size_offset);
+  file.write(reinterpret_cast<const char*>(&absurd), sizeof absurd);
+  file.close();
+  EXPECT_THROW(load_fleet_snapshot(path_), emts::precondition_error);
+}
+
+TEST_F(SnapshotFile, TrailingBytesThrow) {
+  save_fleet_snapshot(path_, sample_snapshot());
+  std::ofstream file{path_, std::ios::binary | std::ios::app};
+  file << "junk";
+  file.close();
+  EXPECT_THROW(load_fleet_snapshot(path_), emts::precondition_error);
+}
+
+// ---------- fleet snapshot / restore ----------
+
+TEST_F(SnapshotFile, FleetRoundTripContinuesBitIdentically) {
+  fleet::FleetOptions options;
+  options.shards = 2;
+  options.monitor = small_options();
+  const std::vector<std::string> ids{"chip-00", "chip-01", "chip-02"};
+
+  const core::TraceSet clean_a = make_set(11, false, 20);
+  const core::TraceSet clean_b = make_set(9, false, 21);
+  const core::TraceSet dirty = make_set(5, true, 22);
+
+  // Reference fleet: both halves, no interruption.
+  fleet::FleetMonitor reference{options};
+  for (const std::string& id : ids) reference.add_device(id, fitted());
+  for (const std::string& id : ids) reference.submit_batch(id, clean_a);
+  reference.submit_batch(ids[0], clean_b);
+  reference.submit_batch(ids[1], dirty);  // one device alarms
+  reference.flush();
+
+  // Interrupted fleet: first half, snapshot to disk, restore onto a fleet
+  // with a *different* shard layout, then the second half.
+  io::FleetSnapshot cut;
+  {
+    fleet::FleetMonitor first{options};
+    for (const std::string& id : ids) first.add_device(id, fitted());
+    for (const std::string& id : ids) first.submit_batch(id, clean_a);
+    first.flush();
+    cut = first.snapshot();
+    save_fleet_snapshot(path_, cut);
+  }
+
+  fleet::FleetOptions reshaped = options;
+  reshaped.shards = 3;
+  fleet::FleetMonitor restored{reshaped};
+  restored.restore(load_fleet_snapshot(path_));
+  EXPECT_EQ(restored.device_count(), ids.size());
+  restored.submit_batch(ids[0], clean_b);
+  restored.submit_batch(ids[1], dirty);
+  restored.flush();
+
+  // Per-device monitor state must match the uninterrupted world exactly.
+  const fleet::FleetStats expect = reference.stats();
+  const fleet::FleetStats got = restored.stats();
+  ASSERT_EQ(got.sessions.size(), expect.sessions.size());
+  for (std::size_t s = 0; s < got.sessions.size(); ++s) {
+    EXPECT_EQ(got.sessions[s].device_id, expect.sessions[s].device_id);
+    EXPECT_EQ(got.sessions[s].state, expect.sessions[s].state);
+    EXPECT_EQ(got.sessions[s].last_score, expect.sessions[s].last_score);
+    expect_stats_eq(got.sessions[s].monitor, expect.sessions[s].monitor,
+                    /*compare_latency=*/false);
+  }
+  EXPECT_EQ(got.devices_alarm, expect.devices_alarm);
+  EXPECT_EQ(got.alarms_latched, expect.alarms_latched);
+
+  // Event sequences survive the round trip too: same devices, same kinds,
+  // same trace indices, same values.
+  std::vector<fleet::FleetEvent> expect_events = reference.drain_events();
+  std::vector<fleet::FleetEvent> got_events = restored.drain_events();
+  ASSERT_EQ(got_events.size(), expect_events.size());
+  for (std::size_t e = 0; e < got_events.size(); ++e) {
+    EXPECT_EQ(got_events[e].device_id, expect_events[e].device_id);
+    EXPECT_EQ(got_events[e].event.kind, expect_events[e].event.kind);
+    EXPECT_EQ(got_events[e].event.trace_index, expect_events[e].event.trace_index);
+    EXPECT_EQ(got_events[e].event.value, expect_events[e].event.value);
+  }
+}
+
+TEST(FleetRestore, RefusesNonEmptyFleet) {
+  fleet::FleetOptions options;
+  options.monitor = small_options();
+  fleet::FleetMonitor source{options};
+  source.add_device("chip-00", fitted());
+  const io::FleetSnapshot snapshot = source.snapshot();
+
+  fleet::FleetMonitor occupied{options};
+  occupied.add_device("chip-01", fitted());
+  EXPECT_THROW(occupied.restore(snapshot), emts::precondition_error);
+}
+
+TEST(FleetSnapshot, CapturesLayoutAndSortsDevices) {
+  fleet::FleetOptions options;
+  options.shards = 3;
+  options.queue_capacity = 17;
+  options.backpressure = fleet::BackpressurePolicy::kDropOldest;
+  options.monitor = small_options();
+  fleet::FleetMonitor fleet{options};
+  fleet.add_device("zeta", fitted());
+  fleet.add_device("alpha", fitted());
+
+  const io::FleetSnapshot snapshot = fleet.snapshot();
+  EXPECT_EQ(snapshot.shards, 3u);
+  EXPECT_EQ(snapshot.queue_capacity, 17u);
+  EXPECT_EQ(snapshot.backpressure,
+            static_cast<std::uint8_t>(fleet::BackpressurePolicy::kDropOldest));
+  ASSERT_EQ(snapshot.devices.size(), 2u);
+  EXPECT_EQ(snapshot.devices[0].device_id, "alpha");
+  EXPECT_EQ(snapshot.devices[1].device_id, "zeta");
+}
+
+}  // namespace
+}  // namespace emts::io

@@ -145,5 +145,14 @@ TEST_F(TraceArchiveTest, RejectsImplausibleTraceCount) {
   EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
 }
 
+TEST_F(TraceArchiveTest, RejectsImplausibleTraceLength) {
+  // A declared length the file cannot hold must be refused from the header
+  // alone — before any reserve() sized by attacker-controlled bytes.
+  save_trace_archive(path_, random_set(3, 64, 9));
+  const std::uint64_t huge = 1ull << 40;
+  patch_bytes(path_, 16, &huge, sizeof huge);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
 }  // namespace
 }  // namespace emts::io

@@ -15,20 +15,34 @@
 //
 // Exit codes: 0 success / trusted, 1 verdict not trusted or alarm raised,
 // 2 malformed arguments (usage on stderr), 3 runtime error.
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
 
 #include "baseline/ron.hpp"
 #include "core/evaluator.hpp"
 #include "core/monitor.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/server.hpp"
+#include "fleet/stats_json.hpp"
 #include "io/calibration.hpp"
+#include "io/mmap_archive.hpp"
+#include "io/snapshot.hpp"
 #include "io/trace_archive.hpp"
+#include "io/wire.hpp"
 #include "sim/chip.hpp"
 #include "sim/engine.hpp"
 #include "sim/silicon.hpp"
@@ -57,6 +71,13 @@ void print_usage(std::FILE* stream) {
                "  emsentry_cli fleet <fleet.manifest> [--model <model.emca>] [--shards N]\n"
                "                [--queue N] [--policy block|drop-oldest|reject]\n"
                "                [--stats] [--json]\n"
+               "  emsentry_cli serve <fleet.manifest> --socket <path> [--model <model.emca>]\n"
+               "                [--shards N] [--queue N] [--policy block|drop-oldest|reject]\n"
+               "                [--restore <snap.emfs>] [--snapshot-path <snap.emfs>]\n"
+               "                [--snapshot-every N] [--stats-path <stats.json>]\n"
+               "                [--stats-every N]\n"
+               "  emsentry_cli replay-client <archive.emta> --socket <path> --device <id>\n"
+               "                [--rate TRACES_PER_SEC] [--first N] [--count N]\n"
                "  emsentry_cli snr <signal.emta> <noise.emta>\n"
                "  emsentry_cli info <archive.emta>\n"
                "  emsentry_cli help | --help | -h\n"
@@ -66,7 +87,14 @@ void print_usage(std::FILE* stream) {
                "\n"
                "fleet manifest: one device per line, `<device_id> <archive.emta>\n"
                "[<model.emca>]`; the per-device model overrides --model. Blank lines\n"
-               "and #-comments are skipped.\n"
+               "and #-comments are skipped. `serve` reads the same manifest but only\n"
+               "registers devices (id + model); the archive column is what a\n"
+               "`replay-client` streams at the daemon.\n"
+               "\n"
+               "serve runs until SIGINT/SIGTERM (clean shutdown: drain, flush, final\n"
+               "snapshot + stats). SIGUSR1 writes a snapshot once ingest is idle.\n"
+               "--restore starts from an EMFS snapshot instead of the manifest models;\n"
+               "shard/queue/policy default to the snapshot's layout unless overridden.\n"
                "\n"
                "exit codes:\n"
                "  0  success; verdict trusted / no device alarmed\n"
@@ -135,106 +163,8 @@ void print_monitor_stats(const core::MonitorStats& stats,
   }
 }
 
-// ---------- JSON rendering (no deps; the schema is the API) ----------
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  return buf;
-}
-
-void append_u64(std::string& out, const char* key, std::uint64_t value) {
-  out += '"';
-  out += key;
-  out += "\":";
-  out += std::to_string(value);
-}
-
-std::string latency_json(const util::LatencyHistogram& h) {
-  std::string out = "{";
-  append_u64(out, "count", h.count());
-  out += ",\"p50_us\":" + json_number(h.p50_ns() / 1e3);
-  out += ",\"p99_us\":" + json_number(h.p99_ns() / 1e3);
-  out += ",\"max_us\":" + json_number(static_cast<double>(h.max_ns()) / 1e3);
-  out += "}";
-  return out;
-}
-
-/// One monitor session as a JSON object. `monitor --stats --json` prints
-/// exactly this object; `fleet --stats --json` embeds the identical object
-/// per device, so downstream tooling parses both with one schema.
-std::string monitor_stats_json(core::MonitorState state, const std::optional<double>& last_score,
-                               const core::MonitorStats& stats,
-                               const std::vector<core::MonitorEvent>& events) {
-  std::string out = "{";
-  out += "\"state\":\"";
-  out += core::monitor_state_label(state);
-  out += "\",\"last_score\":";
-  out += last_score.has_value() ? json_number(*last_score) : "null";
-  out += ',';
-  append_u64(out, "traces_ingested", stats.traces_ingested);
-  out += ',';
-  append_u64(out, "traces_rejected", stats.traces_rejected);
-  out += ',';
-  append_u64(out, "calibration_captures", stats.calibration_captures);
-  out += ',';
-  append_u64(out, "scored_captures", stats.scored_captures);
-  out += ',';
-  append_u64(out, "per_trace_anomalies", stats.per_trace_anomalies);
-  out += ',';
-  append_u64(out, "spectral_passes", stats.spectral_passes);
-  out += ',';
-  append_u64(out, "windowed_anomalies", stats.windowed_anomalies);
-  out += ',';
-  append_u64(out, "alarms_latched", stats.alarms_latched);
-  out += ',';
-  append_u64(out, "alarms_acknowledged", stats.alarms_acknowledged);
-  out += ',';
-  append_u64(out, "events_dropped", stats.events_dropped);
-  out += ",\"push_latency\":" + latency_json(stats.push_latency);
-  out += ",\"spectral_latency\":" + latency_json(stats.spectral_latency);
-  out += ",\"events\":[";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (i != 0) out += ',';
-    out += "{";
-    append_u64(out, "trace_index", events[i].trace_index);
-    out += ",\"kind\":\"";
-    out += core::monitor_event_label(events[i].kind);
-    out += "\",\"value\":" + json_number(events[i].value) + "}";
-  }
-  out += "]}";
-  return out;
-}
+// JSON rendering lives in fleet/stats_json.{hpp,cpp} — one schema, shared by
+// `monitor --json`, `fleet --json` and the serve daemon's stats export.
 
 void print_stage_lines(const core::TrustReport& report) {
   for (const auto& stage : report.stages) {
@@ -414,8 +344,8 @@ int cmd_monitor(const std::vector<std::string>& args) {
   if (json) {
     // A single JSON object on stdout — the same schema fleet --json embeds
     // per device.
-    std::printf("%s\n", monitor_stats_json(monitor.state(), monitor.last_score(),
-                                           monitor.stats(), monitor.drain_events())
+    std::printf("%s\n", fleet::monitor_stats_json(monitor.state(), monitor.last_score(),
+                                                  monitor.stats(), monitor.drain_events())
                             .c_str());
     return monitor.state() == core::MonitorState::kAlarm ? 1 : 0;
   }
@@ -548,65 +478,9 @@ int cmd_fleet(const std::vector<std::string>& args) {
   std::vector<fleet::FleetEvent> events = fleet_monitor.drain_events();
 
   if (json) {
-    std::string out = "{";
-    append_u64(out, "devices", stats.devices);
-    out += ",\"shards\":" + std::to_string(stats.shards.size());
-    out += ",\"policy\":\"";
-    out += fleet::backpressure_label(options.backpressure);
-    out += "\",";
-    append_u64(out, "queue_capacity", options.queue_capacity);
-    out += ',';
-    append_u64(out, "traces_submitted", stats.traces_submitted);
-    out += ',';
-    append_u64(out, "traces_processed", stats.traces_processed);
-    out += ',';
-    append_u64(out, "backpressure_dropped", stats.backpressure_dropped);
-    out += ',';
-    append_u64(out, "backpressure_rejected", stats.backpressure_rejected);
-    out += ',';
-    append_u64(out, "traces_rejected_invalid", stats.traces_rejected_invalid);
-    out += ',';
-    append_u64(out, "devices_calibrating", stats.devices_calibrating);
-    out += ',';
-    append_u64(out, "devices_monitoring", stats.devices_monitoring);
-    out += ',';
-    append_u64(out, "devices_alarm", stats.devices_alarm);
-    out += ',';
-    append_u64(out, "alarms_latched", stats.alarms_latched);
-    out += ",\"shard_queues\":[";
-    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
-      const fleet::ShardStats& shard = stats.shards[s];
-      if (s != 0) out += ',';
-      out += "{";
-      append_u64(out, "submitted", shard.submitted);
-      out += ',';
-      append_u64(out, "processed", shard.processed);
-      out += ',';
-      append_u64(out, "dropped_oldest", shard.dropped_oldest);
-      out += ',';
-      append_u64(out, "rejected_full", shard.rejected_full);
-      out += ',';
-      append_u64(out, "blocked", shard.blocked);
-      out += ',';
-      append_u64(out, "queue_high_water", shard.queue_high_water);
-      out += "}";
-    }
-    out += "],\"sessions\":{";
-    for (std::size_t d = 0; d < stats.sessions.size(); ++d) {
-      const fleet::SessionStats& session = stats.sessions[d];
-      std::vector<core::MonitorEvent> session_events;
-      for (const fleet::FleetEvent& event : events) {
-        if (event.device_id == session.device_id) session_events.push_back(event.event);
-      }
-      if (d != 0) out += ',';
-      out += "\"" + json_escape(session.device_id) + "\":{\"shard\":" +
-             std::to_string(session.shard) + ",\"monitor\":" +
-             monitor_stats_json(session.state, session.last_score, session.monitor,
-                                session_events) +
-             "}";
-    }
-    out += "}}";
-    std::printf("%s\n", out.c_str());
+    std::printf("%s\n", fleet::fleet_stats_json(stats, options.backpressure,
+                                                options.queue_capacity, events)
+                            .c_str());
     return stats.devices_alarm > 0 ? 1 : 0;
   }
 
@@ -650,6 +524,287 @@ int cmd_fleet(const std::vector<std::string>& args) {
     }
   }
   return stats.devices_alarm > 0 ? 1 : 0;
+}
+
+// ---------- serve / replay-client ----------
+
+std::atomic<bool> g_stop{false};
+std::atomic<bool> g_snapshot_request{false};
+
+void handle_stop_signal(int) { g_stop.store(true); }
+void handle_snapshot_signal(int) { g_snapshot_request.store(true); }
+
+void install_serve_signal_handlers() {
+  struct sigaction stop_action {};
+  stop_action.sa_handler = handle_stop_signal;
+  sigemptyset(&stop_action.sa_mask);
+  // No SA_RESTART: the signal must interrupt poll() so the loop reacts now.
+  sigaction(SIGINT, &stop_action, nullptr);
+  sigaction(SIGTERM, &stop_action, nullptr);
+
+  struct sigaction snapshot_action {};
+  snapshot_action.sa_handler = handle_snapshot_signal;
+  sigemptyset(&snapshot_action.sa_mask);
+  sigaction(SIGUSR1, &snapshot_action, nullptr);
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string manifest_path;
+  std::string model_path;
+  std::string restore_path;
+  fleet::ServerOptions server_options;
+  fleet::FleetOptions fleet_options;
+  bool shards_given = false;
+  bool queue_given = false;
+  bool policy_given = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      EMTS_REQUIRE(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--socket") {
+      server_options.socket_path = next();
+    } else if (a == "--model") {
+      model_path = next();
+    } else if (a == "--restore") {
+      restore_path = next();
+    } else if (a == "--snapshot-path") {
+      server_options.snapshot_path = next();
+    } else if (a == "--snapshot-every") {
+      server_options.snapshot_every_frames = std::stoull(next());
+    } else if (a == "--stats-path") {
+      server_options.stats_path = next();
+    } else if (a == "--stats-every") {
+      server_options.stats_every_frames = std::stoull(next());
+    } else if (a == "--shards") {
+      fleet_options.shards = std::stoul(next());
+      shards_given = true;
+    } else if (a == "--queue") {
+      fleet_options.queue_capacity = std::stoul(next());
+      queue_given = true;
+    } else if (a == "--policy") {
+      const std::string& p = next();
+      if (p == "block") {
+        fleet_options.backpressure = fleet::BackpressurePolicy::kBlock;
+      } else if (p == "drop-oldest") {
+        fleet_options.backpressure = fleet::BackpressurePolicy::kDropOldest;
+      } else if (p == "reject") {
+        fleet_options.backpressure = fleet::BackpressurePolicy::kReject;
+      } else {
+        EMTS_REQUIRE(false, "--policy takes block|drop-oldest|reject");
+      }
+      policy_given = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage_error();
+    } else if (manifest_path.empty()) {
+      manifest_path = a;
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", a.c_str());
+      return usage_error();
+    }
+  }
+  if (server_options.socket_path.empty()) {
+    std::fprintf(stderr, "serve needs --socket <path>\n");
+    return usage_error();
+  }
+  if (manifest_path.empty() && restore_path.empty()) {
+    std::fprintf(stderr, "serve needs a <fleet.manifest> or --restore <snap.emfs>\n");
+    return usage_error();
+  }
+  if (!manifest_path.empty() && !restore_path.empty()) {
+    std::fprintf(stderr, "serve takes a manifest or --restore, not both\n");
+    return usage_error();
+  }
+
+  std::optional<io::FleetSnapshot> restored;
+  if (!restore_path.empty()) {
+    restored = io::load_fleet_snapshot(restore_path);
+    // The snapshot's layout is the default; explicit flags win.
+    if (!shards_given) fleet_options.shards = restored->shards;
+    if (!queue_given) fleet_options.queue_capacity = restored->queue_capacity;
+    if (!policy_given) {
+      EMTS_REQUIRE(restored->backpressure <=
+                       static_cast<std::uint8_t>(fleet::BackpressurePolicy::kReject),
+                   "snapshot carries an unknown backpressure policy");
+      fleet_options.backpressure =
+          static_cast<fleet::BackpressurePolicy>(restored->backpressure);
+    }
+  }
+
+  fleet::FleetMonitor fleet_monitor{fleet_options};
+  if (restored.has_value()) {
+    fleet_monitor.restore(*restored);
+    std::printf("restored %zu devices from %s\n", restored->devices.size(),
+                restore_path.c_str());
+  } else {
+    for (const FleetManifestEntry& entry : parse_fleet_manifest(manifest_path)) {
+      const std::string& model = entry.model_path.empty() ? model_path : entry.model_path;
+      EMTS_REQUIRE(!model.empty(),
+                   "device " + entry.device_id + " has no model (give one in the manifest"
+                   " or via --model)");
+      fleet_monitor.add_device(entry.device_id, io::load_calibration(model));
+    }
+  }
+
+  install_serve_signal_handlers();
+  fleet::IngestServer server{fleet_monitor, server_options};
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  if (hardware_threads > 0 && fleet_monitor.shard_count() > hardware_threads) {
+    std::fprintf(stderr,
+                 "warning: %zu shards exceed %u hardware threads — shard workers will"
+                 " contend for cores instead of scaling\n",
+                 fleet_monitor.shard_count(), hardware_threads);
+  }
+  std::printf("serving %zu devices over %zu shards on %s (policy %s, queue %zu)\n",
+              fleet_monitor.device_count(), fleet_monitor.shard_count(),
+              server_options.socket_path.c_str(),
+              fleet::backpressure_label(fleet_options.backpressure),
+              fleet_options.queue_capacity);
+  std::fflush(stdout);
+
+  server.run(g_stop, g_snapshot_request);
+
+  const fleet::ServerCounters& counters = server.counters();
+  const fleet::FleetStats stats = fleet_monitor.stats();
+  std::printf("ingested %llu frames (%llu rejected) over %llu connections;"
+              " %llu snapshots, %llu stats exports\n",
+              static_cast<unsigned long long>(counters.frames_accepted),
+              static_cast<unsigned long long>(counters.frames_rejected),
+              static_cast<unsigned long long>(counters.connections_accepted),
+              static_cast<unsigned long long>(counters.snapshots_written),
+              static_cast<unsigned long long>(counters.stats_exports));
+  std::printf("verdict: %zu alarmed, %zu monitoring, %zu calibrating\n", stats.devices_alarm,
+              stats.devices_monitoring, stats.devices_calibrating);
+  return stats.devices_alarm > 0 ? 1 : 0;
+}
+
+int cmd_replay_client(const std::vector<std::string>& args) {
+  std::string archive_path;
+  std::string socket_path;
+  std::string device_id;
+  double rate = 0.0;  // traces/sec; 0 = as fast as the socket takes them
+  std::uint64_t first = 0;
+  std::uint64_t count = UINT64_MAX;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      EMTS_REQUIRE(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next();
+    } else if (a == "--device") {
+      device_id = next();
+    } else if (a == "--rate") {
+      rate = std::stod(next());
+      EMTS_REQUIRE(rate >= 0.0, "--rate must be >= 0");
+    } else if (a == "--first") {
+      first = std::stoull(next());
+    } else if (a == "--count") {
+      count = std::stoull(next());
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage_error();
+    } else if (archive_path.empty()) {
+      archive_path = a;
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", a.c_str());
+      return usage_error();
+    }
+  }
+  if (archive_path.empty() || socket_path.empty() || device_id.empty()) {
+    std::fprintf(stderr, "replay-client needs <archive.emta>, --socket and --device\n");
+    return usage_error();
+  }
+
+  // The archive stays on disk: frames are encoded straight out of the
+  // mapping, so a multi-gigabyte replay costs one trace of heap.
+  const io::MappedTraceArchive archive{archive_path};
+  EMTS_REQUIRE(first <= archive.size(),
+               "--first beyond the archive (" + std::to_string(archive.size()) + " traces)");
+  const std::uint64_t available = archive.size() - first;
+  const std::uint64_t to_send = count < available ? count : available;
+
+  // A writer must not die by SIGPIPE when the daemon goes away mid-stream;
+  // the write error below reports it instead.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  EMTS_REQUIRE(socket_path.size() < sizeof addr.sun_path,
+               "socket path too long: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EMTS_REQUIRE(fd >= 0, "replay-client: socket() failed");
+  // Retry the connect briefly: the natural sequencing is `serve &` then
+  // replay-client, and the daemon may still be binding.
+  bool connected = false;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      connected = true;
+      break;
+    }
+    struct timespec backoff {0, 100 * 1000 * 1000};
+    ::nanosleep(&backoff, nullptr);
+  }
+  if (!connected) {
+    ::close(fd);
+    EMTS_REQUIRE(false, "replay-client: cannot connect to " + socket_path);
+  }
+
+  std::string frame;
+  std::uint64_t bytes_sent = 0;
+  const std::uint64_t t0 = util::monotonic_ns();
+  const double ns_per_trace = rate > 0.0 ? 1e9 / rate : 0.0;
+  for (std::uint64_t t = 0; t < to_send; ++t) {
+    frame.clear();
+    io::wire::encode_trace_frame(device_id, archive.sample_rate(),
+                                 archive.trace(static_cast<std::size_t>(first + t)),
+                                 archive.trace_length(), frame);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t put = ::write(fd, frame.data() + off, frame.size() - off);
+      if (put < 0 && errno == EINTR) continue;
+      if (put <= 0) {
+        ::close(fd);
+        EMTS_REQUIRE(false, "replay-client: write failed (daemon gone?)");
+      }
+      off += static_cast<std::size_t>(put);
+    }
+    bytes_sent += frame.size();
+
+    if (ns_per_trace > 0.0) {
+      // Pace against the absolute schedule, not per-frame sleeps, so encode
+      // and write time do not drag the achieved rate below the target.
+      const std::uint64_t deadline =
+          t0 + static_cast<std::uint64_t>(ns_per_trace * static_cast<double>(t + 1));
+      const std::uint64_t now = util::monotonic_ns();
+      if (now < deadline) {
+        const std::uint64_t wait = deadline - now;
+        struct timespec pause {static_cast<time_t>(wait / 1000000000ull),
+                               static_cast<long>(wait % 1000000000ull)};
+        ::nanosleep(&pause, nullptr);
+      }
+    }
+  }
+  ::close(fd);
+
+  const double elapsed_s =
+      static_cast<double>(util::monotonic_ns() - t0) / 1e9;
+  std::printf("streamed %llu traces (%llu bytes) from %s[%llu..%llu) to %s in %.3f s"
+              " (%.0f traces/s)\n",
+              static_cast<unsigned long long>(to_send),
+              static_cast<unsigned long long>(bytes_sent), archive_path.c_str(),
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(first + to_send), socket_path.c_str(),
+              elapsed_s,
+              elapsed_s > 0.0 ? static_cast<double>(to_send) / elapsed_s : 0.0);
+  return 0;
 }
 
 int cmd_snr(const std::vector<std::string>& args) {
@@ -698,6 +853,8 @@ int main(int argc, char** argv) {
     if (command == "calibrate") return cmd_calibrate(args);
     if (command == "monitor") return cmd_monitor(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "replay-client") return cmd_replay_client(args);
     if (command == "snr") return cmd_snr(args);
     if (command == "info") return cmd_info(args);
   } catch (const std::exception& e) {
