@@ -75,6 +75,7 @@ void RuntimeMonitor::validate_options() const {
                "monitor needs a positive, finite sample rate");
   EMTS_REQUIRE(options_.alarm_debounce >= 1, "alarm debounce must be >= 1");
   EMTS_REQUIRE(options_.spectral_window >= 1, "spectral window must be >= 1");
+  EMTS_REQUIRE(options_.spectral_rebuild_every >= 1, "spectral rebuild cadence must be >= 1");
 }
 
 void RuntimeMonitor::on_alarm(std::function<void(const TrustReport&)> callback) {
@@ -90,10 +91,16 @@ void RuntimeMonitor::finish_calibration() {
 
 void RuntimeMonitor::bind_evaluator() {
   EMTS_ASSERT(evaluator_.has_value());
-  if (const SpectralDetector* sd = evaluator_->try_spectral()) {
-    spectral_scratch_.emplace(sd->options().spectrum);
+  spectral_ = evaluator_->try_spectral();
+  if (spectral_ != nullptr) {
+    spectral_scratch_.emplace(spectral_->options().spectrum);
   }
   window_set_.sample_rate = sample_rate_;
+}
+
+bool RuntimeMonitor::incremental_spectral_active() const {
+  return options_.incremental_spectral && spectral_ != nullptr &&
+         spectral_scratch_.has_value();
 }
 
 void RuntimeMonitor::record_event(MonitorEventKind kind, double value) {
@@ -218,6 +225,12 @@ MonitorState RuntimeMonitor::ingest(const Trace& trace) {
   // Windowed stages re-run over a rolling window of recent captures.
   bool windowed_anomaly = false;
   window_.push(trace);
+  if (incremental_spectral_active()) {
+    // Pay this trace's FFT now (flat per-push cost) and fold its amplitudes
+    // into the running window sum; the boundary pass below is then O(bins).
+    spectral_->stream_observe(window_, sample_rate_, *spectral_scratch_);
+    ++stats_.spectral_incremental_updates;
+  }
   if (window_.size() >= options_.spectral_window) {
     run_windowed_pass(windowed_anomaly);
   }
@@ -259,7 +272,15 @@ void RuntimeMonitor::run_windowed_pass(bool& windowed_anomaly) {
   for (const auto& detector : evaluator_->detectors()) {
     if (!detector->windowed()) continue;
     if (const auto* sd = dynamic_cast<const SpectralDetector*>(detector.get())) {
-      last_spectral_ = sd->analyze_reusing(window_, sample_rate_, *spectral_scratch_);
+      if (incremental_spectral_active()) {
+        bool rebuilt = false;
+        last_spectral_ = sd->stream_finish(window_, sample_rate_, *spectral_scratch_,
+                                           options_.spectral_rebuild_every, rebuilt);
+        if (rebuilt) ++stats_.spectral_recomputes;
+      } else {
+        last_spectral_ = sd->analyze_reusing(window_, sample_rate_, *spectral_scratch_);
+        ++stats_.spectral_recomputes;
+      }
       windowed_anomaly |= last_spectral_->anomalous();
     } else {
       // Generic windowed detectors take a TraceSet; snapshot the ring into a
@@ -276,6 +297,7 @@ void RuntimeMonitor::run_windowed_pass(bool& windowed_anomaly) {
   }
   const std::size_t analyzed = window_.size();
   window_.clear();
+  if (incremental_spectral_active()) spectral_scratch_->analyzer.stream_reset();
   ++stats_.spectral_passes;
   record_event(MonitorEventKind::kSpectralPass, static_cast<double>(analyzed));
   if (windowed_anomaly) {
@@ -296,6 +318,8 @@ MonitorStateImage RuntimeMonitor::export_state() const {
   image.alarm_debounce = options_.alarm_debounce;
   image.spectral_window = options_.spectral_window;
   image.event_log_capacity = options_.event_log_capacity;
+  image.incremental_spectral = options_.incremental_spectral;
+  image.spectral_rebuild_every = options_.spectral_rebuild_every;
 
   image.state = state_;
   image.traces_seen = traces_seen_;
@@ -308,6 +332,12 @@ MonitorStateImage RuntimeMonitor::export_state() const {
   image.window.reserve(window_.size());
   for (std::size_t i = 0; i < window_.size(); ++i) image.window.push_back(window_.oldest(i));
   image.window_total_pushed = window_.total_pushed();
+  if (spectral_scratch_.has_value()) {
+    image.spectral_sum = spectral_scratch_->analyzer.stream_sum();
+    image.spectral_count = spectral_scratch_->analyzer.stream_count();
+    image.spectral_updates_since_rebuild =
+        spectral_scratch_->analyzer.stream_updates_since_rebuild();
+  }
   image.stats = stats_;
   // Buffered events, oldest first — the order drain_events() would emit.
   if (!events_.empty()) {
@@ -327,7 +357,9 @@ void RuntimeMonitor::restore_state(const MonitorStateImage& image) {
                "restore_state: image sample rate differs from the monitor");
   EMTS_REQUIRE(image.alarm_debounce == options_.alarm_debounce &&
                    image.spectral_window == options_.spectral_window &&
-                   image.event_log_capacity == options_.event_log_capacity,
+                   image.event_log_capacity == options_.event_log_capacity &&
+                   image.incremental_spectral == options_.incremental_spectral &&
+                   image.spectral_rebuild_every == options_.spectral_rebuild_every,
                "restore_state: image was captured under different monitor options");
   EMTS_REQUIRE((image.state == MonitorState::kCalibrating) == !evaluator_.has_value(),
                image.state == MonitorState::kCalibrating
@@ -350,6 +382,10 @@ void RuntimeMonitor::restore_state(const MonitorStateImage& image) {
     EMTS_REQUIRE(image.expected_length != 0 && trace.size() == image.expected_length,
                  "restore_state: window trace shape disagrees with the pinned length");
   }
+  EMTS_REQUIRE(image.spectral_count == 0 || image.spectral_count == image.window.size(),
+               "restore_state: spectral accumulator count disagrees with the window");
+  EMTS_REQUIRE(image.spectral_count == 0 || !image.spectral_sum.empty(),
+               "restore_state: non-empty spectral accumulator with no bins");
 
   state_ = image.state;
   traces_seen_ = static_cast<std::size_t>(image.traces_seen);
@@ -360,7 +396,19 @@ void RuntimeMonitor::restore_state(const MonitorStateImage& image) {
   last_spectral_ = image.last_spectral;
   calibration_.traces = image.calibration;
   window_.clear();
-  for (const Trace& trace : image.window) window_.push(trace);
+  const bool incremental = incremental_spectral_active();
+  for (const Trace& trace : image.window) {
+    window_.push(trace);
+    // Replay the per-slot spectrum caches deterministically; the accumulator
+    // itself is then overwritten verbatim from the image below, so a
+    // continued stream is bit-identical even mid-drift.
+    if (incremental) spectral_->stream_observe(window_, sample_rate_, *spectral_scratch_);
+  }
+  if (incremental) {
+    spectral_scratch_->analyzer.stream_restore(image.spectral_sum,
+                                               image.spectral_count,
+                                               image.spectral_updates_since_rebuild);
+  }
   window_.restore_total_pushed(image.window_total_pushed);
   stats_ = image.stats;
   event_head_ = events_.empty() ? 0 : image.events.size() % events_.size();
@@ -377,6 +425,7 @@ void RuntimeMonitor::acknowledge_alarm() {
   // alarm on a perfectly clean stream.
   consecutive_anomalies_ = 0;
   window_.clear();
+  if (incremental_spectral_active()) spectral_scratch_->analyzer.stream_reset();
   last_score_.reset();
   last_spectral_.reset();
   ++stats_.alarms_acknowledged;

@@ -71,15 +71,61 @@ const SpectralReport& SpectralDetector::analyze_reusing(const TraceRing& window,
   scratch.analyzer.begin(window.oldest(0).size(), sample_rate);
   for (std::size_t i = 0; i < window.size(); ++i) scratch.analyzer.add(window.oldest(i));
   const dsp::Spectrum& spectrum = scratch.analyzer.mean();
+  return classify_mean(spectrum, scratch);
+}
+
+const SpectralReport& SpectralDetector::classify_mean(const dsp::Spectrum& spectrum,
+                                                      SpectralScratch& scratch) const {
   EMTS_REQUIRE(spectrum.size() == golden_.size(),
                "suspect trace length differs from calibration");
-
   scratch.floor_scratch.assign(spectrum.amplitude.begin(), spectrum.amplitude.end());
   const double floor_level =
       std::max(noise_floor_, stats::median_in_place(scratch.floor_scratch));
   dsp::find_peaks_into(spectrum, options_.new_spot_factor * floor_level, scratch.peaks);
   match_peaks(scratch.peaks, scratch.report);
   return scratch.report;
+}
+
+void SpectralDetector::stream_observe(TraceRing& window, double sample_rate,
+                                      SpectralScratch& scratch) const {
+  EMTS_REQUIRE(!window.empty(), "stream_observe on an empty window");
+  EMTS_REQUIRE(std::abs(sample_rate - sample_rate_) < 1e-6 * sample_rate_,
+               "suspect sample rate differs from calibration");
+  scratch.analyzer.ensure_stream(window.newest().size(), sample_rate);
+  if (!window.spectrum_cache_enabled()) {
+    window.enable_spectrum_cache(scratch.analyzer.stream_bins());
+  }
+  scratch.analyzer.stream_push(window.newest(), window.newest_spectrum());
+}
+
+const SpectralReport& SpectralDetector::stream_finish(const TraceRing& window,
+                                                      double sample_rate,
+                                                      SpectralScratch& scratch,
+                                                      std::uint64_t rebuild_every,
+                                                      bool& rebuilt) const {
+  EMTS_REQUIRE(!window.empty(), "spectral analysis needs traces");
+  EMTS_REQUIRE(std::abs(sample_rate - sample_rate_) < 1e-6 * sample_rate_,
+               "suspect sample rate differs from calibration");
+  EMTS_REQUIRE(rebuild_every >= 1, "rebuild cadence must be >= 1");
+  EMTS_REQUIRE(scratch.analyzer.stream_count() == window.size(),
+               "stream_finish: accumulator count diverged from the window");
+
+  rebuilt = false;
+  if (scratch.analyzer.stream_updates_since_rebuild() >= rebuild_every) {
+    // Exact rebuild: re-sum the cached per-slot spectra in arrival order.
+    // Incremental accumulation added the very same values in the very same
+    // order (tumbling windows never retire), so this is bit-identical to the
+    // running sum unless sliding retirement has introduced drift — either
+    // way the accumulator is exact afterwards.
+    scratch.analyzer.stream_reset();
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      scratch.analyzer.stream_accumulate(window.oldest_spectrum(i));
+    }
+    scratch.analyzer.stream_mark_rebuilt();
+    rebuilt = true;
+  }
+  const dsp::Spectrum& spectrum = scratch.analyzer.stream_mean();
+  return classify_mean(spectrum, scratch);
 }
 
 void SpectralDetector::match_peaks(const std::vector<dsp::SpectralPeak>& peaks,

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -111,6 +112,26 @@ class SpectralDetector : public Detector {
   const SpectralReport& analyze_reusing(const TraceRing& window, double sample_rate,
                                         SpectralScratch& scratch) const;
 
+  /// Incremental path, step 1 — call once right after window.push(trace):
+  /// computes the newest trace's amplitude spectrum (one half-size real-split
+  /// FFT), caches it in the ring's per-slot spectrum cache (enabled here on
+  /// first use), and adds it into the scratch analyzer's running sum. Zero
+  /// heap allocations once scratch and ring cache are warm.
+  void stream_observe(TraceRing& window, double sample_rate, SpectralScratch& scratch) const;
+
+  /// Incremental path, step 2 — call at the window boundary instead of
+  /// analyze_reusing(): classifies the running mean spectrum against the
+  /// golden spots. When the accumulator has absorbed >= rebuild_every
+  /// incremental updates since the last exact rebuild, the sum is first
+  /// rebuilt bit-exactly from the cached per-slot spectra (bounding
+  /// floating-point drift) and `rebuilt` is set. Per-push amplitudes match
+  /// the batch path to floating-point rounding, so anomaly kinds, bins and
+  /// verdicts agree with analyze_reusing(); at a rebuild point the mean is
+  /// bit-identical to a fresh accumulation of the cached spectra.
+  const SpectralReport& stream_finish(const TraceRing& window, double sample_rate,
+                                      SpectralScratch& scratch, std::uint64_t rebuild_every,
+                                      bool& rebuilt) const;
+
   /// Folds a typed spectral report into the generic stage form.
   DetectorReport to_stage(const SpectralReport& report) const;
 
@@ -131,6 +152,11 @@ class SpectralDetector : public Detector {
   /// Classifies suspect peaks against the golden spots into `report`
   /// (cleared first), sorted strongest-ratio first.
   void match_peaks(const std::vector<dsp::SpectralPeak>& peaks, SpectralReport& report) const;
+
+  /// Shared classification tail of analyze_reusing()/stream_finish(): floor
+  /// estimate, peak finding and golden-spot matching over a mean spectrum.
+  const SpectralReport& classify_mean(const dsp::Spectrum& spectrum,
+                                      SpectralScratch& scratch) const;
 
   Options options_;
   dsp::Spectrum golden_;

@@ -6,6 +6,7 @@
 #include "dsp/fft.hpp"
 #include "util/assert.hpp"
 #include "util/binio.hpp"
+#include "util/units.hpp"
 
 namespace emts::dsp {
 
@@ -194,6 +195,52 @@ void SpectrumAnalyzer::transform_pair_into_amps(const std::vector<double>& first
   }
 }
 
+void SpectrumAnalyzer::transform_preprocessed_realsplit_into_amp(
+    const std::vector<double>& pre) {
+  const std::size_t padded = plan_->size();
+  if (padded < 2) {
+    // A 1-point transform has no half-size plan; the full path is O(1) here.
+    transform_preprocessed_into_amp(pre);
+    return;
+  }
+  // Real-split: even samples ride the real lane, odd samples the imaginary
+  // lane of one N/2 complex FFT. Conjugate symmetry untangles the two real
+  // half-streams E (even) and O (odd), and the classic decimation-in-time
+  // recombination X[k] = E[k] + e^{-2πik/N}·O[k] yields the length-N real
+  // transform for k = 0..N/2 — one flat-latency FFT per push at the same
+  // amortized cost as the two-for-one pairing.
+  const std::size_t half = padded / 2;
+  data_half_.assign(half, cplx{0.0, 0.0});
+  const std::size_t n = pre.size();
+  for (std::size_t i = 0; i < half; ++i) {
+    const double re = (2 * i < n) ? pre[2 * i] : 0.0;
+    const double im = (2 * i + 1 < n) ? pre[2 * i + 1] : 0.0;
+    data_half_[i] = cplx{re, im};
+  }
+  plan_half_->forward(data_half_);
+
+  const std::size_t bins = half + 1;
+  for (std::size_t k = 0; k < bins; ++k) {
+    const std::size_t kk = k % half;            // k = half wraps to bin 0
+    const std::size_t mm = (half - k) % half;   // mirror bin; k=0 -> 0
+    const double zr = data_half_[kk].real();
+    const double zi = data_half_[kk].imag();
+    const double mr = data_half_[mm].real();
+    const double mi = -data_half_[mm].imag();  // conj(Z[half-k])
+    const double er = 0.5 * (zr + mr);         // E[k] = (Z[k] + conj(Z[m])) / 2
+    const double ei = 0.5 * (zi + mi);
+    const double odd_r = 0.5 * (zi - mi);      // O[k] = -i (Z[k] - conj(Z[m])) / 2
+    const double odd_i = -0.5 * (zr - mr);
+    const double tr = stream_tw_[k].real();
+    const double ti = stream_tw_[k].imag();
+    const double xr = er + tr * odd_r - ti * odd_i;
+    const double xi = ei + tr * odd_i + ti * odd_r;
+    const double mag = std::abs(cplx{xr, xi});
+    const bool interior = (k != 0) && (k != half);
+    amp_[k] = (interior ? 2.0 : 1.0) * mag / gain_;
+  }
+}
+
 void SpectrumAnalyzer::accumulate_amp(const std::vector<double>& amp) {
   if (accumulated_ == 0) {
     out_.amplitude.assign(amp.begin(), amp.end());
@@ -251,6 +298,96 @@ const Spectrum& SpectrumAnalyzer::mean() {
   for (double& a : out_.amplitude) a *= inv;
   mean_open_ = false;
   return out_;
+}
+
+void SpectrumAnalyzer::ensure_stream(std::size_t trace_length, double sample_rate) {
+  prepare(trace_length, sample_rate);
+  const std::size_t padded = plan_->size();
+  if (padded >= 2) {
+    const std::size_t half = padded / 2;
+    if (!plan_half_.has_value() || plan_half_->size() != half) {
+      plan_half_.emplace(half);
+      data_half_.reserve(half);
+      stream_tw_.resize(half + 1);
+      for (std::size_t k = 0; k <= half; ++k) {
+        const double angle =
+            -2.0 * units::pi * static_cast<double>(k) / static_cast<double>(padded);
+        stream_tw_[k] = cplx{std::cos(angle), std::sin(angle)};
+      }
+    }
+  }
+  const std::size_t bins = padded / 2 + 1;
+  if (stream_sum_.size() != bins) {
+    // Resizing the accumulator is only legal while it is empty; a restored
+    // update counter must survive the first post-restore preparation.
+    EMTS_REQUIRE(stream_count_ == 0,
+                 "SpectrumAnalyzer::ensure_stream: accumulator shape change mid-stream");
+    stream_sum_.assign(bins, 0.0);
+  }
+}
+
+void SpectrumAnalyzer::stream_transform(const std::vector<double>& signal,
+                                        std::vector<double>& amp_out) {
+  EMTS_REQUIRE(signal.size() == signal_length_,
+               "SpectrumAnalyzer::stream_transform: trace length differs from ensure_stream()");
+  preprocess_into(signal, work_);
+  transform_preprocessed_realsplit_into_amp(work_);
+  amp_out.assign(amp_.begin(), amp_.end());
+}
+
+void SpectrumAnalyzer::stream_push(const std::vector<double>& signal,
+                                   std::vector<double>& amp_out) {
+  stream_transform(signal, amp_out);
+  EMTS_REQUIRE(stream_sum_.size() == amp_out.size(),
+               "SpectrumAnalyzer::stream_push before ensure_stream()");
+  for (std::size_t k = 0; k < stream_sum_.size(); ++k) stream_sum_[k] += amp_out[k];
+  ++stream_count_;
+  ++stream_updates_;
+}
+
+void SpectrumAnalyzer::stream_accumulate(const std::vector<double>& amp) {
+  EMTS_REQUIRE(stream_sum_.size() == amp.size(),
+               "SpectrumAnalyzer::stream_accumulate: bin count mismatch");
+  for (std::size_t k = 0; k < stream_sum_.size(); ++k) stream_sum_[k] += amp[k];
+  ++stream_count_;
+}
+
+void SpectrumAnalyzer::stream_retire(const std::vector<double>& amp) {
+  EMTS_REQUIRE(stream_count_ > 0, "SpectrumAnalyzer::stream_retire on an empty accumulator");
+  EMTS_REQUIRE(stream_sum_.size() == amp.size(),
+               "SpectrumAnalyzer::stream_retire: bin count mismatch");
+  for (std::size_t k = 0; k < stream_sum_.size(); ++k) stream_sum_[k] -= amp[k];
+  --stream_count_;
+  ++stream_updates_;
+}
+
+void SpectrumAnalyzer::stream_reset() {
+  std::fill(stream_sum_.begin(), stream_sum_.end(), 0.0);
+  stream_count_ = 0;
+  // stream_updates_ deliberately survives: the rebuild cadence counts total
+  // incremental operations, so drift stays bounded under tumbling windows
+  // that reset the accumulator every window boundary.
+}
+
+void SpectrumAnalyzer::stream_mark_rebuilt() { stream_updates_ = 0; }
+
+const Spectrum& SpectrumAnalyzer::stream_mean() {
+  EMTS_REQUIRE(stream_count_ > 0, "SpectrumAnalyzer::stream_mean on an empty accumulator");
+  EMTS_REQUIRE(stream_sum_.size() == out_.amplitude.size(),
+               "SpectrumAnalyzer::stream_mean before ensure_stream()");
+  mean_open_ = false;
+  const double inv = 1.0 / static_cast<double>(stream_count_);
+  for (std::size_t k = 0; k < stream_sum_.size(); ++k) out_.amplitude[k] = stream_sum_[k] * inv;
+  return out_;
+}
+
+void SpectrumAnalyzer::stream_restore(const std::vector<double>& sum, std::size_t count,
+                                      std::uint64_t updates_since_rebuild) {
+  EMTS_REQUIRE(count == 0 || !sum.empty(),
+               "SpectrumAnalyzer::stream_restore: non-zero count with empty sum");
+  stream_sum_.assign(sum.begin(), sum.end());
+  stream_count_ = count;
+  stream_updates_ = updates_since_rebuild;
 }
 
 void save_spectrum(std::ostream& out, const Spectrum& spectrum) {

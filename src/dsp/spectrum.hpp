@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <vector>
@@ -88,6 +89,50 @@ class SpectrumAnalyzer {
   void add(const std::vector<double>& signal);
   const Spectrum& mean();
 
+  /// Incremental mean-spectrum mode: one half-size real-split FFT per push,
+  /// amplitudes cached in a caller-owned buffer, and a running per-bin sum
+  /// maintained by add-incoming / subtract-outgoing. stream_mean() divides
+  /// the sum by the live count without touching per-trace state, so a window
+  /// boundary costs one O(bins) pass instead of W FFTs. Per-push amplitudes
+  /// match amplitude_spectrum to floating-point rounding (a few ULPs per
+  /// bin); an exact rebuild from the cached amplitudes (stream_reset +
+  /// stream_accumulate in arrival order) bounds accumulator drift and is
+  /// bit-identical to re-summing the same values.
+  ///
+  /// ensure_stream() prepares the caches for a trace length / sample rate;
+  /// resizing the accumulator is only legal while it is empty
+  /// (stream_count() == 0) — shape changes mid-stream are a caller bug.
+  void ensure_stream(std::size_t trace_length, double sample_rate);
+  /// Amplitude spectrum of one signal into `amp_out` (resized to bins).
+  void stream_transform(const std::vector<double>& signal, std::vector<double>& amp_out);
+  /// stream_transform + add the amplitudes into the running sum. Counts as
+  /// one incremental update toward the drift-bounding rebuild cadence.
+  void stream_push(const std::vector<double>& signal, std::vector<double>& amp_out);
+  /// Adds an already-computed amplitude vector into the running sum without
+  /// advancing the update counter (rebuild / restore path).
+  void stream_accumulate(const std::vector<double>& amp);
+  /// Subtracts an outgoing cached amplitude vector from the running sum
+  /// (sliding-window retirement). Counts as one incremental update.
+  void stream_retire(const std::vector<double>& amp);
+  /// Zeroes the running sum and count. Deliberately does NOT reset the
+  /// lifetime update counter: rebuild cadence is measured in total
+  /// incremental operations, so drift stays bounded even under tumbling
+  /// windows that reset the accumulator every window.
+  void stream_reset();
+  /// Marks an exact rebuild complete (zeroes the update counter).
+  void stream_mark_rebuilt();
+  /// Mean of the accumulated spectra; valid until the next analyze()/begin()
+  /// /stream_mean() call. Requires stream_count() > 0.
+  const Spectrum& stream_mean();
+  /// Overwrites the accumulator bit-exactly (snapshot restore).
+  void stream_restore(const std::vector<double>& sum, std::size_t count,
+                      std::uint64_t updates_since_rebuild);
+
+  const std::vector<double>& stream_sum() const { return stream_sum_; }
+  std::size_t stream_count() const { return stream_count_; }
+  std::uint64_t stream_updates_since_rebuild() const { return stream_updates_; }
+  std::size_t stream_bins() const { return stream_sum_.size(); }
+
   /// Number of times the caches had to be (re)built — a new trace length or
   /// sample rate. Stays constant across passes once the analyzer is warm.
   std::size_t warmups() const { return warmups_; }
@@ -105,6 +150,11 @@ class SpectrumAnalyzer {
   /// `first` land in amp_, of `second` in amp2_.
   void transform_pair_into_amps(const std::vector<double>& first,
                                 const std::vector<double>& second);
+  /// Real-split half-size FFT of one preprocessed signal into amp_ (even
+  /// samples in the real lane, odd in the imaginary lane of an N/2 complex
+  /// transform, untangled with precomputed twiddles). Same amortized cost as
+  /// the two-for-one pairing, but with flat per-call latency.
+  void transform_preprocessed_realsplit_into_amp(const std::vector<double>& pre);
   /// Adds one per-trace amplitude vector into the running mean accumulator.
   void accumulate_amp(const std::vector<double>& amp);
 
@@ -124,6 +174,12 @@ class SpectrumAnalyzer {
   std::size_t accumulated_ = 0;    // traces added since begin()
   bool mean_open_ = false;         // begin() called, mean() pending
   std::size_t warmups_ = 0;
+  std::optional<FftPlan> plan_half_;  // N/2 plan for the real-split transform
+  std::vector<cplx> data_half_;       // half-size FFT working buffer
+  std::vector<cplx> stream_tw_;       // untangle twiddles e^{-2πik/N}, half+1
+  std::vector<double> stream_sum_;    // running per-bin amplitude sum
+  std::size_t stream_count_ = 0;      // live traces in the running sum
+  std::uint64_t stream_updates_ = 0;  // incremental ops since last rebuild
 };
 
 /// Binary round-trip of a reference spectrum (the spectral detector's golden

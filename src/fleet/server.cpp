@@ -15,6 +15,7 @@
 #include "io/snapshot.hpp"
 #include "io/wire.hpp"
 #include "util/assert.hpp"
+#include "util/latency.hpp"
 
 namespace emts::fleet {
 
@@ -173,9 +174,36 @@ void IngestServer::export_stats(bool final_export) {
   ++counters_.stats_exports;
 }
 
+SnapshotCadence parse_snapshot_cadence(const std::string& text) {
+  SnapshotCadence cadence;
+  std::size_t digits = 0;
+  while (digits < text.size() && text[digits] >= '0' && text[digits] <= '9') ++digits;
+  EMTS_REQUIRE(digits > 0, "snapshot cadence needs digits: '" + text + "'");
+  const std::string suffix = text.substr(digits);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < digits; ++i) {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[i] - '0');
+    EMTS_REQUIRE(value <= (UINT64_MAX - digit) / 10,
+                 "snapshot cadence overflows: '" + text + "'");
+    value = value * 10 + digit;
+  }
+  if (suffix.empty()) {
+    cadence.every_frames = value;
+  } else if (suffix == "s") {
+    EMTS_REQUIRE(value <= UINT64_MAX / 1000, "snapshot cadence overflows: '" + text + "'");
+    cadence.every_ms = value * 1000;
+  } else if (suffix == "ms") {
+    cadence.every_ms = value;
+  } else {
+    EMTS_REQUIRE(false, "snapshot cadence suffix must be 's' or 'ms': '" + text + "'");
+  }
+  return cadence;
+}
+
 void IngestServer::run(const std::atomic<bool>& stop, std::atomic<bool>& snapshot_request) {
   std::uint64_t frames_at_snapshot = 0;
   std::uint64_t frames_at_stats = 0;
+  std::uint64_t last_snapshot_ns = util::monotonic_ns();
 
   while (!stop.load(std::memory_order_relaxed)) {
     std::vector<pollfd> fds;
@@ -206,12 +234,16 @@ void IngestServer::run(const std::atomic<bool>& stop, std::atomic<bool>& snapsho
     const bool frame_due =
         options_.snapshot_every_frames > 0 &&
         counters_.frames_accepted - frames_at_snapshot >= options_.snapshot_every_frames;
-    if (ready == 0 && (snapshot_request.exchange(false) || frame_due)) {
+    const bool clock_due =
+        options_.snapshot_every_ms > 0 &&
+        util::monotonic_ns() - last_snapshot_ns >= options_.snapshot_every_ms * 1000000ull;
+    if (ready == 0 && (snapshot_request.exchange(false) || frame_due || clock_due)) {
       // Idle round: every byte the clients had sent is ingested, so the
       // snapshot cut is a stable point of the stream, not a race with the
       // kernel's socket buffers.
       write_snapshot();
       frames_at_snapshot = counters_.frames_accepted;
+      last_snapshot_ns = util::monotonic_ns();
     }
     if (ready == 0 && options_.stats_every_frames > 0 &&
         counters_.frames_accepted - frames_at_stats >= options_.stats_every_frames) {

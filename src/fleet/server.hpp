@@ -37,6 +37,11 @@ struct ServerOptions {
   /// Also snapshot automatically every N accepted frames (0 = only on
   /// request and shutdown).
   std::uint64_t snapshot_every_frames = 0;
+  /// Also snapshot automatically every N wall-clock milliseconds (0 = no
+  /// wall-clock cadence). Like every other automatic snapshot, honored only
+  /// on idle poll rounds, so the cut stays deterministic; combinable with
+  /// the frame cadence (either being due triggers a snapshot).
+  std::uint64_t snapshot_every_ms = 0;
 
   /// Periodic fleet stats JSON destination (fleet_stats_json schema). Empty
   /// disables the export. The final export at shutdown drains and includes
@@ -100,5 +105,16 @@ class IngestServer {
   int listen_fd_ = -1;
   std::vector<std::unique_ptr<Client>> clients_;
 };
+
+/// Parses a `--snapshot-every` cadence argument: a bare count means frames,
+/// an `s` or `ms` suffix means wall-clock time (returned in the second
+/// member, in milliseconds; the first member is 0 then, and vice versa).
+/// Throws precondition_error on empty input, garbage digits or an unknown
+/// suffix — the CLI maps that to a usage error (exit 2).
+struct SnapshotCadence {
+  std::uint64_t every_frames = 0;
+  std::uint64_t every_ms = 0;
+};
+SnapshotCadence parse_snapshot_cadence(const std::string& text);
 
 }  // namespace emts::fleet

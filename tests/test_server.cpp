@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -322,7 +323,7 @@ TEST_F(ServerTest, ShutdownWritesSnapshotAndStats) {
   std::ifstream stats_file{stats_path_};
   std::stringstream stats;
   stats << stats_file.rdbuf();
-  EXPECT_NE(stats.str().find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(stats.str().find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(stats.str().find("\"chip-01\""), std::string::npos);
 }
 
@@ -366,11 +367,91 @@ TEST_F(ServerTest, SnapshotRequestHonoredOnIdleRound) {
   EXPECT_EQ(server.counters().snapshots_written, 2u);
 }
 
+TEST_F(ServerTest, WallClockCadenceWritesSnapshotsWhileIdle) {
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.snapshot_path = snapshot_path_;
+  options.snapshot_every_ms = 20;
+  options.poll_timeout_ms = 5;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const core::TraceSet batch = make_set(3, 10);
+  const int fd = connect_to(socket_path_);
+  const std::string bytes = encode_frames("chip-00", batch);
+  send_all(fd, bytes.data(), bytes.size());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 3) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Client goes quiet: the wall-clock cadence alone must keep producing
+  // snapshots on idle rounds, no SIGUSR1 and no frame threshold involved.
+  // The live counter belongs to the server thread, so observe the artifact
+  // instead: every snapshot is a tmp+rename, which lands on a fresh inode.
+  struct stat first {};
+  while (::stat(snapshot_path_.c_str(), &first) != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "cadence snapshot timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  struct stat second {};
+  while (::stat(snapshot_path_.c_str(), &second) != 0 || second.st_ino == first.st_ino) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "second cadence snapshot timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const io::FleetSnapshot mid = io::load_fleet_snapshot(snapshot_path_);
+  ASSERT_EQ(mid.devices.size(), 1u);
+  EXPECT_EQ(mid.devices[0].monitor.stats.scored_captures, 3u);
+
+  ::close(fd);
+  stop = true;
+  serve.join();
+  EXPECT_GE(server.counters().snapshots_written, 2u);
+}
+
 TEST(ServerOptionsTest, RefusesUnusableSocketPath) {
   FleetMonitor fleet{fleet_options()};
   ServerOptions options;
   options.socket_path = "/nonexistent-dir/emts.sock";
   EXPECT_THROW((IngestServer{fleet, options}), emts::precondition_error);
+}
+
+// ---------- --snapshot-every cadence parsing ----------
+
+TEST(SnapshotCadence, BareCountMeansFrames) {
+  const SnapshotCadence cadence = parse_snapshot_cadence("250");
+  EXPECT_EQ(cadence.every_frames, 250u);
+  EXPECT_EQ(cadence.every_ms, 0u);
+}
+
+TEST(SnapshotCadence, SecondsSuffixMeansWallClockMillis) {
+  const SnapshotCadence cadence = parse_snapshot_cadence("5s");
+  EXPECT_EQ(cadence.every_frames, 0u);
+  EXPECT_EQ(cadence.every_ms, 5000u);
+}
+
+TEST(SnapshotCadence, MillisecondsSuffixPassesThrough) {
+  const SnapshotCadence cadence = parse_snapshot_cadence("750ms");
+  EXPECT_EQ(cadence.every_frames, 0u);
+  EXPECT_EQ(cadence.every_ms, 750u);
+}
+
+TEST(SnapshotCadence, RejectsGarbage) {
+  EXPECT_THROW(parse_snapshot_cadence(""), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("abc"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("10x"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("10 s"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("ms"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("5sms"), emts::precondition_error);
+  // Overflow in the digits or in the seconds-to-millis conversion.
+  EXPECT_THROW(parse_snapshot_cadence("99999999999999999999"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("18446744073709551615s"), emts::precondition_error);
 }
 
 }  // namespace

@@ -85,6 +85,8 @@ void expect_stats_eq(const core::MonitorStats& a, const core::MonitorStats& b,
   EXPECT_EQ(a.per_trace_anomalies, b.per_trace_anomalies);
   EXPECT_EQ(a.spectral_passes, b.spectral_passes);
   EXPECT_EQ(a.windowed_anomalies, b.windowed_anomalies);
+  EXPECT_EQ(a.spectral_recomputes, b.spectral_recomputes);
+  EXPECT_EQ(a.spectral_incremental_updates, b.spectral_incremental_updates);
   EXPECT_EQ(a.alarms_latched, b.alarms_latched);
   EXPECT_EQ(a.alarms_acknowledged, b.alarms_acknowledged);
   EXPECT_EQ(a.events_dropped, b.events_dropped);
@@ -116,6 +118,8 @@ void expect_image_eq(const core::MonitorStateImage& a, const core::MonitorStateI
   EXPECT_EQ(a.alarm_debounce, b.alarm_debounce);
   EXPECT_EQ(a.spectral_window, b.spectral_window);
   EXPECT_EQ(a.event_log_capacity, b.event_log_capacity);
+  EXPECT_EQ(a.incremental_spectral, b.incremental_spectral);
+  EXPECT_EQ(a.spectral_rebuild_every, b.spectral_rebuild_every);
   EXPECT_EQ(a.state, b.state);
   EXPECT_EQ(a.traces_seen, b.traces_seen);
   EXPECT_EQ(a.expected_length, b.expected_length);
@@ -138,6 +142,9 @@ void expect_image_eq(const core::MonitorStateImage& a, const core::MonitorStateI
   EXPECT_EQ(a.calibration, b.calibration);
   EXPECT_EQ(a.window, b.window);
   EXPECT_EQ(a.window_total_pushed, b.window_total_pushed);
+  EXPECT_EQ(a.spectral_count, b.spectral_count);
+  EXPECT_EQ(a.spectral_updates_since_rebuild, b.spectral_updates_since_rebuild);
+  EXPECT_EQ(a.spectral_sum, b.spectral_sum);  // bitwise accumulator identity
   expect_stats_eq(a.stats, b.stats, compare_latency);
   expect_events_eq(a.events, b.events);
 }
@@ -188,7 +195,9 @@ TEST(MonitorStateSerialization, CorruptStateTagThrows) {
   std::stringstream stream{std::ios::binary | std::ios::in | std::ios::out};
   write_monitor_state(stream, monitor.export_state());
   std::string bytes = stream.str();
-  bytes[8 + 4 * 8] = 7;  // the state tag after f64 rate + four u64 mirrors
+  // The state tag sits after the f64 rate, four u64 mirrors, the incremental
+  // flag (u8) and the rebuild cadence (u64).
+  bytes[8 + 4 * 8 + 1 + 8] = 7;
   std::istringstream corrupt{bytes, std::ios::binary};
   EXPECT_THROW(read_monitor_state(corrupt), emts::precondition_error);
 }
@@ -368,6 +377,23 @@ TEST_F(SnapshotFile, AbsurdDeclaredRecordSizeRejectedBeforeAllocating) {
   file.write(reinterpret_cast<const char*>(&absurd), sizeof absurd);
   file.close();
   EXPECT_THROW(load_fleet_snapshot(path_), emts::precondition_error);
+}
+
+TEST_F(SnapshotFile, RefusesV1Container) {
+  // v1 predates the incremental spectral state; the loader must name the
+  // version instead of misparsing the record bytes.
+  save_fleet_snapshot(path_, sample_snapshot());
+  std::fstream file{path_, std::ios::binary | std::ios::in | std::ios::out};
+  const std::uint32_t old_version = 1;
+  file.seekp(4);  // version u32 right after the 4-byte magic
+  file.write(reinterpret_cast<const char*>(&old_version), sizeof old_version);
+  file.close();
+  try {
+    load_fleet_snapshot(path_);
+    FAIL() << "v1 container was accepted";
+  } catch (const emts::precondition_error& error) {
+    EXPECT_NE(std::string{error.what()}.find("unsupported version 1"), std::string::npos);
+  }
 }
 
 TEST_F(SnapshotFile, TrailingBytesThrow) {

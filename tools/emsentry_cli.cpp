@@ -74,7 +74,7 @@ void print_usage(std::FILE* stream) {
                "  emsentry_cli serve <fleet.manifest> --socket <path> [--model <model.emca>]\n"
                "                [--shards N] [--queue N] [--policy block|drop-oldest|reject]\n"
                "                [--restore <snap.emfs>] [--snapshot-path <snap.emfs>]\n"
-               "                [--snapshot-every N] [--stats-path <stats.json>]\n"
+               "                [--snapshot-every N[s|ms]] [--stats-path <stats.json>]\n"
                "                [--stats-every N]\n"
                "  emsentry_cli replay-client <archive.emta> --socket <path> --device <id>\n"
                "                [--rate TRACES_PER_SEC] [--first N] [--count N]\n"
@@ -93,6 +93,8 @@ void print_usage(std::FILE* stream) {
                "\n"
                "serve runs until SIGINT/SIGTERM (clean shutdown: drain, flush, final\n"
                "snapshot + stats). SIGUSR1 writes a snapshot once ingest is idle.\n"
+               "--snapshot-every takes a frame count (bare N) or wall-clock cadence\n"
+               "(Ns / Nms), honored on idle ingest rounds.\n"
                "--restore starts from an EMFS snapshot instead of the manifest models;\n"
                "shard/queue/policy default to the snapshot's layout unless overridden.\n"
                "\n"
@@ -148,6 +150,9 @@ void print_monitor_stats(const core::MonitorStats& stats,
               static_cast<unsigned long long>(stats.per_trace_anomalies),
               static_cast<unsigned long long>(stats.windowed_anomalies),
               static_cast<unsigned long long>(stats.spectral_passes));
+  std::printf("  spectral path: %llu incremental updates, %llu recomputes\n",
+              static_cast<unsigned long long>(stats.spectral_incremental_updates),
+              static_cast<unsigned long long>(stats.spectral_recomputes));
   std::printf("  alarms: latched %llu, acknowledged %llu\n",
               static_cast<unsigned long long>(stats.alarms_latched),
               static_cast<unsigned long long>(stats.alarms_acknowledged));
@@ -573,7 +578,15 @@ int cmd_serve(const std::vector<std::string>& args) {
     } else if (a == "--snapshot-path") {
       server_options.snapshot_path = next();
     } else if (a == "--snapshot-every") {
-      server_options.snapshot_every_frames = std::stoull(next());
+      // Bad cadence syntax is an argument error (exit 2), not a runtime one.
+      try {
+        const fleet::SnapshotCadence cadence = fleet::parse_snapshot_cadence(next());
+        server_options.snapshot_every_frames = cadence.every_frames;
+        server_options.snapshot_every_ms = cadence.every_ms;
+      } catch (const precondition_error& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return usage_error();
+      }
     } else if (a == "--stats-path") {
       server_options.stats_path = next();
     } else if (a == "--stats-every") {
