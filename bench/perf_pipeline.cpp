@@ -431,10 +431,13 @@ void write_fleet_bench_json(const char* path) {
   const std::size_t shard_counts[] = {1, 2, 4};
   const std::size_t device_counts[] = {1, 4, 16, 64};
 
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
   std::ofstream out{path};
+  // hardware_threads leads (BENCH_daemon.json convention): every rate below
+  // is meaningless without it, and rows flag oversubscription explicitly.
   out << "{\n"
+      << "  \"hardware_threads\": " << hardware_threads << ",\n"
       << "  \"trace_samples\": " << shared_stream().trace_length() << ",\n"
-      << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"queue_capacity\": 64,\n"
       << "  \"scaling\": [\n";
   double rate_1_shard_16_dev = 0.0;
@@ -446,12 +449,20 @@ void write_fleet_bench_json(const char* path) {
     const std::size_t per_device = kMonitorWindow;
     for (const std::size_t shards : shard_counts) {
       const double rate = fleet_rate(shards, devices, per_device);
+      const bool oversubscribed = hardware_threads > 0 && shards > hardware_threads;
+      if (oversubscribed) {
+        std::fprintf(stderr,
+                     "warning: %zu shards exceed %u hardware threads — fleet rate is"
+                     " a contention measurement, not a capacity\n",
+                     shards, hardware_threads);
+      }
       if (devices == 16 && shards == 1) rate_1_shard_16_dev = rate;
       if (devices == 16 && shards == 4) rate_4_shards_16_dev = rate;
       if (!first) out << ",\n";
       first = false;
       out << "    {\"shards\": " << shards << ", \"devices\": " << devices
-          << ", \"traces_per_sec\": " << rate << "}";
+          << ", \"traces_per_sec\": " << rate
+          << ", \"oversubscribed\": " << (oversubscribed ? "true" : "false") << "}";
     }
   }
   const double speedup = rate_4_shards_16_dev / rate_1_shard_16_dev;

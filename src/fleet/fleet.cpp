@@ -6,6 +6,11 @@
 #include "util/assert.hpp"
 #include "util/fnv.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace emts::fleet {
 
 const char* backpressure_label(BackpressurePolicy policy) {
@@ -28,12 +33,31 @@ std::uint64_t device_hash(const std::string& device_id) {
   return util::fnv1a64(device_id.data(), device_id.size());
 }
 
+namespace {
+
+void pin_to_core(std::size_t shard_index) {
+#if defined(__linux__)
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(shard_index % cores), &set);
+  // Best effort: a restricted affinity mask (cgroups, taskset) can make the
+  // chosen core invalid — the worker just keeps the inherited affinity.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)shard_index;
+#endif
+}
+
+}  // namespace
+
 FleetMonitor::FleetMonitor(const FleetOptions& options) : options_{options} {
   EMTS_REQUIRE(options_.shards >= 1, "fleet needs at least one shard");
   EMTS_REQUIRE(options_.queue_capacity >= 1, "shard queue capacity must be >= 1");
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(i, options_.queue_capacity));
   }
   // Sessions may be added (and submits arrive) as soon as the constructor
   // returns, so the workers start only after every Shard exists.
@@ -46,7 +70,7 @@ FleetMonitor::FleetMonitor(const FleetOptions& options) : options_{options} {
 FleetMonitor::~FleetMonitor() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->stopping = true;
+    shard->stopping.store(true, std::memory_order_release);
     shard->work_ready.notify_all();
     shard->space_ready.notify_all();
   }
@@ -105,55 +129,114 @@ FleetMonitor::Session* FleetMonitor::find_session(const std::string& device_id) 
   return it == sessions_.end() ? nullptr : it->second.get();
 }
 
+void FleetMonitor::wake_worker(Shard& shard) {
+  // Store-fence-load handshake against the worker's park path: the worker
+  // sets worker_parked, fences, then rechecks the queue before sleeping; we
+  // published the enqueue, fence, then check worker_parked. At least one
+  // side observes the other, and the notify happens under the mutex, so a
+  // sleeping worker cannot miss new work.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.worker_parked.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.work_ready.notify_one();
+  }
+}
+
+void FleetMonitor::note_high_water(Shard& shard) {
+  const std::size_t depth = shard.queue.size();
+  std::size_t prev = shard.queue_high_water.load(std::memory_order_relaxed);
+  while (depth > prev &&
+         !shard.queue_high_water.compare_exchange_weak(
+             prev, depth, std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+FleetMonitor::EnqueueOutcome FleetMonitor::enqueue_work(Shard& shard, WorkItem* items,
+                                                        std::size_t n) {
+  EnqueueOutcome out;
+  std::size_t i = 0;
+  bool counted_block = false;
+  while (i < n) {
+    const std::size_t took = shard.queue.try_enqueue(items + i, n - i);
+    if (took > 0) {
+      i += took;
+      out.accepted += took;
+      shard.submitted.fetch_add(took, std::memory_order_relaxed);
+      note_high_water(shard);
+      wake_worker(shard);
+      continue;
+    }
+    // Ring full: apply the policy, then retry (another producer may race us
+    // for any slot we free, so every pass re-attempts the enqueue).
+    switch (options_.backpressure) {
+      case BackpressurePolicy::kReject:
+        shard.rejected_full.fetch_add(n - i, std::memory_order_relaxed);
+        return out;
+      case BackpressurePolicy::kDropOldest: {
+        // The producer acts as a consumer for one slot: MPMC dequeue of the
+        // oldest queued capture, destroyed on scope exit.
+        WorkItem victim;
+        if (shard.queue.try_dequeue(&victim, 1) == 1) {
+          shard.dropped_oldest.fetch_add(1, std::memory_order_relaxed);
+          out.evicted = true;
+        }
+        continue;
+      }
+      case BackpressurePolicy::kBlock: {
+        if (!counted_block) {
+          // One wait episode per call (submit() keeps its one-per-submission
+          // meaning; a batch counts each time it has to park).
+          shard.blocked.fetch_add(1, std::memory_order_relaxed);
+          counted_block = true;
+        }
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        shard.block_waiters.fetch_add(1, std::memory_order_relaxed);
+        // Mirror of wake_worker's handshake: register as a waiter, fence,
+        // recheck occupancy; the worker advances cons_tail, fences, then
+        // checks block_waiters.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        shard.space_ready.wait(lock, [&] {
+          return shard.stopping.load(std::memory_order_relaxed) ||
+                 shard.queue.size() < shard.queue.capacity();
+        });
+        shard.block_waiters.fetch_sub(1, std::memory_order_relaxed);
+        if (shard.stopping.load(std::memory_order_relaxed)) {
+          // Shutdown raced the wait; refuse rather than enqueue into a
+          // draining fleet.
+          shard.rejected_full.fetch_add(n - i, std::memory_order_relaxed);
+          return out;
+        }
+        continue;
+      }
+    }
+  }
+  return out;
+}
+
 SubmitResult FleetMonitor::submit(const std::string& device_id, core::Trace trace) {
   EMTS_REQUIRE(!trace.empty(), "cannot submit an empty trace");
   Session* session = find_session(device_id);
   EMTS_REQUIRE(session != nullptr, "unknown device '" + device_id + "'");
   // Sessions are never removed, so `session` stays valid after the lookup
   // lock drops; its shard assignment is immutable.
-  Shard& shard = *shards_[session->shard];
-
-  std::unique_lock<std::mutex> lock(shard.mutex);
-  SubmitResult result = SubmitResult::kAccepted;
-  if (shard.queue.size() >= options_.queue_capacity) {
-    switch (options_.backpressure) {
-      case BackpressurePolicy::kBlock:
-        ++shard.stats.blocked;
-        shard.space_ready.wait(lock, [&] {
-          return shard.queue.size() < options_.queue_capacity || shard.stopping;
-        });
-        if (shard.stopping) {
-          // Shutdown raced the wait; refuse rather than enqueue into a
-          // draining fleet.
-          ++shard.stats.rejected_full;
-          return SubmitResult::kRejected;
-        }
-        break;
-      case BackpressurePolicy::kDropOldest:
-        shard.queue.pop_front();
-        ++shard.stats.dropped_oldest;
-        result = SubmitResult::kReplacedOldest;
-        break;
-      case BackpressurePolicy::kReject:
-        ++shard.stats.rejected_full;
-        return SubmitResult::kRejected;
-    }
-  }
-  shard.queue.push_back(WorkItem{session, std::move(trace)});
-  ++shard.stats.submitted;
-  shard.stats.queue_high_water = std::max(shard.stats.queue_high_water, shard.queue.size());
-  shard.work_ready.notify_one();
-  return result;
+  WorkItem item{session, std::move(trace)};
+  const EnqueueOutcome out = enqueue_work(*shards_[session->shard], &item, 1);
+  if (out.accepted == 0) return SubmitResult::kRejected;
+  return out.evicted ? SubmitResult::kReplacedOldest : SubmitResult::kAccepted;
 }
 
 std::size_t FleetMonitor::submit_batch(const std::string& device_id,
                                        const core::TraceSet& batch) {
   EMTS_REQUIRE(!batch.empty(), "submit_batch needs traces");
-  std::size_t accepted = 0;
+  EMTS_REQUIRE(batch.trace_length() > 0, "cannot submit empty traces");
+  Session* session = find_session(device_id);
+  EMTS_REQUIRE(session != nullptr, "unknown device '" + device_id + "'");
+  std::vector<WorkItem> items;
+  items.reserve(batch.size());
   for (const core::Trace& trace : batch.traces) {
-    if (submit(device_id, core::Trace{trace}) != SubmitResult::kRejected) ++accepted;
+    items.push_back(WorkItem{session, core::Trace{trace}});
   }
-  return accepted;
+  return enqueue_work(*shards_[session->shard], items.data(), items.size()).accepted;
 }
 
 SubmitResult FleetMonitor::submit_frame(io::wire::TraceFrame&& frame) {
@@ -166,6 +249,39 @@ SubmitResult FleetMonitor::submit_frame(io::wire::TraceFrame&& frame) {
                "frame sample rate for '" + frame.device_id +
                    "' disagrees with the session's calibration");
   return submit(frame.device_id, std::move(frame.trace));
+}
+
+FrameBatchOutcome FleetMonitor::submit_frames(std::vector<io::wire::TraceFrame>&& frames) {
+  FrameBatchOutcome out;
+  if (frames.empty()) return out;
+
+  // Vet every frame up front, grouping the valid ones by shard in arrival
+  // order — one device's frames land in one group, still in order, so the
+  // bulk reservation preserves per-device FIFO.
+  std::vector<std::vector<WorkItem>> groups(shards_.size());
+  for (io::wire::TraceFrame& frame : frames) {
+    Session* session = find_session(frame.device_id);
+    if (session == nullptr || frame.trace.empty()) {
+      ++out.rejected_invalid;
+      continue;
+    }
+    const double expected = session->monitor.sample_rate();
+    if (std::abs(frame.sample_rate - expected) > 1e-6 * expected) {
+      ++out.rejected_invalid;
+      continue;
+    }
+    groups[session->shard].push_back(WorkItem{session, std::move(frame.trace)});
+  }
+  frames.clear();
+
+  for (std::size_t s = 0; s < groups.size(); ++s) {
+    std::vector<WorkItem>& items = groups[s];
+    if (items.empty()) continue;
+    const EnqueueOutcome enq = enqueue_work(*shards_[s], items.data(), items.size());
+    out.accepted += enq.accepted;
+    out.rejected_backpressure += items.size() - enq.accepted;
+  }
+  return out;
 }
 
 io::FleetSnapshot FleetMonitor::snapshot() {
@@ -223,27 +339,67 @@ void FleetMonitor::restore(const io::FleetSnapshot& snapshot) {
 }
 
 void FleetMonitor::worker_loop(Shard& shard) {
+  if (options_.pin_workers) pin_to_core(shard.index);
   for (;;) {
     WorkItem item;
-    {
+    if (!shard.stopping.load(std::memory_order_acquire) &&
+        shard.paused.load(std::memory_order_acquire)) {
       std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.worker_parked.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
       // A stopping shard drains even while paused (the destructor's
-      // flush-then-stop semantics must not hang on a paused fleet).
+      // drain-then-stop semantics must not hang on a paused fleet).
       shard.work_ready.wait(lock, [&] {
-        return shard.stopping || (!shard.queue.empty() && !shard.paused);
+        return shard.stopping.load(std::memory_order_relaxed) ||
+               !shard.paused.load(std::memory_order_relaxed);
       });
-      if (shard.queue.empty()) return;  // only reachable when stopping
-      item = std::move(shard.queue.front());
-      shard.queue.pop_front();
-      shard.busy = true;
-      shard.space_ready.notify_one();
+      shard.worker_parked.store(false, std::memory_order_relaxed);
+      continue;
     }
 
-    // Score outside the queue lock (producers keep flowing) but under the
-    // shard's exec lock (snapshot readers never observe a half-updated
-    // monitor). push() cannot throw here — empty traces are refused at
-    // submit() and malformed traces are rejected by the monitor's input gate
-    // — but a worker must outlive any detector bug, so swallow and count.
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      // Claim busy only while allowed to run, rechecked under the mutex:
+      // pause() flips `paused` under this mutex and then waits on !busy, so
+      // it can never observe an idle worker and still watch it score.
+      if (!shard.stopping.load(std::memory_order_relaxed) &&
+          shard.paused.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      shard.busy = true;
+    }
+
+    if (shard.queue.try_dequeue(&item, 1) == 0) {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.busy = false;
+      shard.idle.notify_all();  // busy→false is what pause()/flush() wait on
+      if (shard.stopping.load(std::memory_order_relaxed) && shard.queue.empty()) {
+        return;
+      }
+      shard.worker_parked.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      shard.work_ready.wait(lock, [&] {
+        return shard.stopping.load(std::memory_order_relaxed) ||
+               (!shard.queue.empty() && !shard.paused.load(std::memory_order_relaxed));
+      });
+      shard.worker_parked.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    // A slot just freed — wake kBlock producers if any are parked (the
+    // mirror of wake_worker's handshake; see enqueue_work).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (shard.block_waiters.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.space_ready.notify_all();
+    }
+
+    // Score outside any queue synchronization (producers keep flowing) but
+    // under the shard's exec lock (snapshot readers never observe a
+    // half-updated monitor). push() cannot throw here — empty traces are
+    // refused at submit() and malformed traces are rejected by the monitor's
+    // input gate — but a worker must outlive any detector bug, so swallow
+    // and count.
     bool fault = false;
     {
       std::lock_guard<std::mutex> exec(shard.exec_mutex);
@@ -253,14 +409,13 @@ void FleetMonitor::worker_loop(Shard& shard) {
         fault = true;
       }
     }
+    shard.processed.fetch_add(1, std::memory_order_relaxed);
+    if (fault) shard.worker_faults.fetch_add(1, std::memory_order_relaxed);
 
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
-      ++shard.stats.processed;
-      if (fault) ++shard.stats.worker_faults;
       shard.busy = false;
-      // flush() waits on (empty && !busy); pause() waits on !busy alone.
-      if (shard.queue.empty() || shard.paused) shard.idle.notify_all();
+      shard.idle.notify_all();
     }
   }
 }
@@ -268,7 +423,8 @@ void FleetMonitor::worker_loop(Shard& shard) {
 void FleetMonitor::pause() {
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->mutex);
-    shard->paused = true;
+    shard->paused.store(true, std::memory_order_release);
+    shard->work_ready.notify_all();
     shard->idle.wait(lock, [&] { return !shard->busy; });
   }
 }
@@ -276,7 +432,7 @@ void FleetMonitor::pause() {
 void FleetMonitor::resume() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->paused = false;
+    shard->paused.store(false, std::memory_order_release);
     shard->work_ready.notify_all();
   }
 }
@@ -306,9 +462,15 @@ FleetStats FleetMonitor::stats() const {
   FleetStats out;
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    ShardStats snapshot = shard->stats;
+    ShardStats snapshot;
+    snapshot.submitted = shard->submitted.load(std::memory_order_relaxed);
+    snapshot.processed = shard->processed.load(std::memory_order_relaxed);
+    snapshot.dropped_oldest = shard->dropped_oldest.load(std::memory_order_relaxed);
+    snapshot.rejected_full = shard->rejected_full.load(std::memory_order_relaxed);
+    snapshot.blocked = shard->blocked.load(std::memory_order_relaxed);
+    snapshot.worker_faults = shard->worker_faults.load(std::memory_order_relaxed);
     snapshot.queue_depth = shard->queue.size();
+    snapshot.queue_high_water = shard->queue_high_water.load(std::memory_order_relaxed);
     out.traces_submitted += snapshot.submitted;
     out.traces_processed += snapshot.processed;
     out.backpressure_dropped += snapshot.dropped_oldest;

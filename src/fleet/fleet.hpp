@@ -11,26 +11,32 @@
 // Guarantees:
 //   * Per-device ordering — a device maps to one shard (stable FNV-1a hash,
 //     device_hash() % shards), each shard runs one worker draining a FIFO
-//     queue, so one device's captures are scored in submission order while
-//     different devices run concurrently.
+//     ring, so one device's captures are scored in submission order while
+//     different devices run concurrently. Batched submission preserves this:
+//     a batch occupies one contiguous ring reservation.
 //   * Bit-identical scoring — a session's monitor sees exactly the trace
 //     sequence submitted for its device, so per-device results (scores,
 //     states, stats, events) are bit-identical to running that device
-//     through its own standalone RuntimeMonitor.
+//     through its own standalone RuntimeMonitor — on the per-trace, batched,
+//     and wire-frame paths alike.
 //   * Bounded ingest — every shard queue holds at most queue_capacity
 //     traces; the backpressure policy decides what a full queue does to a
 //     submitter (block, evict the oldest queued capture, or refuse), with
 //     per-shard accounting for every outcome.
+//   * Lock-free hot path — the shard queue is a bounded MPMC ring
+//     (util::BoundedMpmcRing); producers and the worker touch a mutex only
+//     to park/wake (kBlock full, idle worker) and for the control plane
+//     (pause/resume/flush/snapshot). See DESIGN.md §4i.
 //   * Fault isolation — shape-mismatched or non-finite captures are rejected
 //     by the session monitor's input gate (a structured MonitorEvent plus a
 //     traces_rejected counter), never poisoning the detector stack or the
 //     shard worker.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -43,6 +49,7 @@
 #include "core/trace.hpp"
 #include "io/snapshot.hpp"
 #include "io/wire.hpp"
+#include "util/mpmc_ring.hpp"
 
 namespace emts::fleet {
 
@@ -72,12 +79,17 @@ struct FleetOptions {
   /// Per-shard queue capacity (>= 1), in traces.
   std::size_t queue_capacity = 64;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Pin shard worker i to CPU (i % hardware cores). Linux-only (no-op
+  /// elsewhere); pointless when shards exceed cores — see DESIGN.md §4i for
+  /// when pinning helps and when it hurts.
+  bool pin_workers = false;
   /// Options for every session's RuntimeMonitor (calibration_traces is
   /// irrelevant — fleet sessions are pre-fitted).
   core::RuntimeMonitor::Options monitor{};
 };
 
-/// One shard's lifetime accounting. All counters are exact (mutex-guarded).
+/// One shard's lifetime accounting (a point-in-time copy of the shard's
+/// atomic counters; totals are exact, queue_depth/high_water are sampled).
 struct ShardStats {
   std::uint64_t submitted = 0;       // captures accepted into the queue
   std::uint64_t processed = 0;       // captures drained and scored
@@ -124,6 +136,14 @@ struct FleetEvent {
   core::MonitorEvent event;
 };
 
+/// Outcome of one submit_frames() batch.
+struct FrameBatchOutcome {
+  std::size_t accepted = 0;               // enqueued for scoring
+  std::size_t rejected_backpressure = 0;  // kReject refusals (queue full)
+  std::size_t rejected_invalid = 0;       // unknown device / rate mismatch /
+                                          // empty trace
+};
+
 /// Stable 64-bit FNV-1a hash of a device id — the shard router. Stable
 /// across platforms and runs (std::hash is not), so a fleet replay assigns
 /// the same devices to the same shards everywhere.
@@ -166,9 +186,13 @@ class FleetMonitor {
   /// structured event — see RuntimeMonitor::push.
   SubmitResult submit(const std::string& device_id, core::Trace trace);
 
-  /// submit() for every trace of a batch, in order. Returns the number of
-  /// traces accepted (kReject refusals are counted out; with kBlock or
-  /// kDropOldest this always equals batch.size()).
+  /// Submits a whole batch for one device with a single ring reservation
+  /// per contiguous run — the amortized path: one CAS admits the run that
+  /// fits instead of one synchronization round per trace. Trace order is
+  /// preserved (a reservation is contiguous), so results are bit-identical
+  /// to per-trace submit(). Returns the number of traces accepted (kReject
+  /// refusals are counted out; with kBlock or kDropOldest this always
+  /// equals batch.size()). `blocked` counts wait episodes, not traces.
   std::size_t submit_batch(const std::string& device_id, const core::TraceSet& batch);
 
   /// submit() for a decoded wire frame (io::wire::FrameDecoder output) — the
@@ -177,6 +201,14 @@ class FleetMonitor {
   /// mismatch throws precondition_error, so a daemon can refuse a frame
   /// without perturbing any session state.
   SubmitResult submit_frame(io::wire::TraceFrame&& frame);
+
+  /// Batched submit_frame for a drained decoder buffer: frames are vetted,
+  /// grouped by shard in arrival order, and bulk-enqueued (one reservation
+  /// per contiguous run). Invalid frames (unknown device, sample-rate
+  /// mismatch, empty trace) are counted instead of thrown, so one bad frame
+  /// never blocks the rest of a network read. Per-device ordering holds:
+  /// one device's frames stay in arrival order within its shard group.
+  FrameBatchOutcome submit_frames(std::vector<io::wire::TraceFrame>&& frames);
 
   /// Barrier: returns once every capture submitted before the call has been
   /// scored and all workers are idle. Concurrent submitters may of course
@@ -243,28 +275,65 @@ class FleetMonitor {
     core::Trace trace;
   };
 
-  /// One worker shard: a bounded FIFO plus the worker that drains it. The
-  /// queue mutex guards the deque, flags and ShardStats; exec_mutex guards
-  /// the shard's session monitors (held by the worker per capture, and by
-  /// snapshot readers) so stats()/drain_events() never race a score in
-  /// flight and never block producers.
+  /// One worker shard. The hot path is the lock-free `queue` plus the atomic
+  /// counters; `mutex` exists only so threads can *sleep* (a parked worker,
+  /// kBlock producers waiting for space) and for the control plane
+  /// (pause/resume/flush/stop). The parked/waiter flags implement the
+  /// store-fence-load wakeup handshake described in DESIGN.md §4i; notifies
+  /// are issued while holding `mutex`, so a registered sleeper can never
+  /// miss its wakeup. exec_mutex guards the shard's session monitors (held
+  /// by the worker per capture, and by snapshot readers) so
+  /// stats()/drain_events() never race a score in flight and never block
+  /// producers.
   struct Shard {
+    Shard(std::size_t shard_index, std::size_t capacity)
+        : index{shard_index}, queue{capacity} {}
+
+    const std::size_t index;
+    util::BoundedMpmcRing<WorkItem> queue;
+
+    // Lifetime counters — exact totals, no lock on the increment path.
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> dropped_oldest{0};
+    std::atomic<std::uint64_t> rejected_full{0};
+    std::atomic<std::uint64_t> blocked{0};
+    std::atomic<std::uint64_t> worker_faults{0};
+    std::atomic<std::size_t> queue_high_water{0};
+
+    // Park/wake + control plane.
     mutable std::mutex mutex;
     std::condition_variable work_ready;   // worker: queue non-empty / stopping
     std::condition_variable space_ready;  // kBlock producers: slot freed
     std::condition_variable idle;         // flush(): queue empty and not busy
-    std::deque<WorkItem> queue;
-    bool busy = false;  // worker is scoring an item popped from the queue
-    bool paused = false;
-    bool stopping = false;
-    ShardStats stats;
+    std::atomic<bool> paused{false};      // written under mutex
+    std::atomic<bool> stopping{false};    // written under mutex
+    std::atomic<bool> worker_parked{false};
+    std::atomic<std::size_t> block_waiters{0};
+    bool busy = false;  // worker is scoring a dequeued item (guarded by mutex)
 
     mutable std::mutex exec_mutex;
     std::thread worker;
   };
 
+  struct EnqueueOutcome {
+    std::size_t accepted = 0;
+    bool evicted = false;  // any kDropOldest eviction happened
+  };
+
   Session* find_session(const std::string& device_id) const;
   void worker_loop(Shard& shard);
+
+  /// Moves items[0..n) into the shard ring under the fleet's backpressure
+  /// policy. Bulk: each pass reserves the longest contiguous run that fits.
+  /// Accepts fewer than n only under kReject (queue full) or when shutdown
+  /// races a kBlock wait.
+  EnqueueOutcome enqueue_work(Shard& shard, WorkItem* items, std::size_t n);
+
+  /// Wakes the shard worker if it is parked (enqueue fast path stays
+  /// lock-free when the worker is running).
+  static void wake_worker(Shard& shard);
+  static void note_high_water(Shard& shard);
 
   FleetOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -104,6 +104,9 @@ class IngestServer {
   ServerCounters counters_{};
   int listen_fd_ = -1;
   std::vector<std::unique_ptr<Client>> clients_;
+  /// Scratch for batch frame draining: filled per recv() chunk, handed to
+  /// FleetMonitor::submit_frames in one call, capacity reused across chunks.
+  std::vector<io::wire::TraceFrame> frame_batch_;
 };
 
 /// Parses a `--snapshot-every` cadence argument: a bare count means frames,

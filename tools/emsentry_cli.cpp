@@ -69,11 +69,11 @@ void print_usage(std::FILE* stream) {
                "  emsentry_cli monitor --model <model.emca> [--windows N]\n"
                "                [--trojan T1|T2|T3|T4|A2] [--silicon] [--stats] [--json]\n"
                "  emsentry_cli fleet <fleet.manifest> [--model <model.emca>] [--shards N]\n"
-               "                [--queue N] [--policy block|drop-oldest|reject]\n"
+               "                [--queue N] [--policy block|drop-oldest|reject] [--pin]\n"
                "                [--stats] [--json]\n"
                "  emsentry_cli serve <fleet.manifest> --socket <path> [--model <model.emca>]\n"
                "                [--shards N] [--queue N] [--policy block|drop-oldest|reject]\n"
-               "                [--restore <snap.emfs>] [--snapshot-path <snap.emfs>]\n"
+               "                [--pin] [--restore <snap.emfs>] [--snapshot-path <snap.emfs>]\n"
                "                [--snapshot-every N[s|ms]] [--stats-path <stats.json>]\n"
                "                [--stats-every N]\n"
                "  emsentry_cli replay-client <archive.emta> --socket <path> --device <id>\n"
@@ -97,6 +97,11 @@ void print_usage(std::FILE* stream) {
                "(Ns / Nms), honored on idle ingest rounds.\n"
                "--restore starts from an EMFS snapshot instead of the manifest models;\n"
                "shard/queue/policy default to the snapshot's layout unless overridden.\n"
+               "--pin pins each shard worker to a core (Linux, best-effort; only\n"
+               "useful while shards <= hardware cores).\n"
+               "\n"
+               "--json emits stats schema_version 3 — field-by-field reference in\n"
+               "docs/STATS_SCHEMA.md; binary container layouts in docs/FORMATS.md.\n"
                "\n"
                "exit codes:\n"
                "  0  success; verdict trusted / no device alarmed\n"
@@ -428,6 +433,8 @@ int cmd_fleet(const std::vector<std::string>& args) {
       } else {
         EMTS_REQUIRE(false, "--policy takes block|drop-oldest|reject");
       }
+    } else if (a == "--pin") {
+      options.pin_workers = true;
     } else if (a == "--stats") {
       show_stats = true;
     } else if (a == "--json") {
@@ -609,6 +616,8 @@ int cmd_serve(const std::vector<std::string>& args) {
         EMTS_REQUIRE(false, "--policy takes block|drop-oldest|reject");
       }
       policy_given = true;
+    } else if (a == "--pin") {
+      fleet_options.pin_workers = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return usage_error();
