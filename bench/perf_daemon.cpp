@@ -202,6 +202,64 @@ int main(int argc, char** argv) {
   std::printf("  snapshot: pause %.2f ms, save %.2f ms (%zu bytes), restore %.2f ms\n",
               snapshot_pause_ms, snapshot_save_ms, snapshot_bytes, restore_ms);
 
+  // --- incremental snapshot cut: 64 devices, 1 moved since the last cut.
+  // The interesting number is how far the pause+save drops when the cut
+  // scales with dirty devices instead of fleet size. ---
+  constexpr std::size_t kIncDevices = 64;
+  double inc_full_pause_ms = 0.0;
+  double inc_full_save_ms = 0.0;
+  double inc_pause_ms = 0.0;
+  double inc_save_ms = 0.0;
+  std::size_t inc_bytes = 0;
+  io::SnapshotSaveStats inc_stats;
+  {
+    const std::filesystem::path tmp =
+        std::filesystem::temp_directory_path() / "perf_daemon_incremental.emfs";
+    fleet::FleetMonitor fleet{daemon_options(2)};
+    add_devices(fleet, evaluator, kIncDevices);
+    const auto warm = encode_streams(kIncDevices, 8);
+    io::wire::FrameDecoder decoder;
+    io::wire::TraceFrame frame;
+    for (const std::string& bytes : warm) {
+      decoder.feed(bytes.data(), bytes.size());
+      while (decoder.next(frame)) fleet.submit_frame(std::move(frame));
+    }
+    fleet.flush();
+
+    // Priming cut: cold cache, everything is dirty — a full rewrite.
+    io::FleetSnapshotRecordCache cache;
+    auto t0 = std::chrono::steady_clock::now();
+    const io::FleetSnapshot full = fleet.snapshot(fleet::SnapshotMode::kFull);
+    inc_full_pause_ms = seconds_since(t0) * 1e3;
+    t0 = std::chrono::steady_clock::now();
+    io::save_fleet_snapshot(tmp.string(), full, cache);
+    inc_full_save_ms = seconds_since(t0) * 1e3;
+
+    // Move exactly one device, then cut incrementally off the warm cache.
+    Rng rng{123};
+    const core::Trace moved = golden_trace(rng);
+    std::string buffer;
+    io::wire::encode_trace_frame("chip-0", kFs, moved.data(), moved.size(), buffer);
+    decoder.feed(buffer.data(), buffer.size());
+    while (decoder.next(frame)) fleet.submit_frame(std::move(frame));
+    fleet.flush();
+
+    t0 = std::chrono::steady_clock::now();
+    const io::FleetSnapshot partial = fleet.snapshot(fleet::SnapshotMode::kIncremental);
+    inc_pause_ms = seconds_since(t0) * 1e3;
+    t0 = std::chrono::steady_clock::now();
+    io::save_fleet_snapshot(tmp.string(), partial, cache, &inc_stats);
+    inc_save_ms = seconds_since(t0) * 1e3;
+    inc_bytes = static_cast<std::size_t>(std::filesystem::file_size(tmp));
+    std::filesystem::remove(tmp);
+  }
+  std::printf(
+      "  incremental snapshot (%zu devices, 1 dirty): full pause %.2f ms + save %.2f ms,"
+      " incremental pause %.2f ms + save %.2f ms (%llu reused / %llu rewritten, %zu bytes)\n",
+      kIncDevices, inc_full_pause_ms, inc_full_save_ms, inc_pause_ms, inc_save_ms,
+      static_cast<unsigned long long>(inc_stats.records_reused),
+      static_cast<unsigned long long>(inc_stats.records_rewritten), inc_bytes);
+
   std::ofstream out{out_path};
   out << "{\n";
   out << "  \"hardware_threads\": " << hardware_threads << ",\n";
@@ -220,7 +278,15 @@ int main(int argc, char** argv) {
       << "},\n";
   out << "  \"snapshot\": {\"pause_ms\": " << snapshot_pause_ms
       << ", \"save_ms\": " << snapshot_save_ms << ", \"bytes\": " << snapshot_bytes
-      << ", \"restore_ms\": " << restore_ms << "}\n";
+      << ", \"restore_ms\": " << restore_ms << "},\n";
+  out << "  \"incremental_snapshot\": {\"devices\": " << kIncDevices
+      << ", \"dirty_devices\": 1, \"full_pause_ms\": " << inc_full_pause_ms
+      << ", \"full_save_ms\": " << inc_full_save_ms
+      << ", \"incremental_pause_ms\": " << inc_pause_ms
+      << ", \"incremental_save_ms\": " << inc_save_ms
+      << ", \"records_reused\": " << inc_stats.records_reused
+      << ", \"records_rewritten\": " << inc_stats.records_rewritten
+      << ", \"bytes\": " << inc_bytes << "}\n";
   out << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -284,7 +284,7 @@ FrameBatchOutcome FleetMonitor::submit_frames(std::vector<io::wire::TraceFrame>&
   return out;
 }
 
-io::FleetSnapshot FleetMonitor::snapshot() {
+io::FleetSnapshot FleetMonitor::snapshot(SnapshotMode mode) {
   // Score everything already queued, then quiesce: the cut lands on a
   // whole-capture boundary for every device. Captures submitted after the
   // flush keep queueing (backpressure applies) and are simply on the far
@@ -306,15 +306,35 @@ io::FleetSnapshot FleetMonitor::snapshot() {
   std::sort(sessions.begin(), sessions.end(),
             [](const Session* a, const Session* b) { return a->device_id < b->device_id; });
 
+  // The workers are quiesced, so per-session traces_ingested is stable for
+  // the whole cut; the marks mutex only orders us against concurrent
+  // acknowledge_alarm/drain_events markers.
+  std::lock_guard<std::mutex> marks(snapshot_marks_mutex_);
+
   out.devices.reserve(sessions.size());
   for (const Session* session : sessions) {
     std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+    const std::uint64_t ingested = session->monitor.stats().traces_ingested;
+    if (mode == SnapshotMode::kIncremental) {
+      const auto mark = snapshot_marks_.find(session->device_id);
+      const bool clean = mark != snapshot_marks_.end() && mark->second == ingested &&
+                         snapshot_force_dirty_.count(session->device_id) == 0;
+      if (clean) {
+        io::FleetSnapshot::Device placeholder;
+        placeholder.device_id = session->device_id;
+        placeholder.dirty = false;
+        out.devices.push_back(std::move(placeholder));
+        continue;
+      }
+    }
     const core::TrustEvaluator* evaluator = session->monitor.evaluator();
     EMTS_REQUIRE(evaluator != nullptr,
                  "fleet snapshot: session '" + session->device_id + "' has no evaluator");
     out.devices.push_back(io::FleetSnapshot::Device{
         session->device_id, *evaluator, session->monitor.export_state()});
+    snapshot_marks_[session->device_id] = ingested;
   }
+  snapshot_force_dirty_.clear();
   resume();
   return out;
 }
@@ -331,7 +351,11 @@ void FleetMonitor::restore(const io::FleetSnapshot& snapshot) {
     monitor_options.alarm_debounce = static_cast<std::size_t>(image.alarm_debounce);
     monitor_options.spectral_window = static_cast<std::size_t>(image.spectral_window);
     monitor_options.event_log_capacity = static_cast<std::size_t>(image.event_log_capacity);
-    add_device(device.device_id, device.evaluator, monitor_options);
+    EMTS_REQUIRE(device.dirty && device.evaluator.has_value(),
+                 "fleet restore: device '" + device.device_id +
+                     "' is a clean placeholder — materialize it through the cache-aware"
+                     " save first");
+    add_device(device.device_id, *device.evaluator, monitor_options);
     Session* session = find_session(device.device_id);
     std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
     session->monitor.restore_state(image);
@@ -454,8 +478,14 @@ core::MonitorState FleetMonitor::device_state(const std::string& device_id) cons
 void FleetMonitor::acknowledge_alarm(const std::string& device_id) {
   Session* session = find_session(device_id);
   EMTS_REQUIRE(session != nullptr, "unknown device '" + device_id + "'");
-  std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
-  session->monitor.acknowledge_alarm();
+  {
+    std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
+    session->monitor.acknowledge_alarm();
+  }
+  // Mutates session state without moving traces_ingested — the incremental
+  // dirty key can't see it, so mark explicitly.
+  std::lock_guard<std::mutex> marks(snapshot_marks_mutex_);
+  snapshot_force_dirty_.insert(device_id);
 }
 
 FleetStats FleetMonitor::stats() const {
@@ -532,6 +562,12 @@ std::size_t FleetMonitor::drain_events(std::vector<FleetEvent>& out) {
     {
       std::lock_guard<std::mutex> exec(shards_[session->shard]->exec_mutex);
       session->monitor.drain_events(scratch);
+    }
+    if (!scratch.empty()) {
+      // Emptied the session's event log: state moved without a push, so the
+      // incremental dirty key must be forced.
+      std::lock_guard<std::mutex> marks(snapshot_marks_mutex_);
+      snapshot_force_dirty_.insert(session->device_id);
     }
     drained += scratch.size();
     for (core::MonitorEvent& event : scratch) {

@@ -43,6 +43,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/monitor.hpp"
@@ -149,6 +150,15 @@ struct FrameBatchOutcome {
 /// the same devices to the same shards everywhere.
 std::uint64_t device_hash(const std::string& device_id);
 
+/// How much of the fleet a snapshot() cut copies. kFull copies every
+/// session. kIncremental copies only *dirty* sessions — those whose monitor
+/// state moved since the previous cut (any push advances traces_ingested;
+/// acknowledge_alarm/drain_events mark the session dirty explicitly) — and
+/// emits clean sessions as placeholders (Device::dirty == false) for the
+/// cache-aware io::save_fleet_snapshot overload to fill from its record
+/// cache. Both modes advance the dirty baseline.
+enum class SnapshotMode : std::uint8_t { kFull, kIncremental };
+
 class FleetMonitor {
  public:
   explicit FleetMonitor(const FleetOptions& options = {});
@@ -230,7 +240,12 @@ class FleetMonitor {
   /// half-scored. The image round-trips through io::save_fleet_snapshot /
   /// load_fleet_snapshot and restore(), after which every session continues
   /// its stream bit-identically to one that was never interrupted.
-  io::FleetSnapshot snapshot();
+  ///
+  /// kIncremental copies only sessions dirtied since the previous cut (see
+  /// SnapshotMode); the paused window then scales with dirty devices, not
+  /// fleet size. Clean placeholder devices must be materialized by the
+  /// cache-aware save overload — they cannot be restore()d directly.
+  io::FleetSnapshot snapshot(SnapshotMode mode = SnapshotMode::kFull);
 
   /// Reinstates a snapshot's sessions onto this fleet, which must not have
   /// any devices yet (shard layout may differ from the snapshot's — device
@@ -340,6 +355,15 @@ class FleetMonitor {
 
   mutable std::mutex sessions_mutex_;  // guards the map itself
   std::unordered_map<std::string, std::unique_ptr<Session>> sessions_;
+
+  /// Incremental-snapshot dirty baseline: traces_ingested per device at the
+  /// last cut (missing entry = never snapshotted = dirty) plus explicit marks
+  /// for mutations pushes don't cover (acknowledge_alarm, drain_events).
+  /// Guarded by its own mutex — markers run on user threads while workers
+  /// score.
+  mutable std::mutex snapshot_marks_mutex_;
+  std::unordered_map<std::string, std::uint64_t> snapshot_marks_;
+  std::unordered_set<std::string> snapshot_force_dirty_;
 };
 
 }  // namespace emts::fleet

@@ -110,9 +110,56 @@ std::string monitor_stats_json(core::MonitorState state,
   return out;
 }
 
+std::string server_stats_json(const ServerCounters& counters,
+                              const std::vector<ServerConnectionStats>& connections) {
+  std::string out = "{";
+  append_u64(out, "connections_accepted", counters.connections_accepted);
+  out += ',';
+  append_u64(out, "connections_closed", counters.connections_closed);
+  out += ',';
+  append_u64(out, "connections_dropped", counters.connections_dropped);
+  out += ',';
+  append_u64(out, "connections_rejected_acl", counters.connections_rejected_acl);
+  out += ',';
+  append_u64(out, "auth_failures", counters.auth_failures);
+  out += ',';
+  append_u64(out, "bytes_received", counters.bytes_received);
+  out += ',';
+  append_u64(out, "frames_accepted", counters.frames_accepted);
+  out += ',';
+  append_u64(out, "frames_rejected", counters.frames_rejected);
+  out += ',';
+  append_u64(out, "snapshots_written", counters.snapshots_written);
+  out += ',';
+  append_u64(out, "snapshots_forced", counters.snapshots_forced);
+  out += ',';
+  append_u64(out, "snapshot_records_reused", counters.snapshot_records_reused);
+  out += ',';
+  append_u64(out, "snapshot_records_rewritten", counters.snapshot_records_rewritten);
+  out += ',';
+  append_u64(out, "stats_exports", counters.stats_exports);
+  out += ",\"connections\":[";
+  for (std::size_t c = 0; c < connections.size(); ++c) {
+    const ServerConnectionStats& conn = connections[c];
+    if (c != 0) out += ',';
+    out += "{\"peer\":\"" + json_escape(conn.peer) + "\",\"transport\":\"";
+    out += conn.tcp ? "tcp" : "unix";
+    out += "\",\"authenticated\":";
+    out += conn.authenticated ? "true" : "false";
+    out += ',';
+    append_u64(out, "bytes_received", conn.bytes_received);
+    out += ',';
+    append_u64(out, "frames_decoded", conn.frames_decoded);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string fleet_stats_json(const FleetStats& stats, BackpressurePolicy policy,
                              std::size_t queue_capacity,
-                             const std::vector<FleetEvent>& events) {
+                             const std::vector<FleetEvent>& events,
+                             const std::string& server_json) {
   std::string out = "{";
   append_u64(out, "schema_version", kStatsSchemaVersion);
   out += ',';
@@ -172,7 +219,9 @@ std::string fleet_stats_json(const FleetStats& stats, BackpressurePolicy policy,
                               session_events) +
            "}";
   }
-  out += "}}";
+  out += "}";
+  if (!server_json.empty()) out += ",\"server\":" + server_json;
+  out += "}";
   return out;
 }
 

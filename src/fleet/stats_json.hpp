@@ -15,6 +15,7 @@
 
 #include "core/monitor.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/server.hpp"
 #include "util/latency.hpp"
 
 namespace emts::fleet {
@@ -46,12 +47,22 @@ std::string monitor_stats_json(core::MonitorState state,
                                const core::MonitorStats& stats,
                                const std::vector<core::MonitorEvent>& events);
 
+/// The daemon's "server" object: the run's lifetime counters plus a
+/// "connections" array of per-connection transport accounting
+/// ({peer, transport, authenticated, bytes_received, frames_decoded}).
+std::string server_stats_json(const ServerCounters& counters,
+                              const std::vector<ServerConnectionStats>& connections);
+
 /// The fleet document: schema_version, fleet aggregates, per-shard queue
 /// accounting, and a "sessions" object keyed by device id (sorted — the
 /// FleetStats contract), each value embedding monitor_stats_json. `events`
-/// are drained fleet events, distributed to their sessions.
+/// are drained fleet events, distributed to their sessions. A non-empty
+/// `server_json` (server_stats_json output — only the ingest daemon has
+/// one) is embedded as a "server" key; an addition, so the schema version
+/// stays put.
 std::string fleet_stats_json(const FleetStats& stats, BackpressurePolicy policy,
                              std::size_t queue_capacity,
-                             const std::vector<FleetEvent>& events);
+                             const std::vector<FleetEvent>& events,
+                             const std::string& server_json = {});
 
 }  // namespace emts::fleet

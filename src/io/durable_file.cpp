@@ -1,0 +1,57 @@
+#include "io/durable_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace emts::io {
+
+namespace {
+
+// Opens `path` read-only and fsyncs it. On Linux fsync on an O_RDONLY fd
+// flushes the inode's dirty pages, so the writer does not need to keep its
+// own descriptor open across the rename.
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  EMTS_REQUIRE(fd >= 0, "durable_replace: cannot open " + path + " for fsync: " +
+                            std::strerror(errno));
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  EMTS_REQUIRE(rc == 0,
+               "durable_replace: fsync failed for " + path + ": " +
+                   std::strerror(saved_errno));
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void durable_replace(const std::string& tmp_path, const std::string& final_path) {
+  try {
+    fsync_path(tmp_path, O_RDONLY);
+    EMTS_REQUIRE(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+                 "durable_replace: rename " + tmp_path + " -> " + final_path +
+                     " failed: " + std::strerror(errno));
+  } catch (...) {
+    ::unlink(tmp_path.c_str());
+    throw;
+  }
+  // The rename is visible; now pin the directory entry itself. Failure here
+  // is still an error (the artifact may vanish on power cut) but the tmp
+  // name is gone, so there is nothing to clean up.
+  fsync_path(parent_dir(final_path), O_RDONLY | O_DIRECTORY);
+}
+
+}  // namespace emts::io

@@ -1,0 +1,22 @@
+// Crash-durable tmp+rename publication. The daemon's snapshot/stats artifacts
+// are written to `<final>.tmp` and renamed into place so readers never see a
+// half-written file — but rename alone only orders the *names*, not the data:
+// after a power cut the new name can point at a zero-length or partial inode
+// unless the tmp file was fsynced first, and the rename itself can be lost
+// unless the parent directory is fsynced after. durable_replace() does both,
+// which is the full barrier sequence (write, fsync(file), rename,
+// fsync(dir)) POSIX requires before an artifact may be declared written.
+#pragma once
+
+#include <string>
+
+namespace emts::io {
+
+/// Renames `tmp_path` onto `final_path` with full durability: fsync the tmp
+/// file's data, rename, then fsync the parent directory so the new directory
+/// entry survives a crash. Both paths must live in the same directory.
+/// Throws precondition_error when any step fails (the tmp file is unlinked
+/// on failure so retries start clean).
+void durable_replace(const std::string& tmp_path, const std::string& final_path);
+
+}  // namespace emts::io

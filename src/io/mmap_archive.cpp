@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "util/assert.hpp"
+#include "util/binio.hpp"
 
 namespace emts::io {
 
@@ -66,9 +67,15 @@ MappedTraceArchive::MappedTraceArchive(const std::string& path) {
                  "mmap_archive: implausible sizes in " + path);
     // The whole-file shape check: header + samples must account for every
     // byte, so a truncated or padded file is rejected up front — there is no
-    // per-trace read to fail later.
-    EMTS_REQUIRE(file_bytes ==
-                     kHeaderBytes + trace_count * trace_length * sizeof(double),
+    // per-trace read to fail later. Both factors may be up to 2^32-1, so the
+    // product can wrap u64 (e.g. 2^31 x 2^30 x 8 = 2^64 ≡ 0) and make a
+    // crafted header agree with a header-only file; multiply checked.
+    std::uint64_t sample_count = 0;
+    std::uint64_t payload_bytes = 0;
+    EMTS_REQUIRE(util::checked_mul_u64(trace_count, trace_length, &sample_count) &&
+                     util::checked_mul_u64(sample_count, sizeof(double), &payload_bytes),
+                 "mmap_archive: declared shape overflows in " + path);
+    EMTS_REQUIRE(file_bytes == kHeaderBytes + payload_bytes,
                  "mmap_archive: file size disagrees with declared shape in " + path);
   } catch (...) {
     unmap();

@@ -233,42 +233,106 @@ core::MonitorStateImage read_monitor_state(std::istream& in) {
   return image;
 }
 
-void save_fleet_snapshot(const std::string& path, const FleetSnapshot& snapshot) {
+namespace {
+
+// Full on-disk record for one device: id framing + length-framed payload +
+// FNV-1a checksum. Deterministic for a given device state, which is what
+// makes the incremental record cache sound — and keeps incremental and full
+// containers of identical fleets byte-identical.
+std::string encode_device_record(const FleetSnapshot::Device& device) {
+  // Stage the payload so it can be length-framed and checksummed: the
+  // loader verifies integrity per record before touching its contents.
+  std::ostringstream staged{std::ios::binary};
+  std::ostringstream emca{std::ios::binary};
+  EMTS_REQUIRE(device.evaluator.has_value(),
+               "save_fleet_snapshot: record for '" + device.device_id +
+                   "' has no evaluator");
+  save_calibration(emca, *device.evaluator);
+  const std::string emca_bytes = emca.str();
+  util::write_u64(staged, emca_bytes.size());
+  staged.write(emca_bytes.data(), static_cast<std::streamsize>(emca_bytes.size()));
+  write_monitor_state(staged, device.monitor);
+
+  std::ostringstream record{std::ios::binary};
+  const std::string payload = staged.str();
+  util::write_string(record, device.device_id);
+  util::write_u64(record, payload.size());
+  record.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  util::write_u64(record, util::fnv1a64(payload.data(), payload.size()));
+  EMTS_REQUIRE(record.good(), "save_fleet_snapshot: record staging failed");
+  return record.str();
+}
+
+void check_snapshot_shape(const FleetSnapshot& snapshot) {
   EMTS_REQUIRE(snapshot.devices.size() <= kMaxDevices,
                "save_fleet_snapshot: too many devices");
   for (std::size_t d = 1; d < snapshot.devices.size(); ++d) {
     EMTS_REQUIRE(snapshot.devices[d - 1].device_id < snapshot.devices[d].device_id,
                  "save_fleet_snapshot: devices must be sorted by id, without duplicates");
   }
+}
 
-  std::ofstream out{path, std::ios::binary};
-  EMTS_REQUIRE(out.good(), "save_fleet_snapshot: cannot open " + path);
-
+void write_snapshot_header(std::ostream& out, const FleetSnapshot& snapshot) {
   out.write(kMagic, sizeof kMagic);
   util::write_u32(out, kVersion);
   util::write_u32(out, snapshot.shards);
   util::write_u32(out, snapshot.queue_capacity);
   util::write_u8(out, snapshot.backpressure);
   util::write_u32(out, static_cast<std::uint32_t>(snapshot.devices.size()));
+}
+
+}  // namespace
+
+void save_fleet_snapshot(const std::string& path, const FleetSnapshot& snapshot) {
+  check_snapshot_shape(snapshot);
+
+  std::ofstream out{path, std::ios::binary};
+  EMTS_REQUIRE(out.good(), "save_fleet_snapshot: cannot open " + path);
+  write_snapshot_header(out, snapshot);
 
   for (const FleetSnapshot::Device& device : snapshot.devices) {
-    // Stage the payload so it can be length-framed and checksummed: the
-    // loader verifies integrity per record before touching its contents.
-    std::ostringstream staged{std::ios::binary};
-    std::ostringstream emca{std::ios::binary};
-    save_calibration(emca, device.evaluator);
-    const std::string emca_bytes = emca.str();
-    util::write_u64(staged, emca_bytes.size());
-    staged.write(emca_bytes.data(), static_cast<std::streamsize>(emca_bytes.size()));
-    write_monitor_state(staged, device.monitor);
-
-    const std::string payload = staged.str();
-    util::write_string(out, device.device_id);
-    util::write_u64(out, payload.size());
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    util::write_u64(out, util::fnv1a64(payload.data(), payload.size()));
+    EMTS_REQUIRE(device.dirty,
+                 "save_fleet_snapshot: clean (placeholder) record for '" +
+                     device.device_id + "' needs the cache-aware overload");
+    const std::string record = encode_device_record(device);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
   }
   EMTS_REQUIRE(out.good(), "save_fleet_snapshot: write failed for " + path);
+}
+
+void save_fleet_snapshot(const std::string& path, const FleetSnapshot& snapshot,
+                         FleetSnapshotRecordCache& cache, SnapshotSaveStats* stats) {
+  check_snapshot_shape(snapshot);
+
+  // Refresh the cache before touching the file so a failed write leaves the
+  // cache consistent with the *state*, which is what the next cut needs.
+  SnapshotSaveStats local{};
+  std::map<std::string, std::string> next;
+  for (const FleetSnapshot::Device& device : snapshot.devices) {
+    if (device.dirty) {
+      next.emplace(device.device_id, encode_device_record(device));
+      ++local.records_rewritten;
+      continue;
+    }
+    auto hit = cache.records.find(device.device_id);
+    EMTS_REQUIRE(hit != cache.records.end(),
+                 "save_fleet_snapshot: clean record for '" + device.device_id +
+                     "' missing from the cache (cold cache needs a full cut)");
+    next.emplace(device.device_id, std::move(hit->second));
+    ++local.records_reused;
+  }
+  // Departed devices fall out here: `next` holds exactly the snapshot's ids.
+  cache.records = std::move(next);
+
+  std::ofstream out{path, std::ios::binary};
+  EMTS_REQUIRE(out.good(), "save_fleet_snapshot: cannot open " + path);
+  write_snapshot_header(out, snapshot);
+  for (const FleetSnapshot::Device& device : snapshot.devices) {
+    const std::string& record = cache.records.at(device.device_id);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  }
+  EMTS_REQUIRE(out.good(), "save_fleet_snapshot: write failed for " + path);
+  if (stats != nullptr) *stats = local;
 }
 
 FleetSnapshot load_fleet_snapshot(const std::string& path) {

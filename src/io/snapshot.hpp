@@ -24,10 +24,23 @@
 // checksum, bounds every declared length against the bytes actually
 // remaining (a corrupt header is rejected before it can allocate), and
 // requires the file to end exactly after the last record.
+//
+// Incremental saves: because serialization is deterministic (devices sorted,
+// no timestamps), a device whose state has not moved since the last snapshot
+// re-serializes to byte-identical record bytes. The cache-aware
+// save_fleet_snapshot overload exploits this — records for clean devices
+// (Device::dirty == false) are streamed verbatim from a
+// FleetSnapshotRecordCache instead of being re-copied and re-encoded, so the
+// cost of a snapshot cut scales with the number of *moved* devices, not the
+// fleet size. The output is always a complete, self-contained EMFS v2
+// container, byte-identical to a full rewrite of the same state; there is no
+// delta file format and load_fleet_snapshot needs no changes.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,10 +64,31 @@ struct FleetSnapshot {
 
   struct Device {
     std::string device_id;
-    core::TrustEvaluator evaluator;    // EMCA round-trip: bit-identical scores
+    /// EMCA round-trip: bit-identical scores. Engaged whenever dirty is true
+    /// (always, for loaded snapshots); nullopt only in clean placeholders.
+    std::optional<core::TrustEvaluator> evaluator;
     core::MonitorStateImage monitor;
+    /// When false the evaluator/monitor members are unpopulated placeholders
+    /// and the device's on-disk record must come from the save-time cache
+    /// (incremental snapshot mode). Defaults true so every existing producer
+    /// keeps the full-copy semantics.
+    bool dirty = true;
   };
   std::vector<Device> devices;  // sorted by device id
+};
+
+/// Raw on-disk record bytes (id framing + length + payload + checksum) per
+/// device, keyed by device id, from the last cache-aware save. Owned by the
+/// snapshot producer (the daemon); save_fleet_snapshot keeps it in sync —
+/// dirty devices refresh their entry, departed devices are pruned.
+struct FleetSnapshotRecordCache {
+  std::map<std::string, std::string> records;
+};
+
+/// How much of a cache-aware save was reuse vs fresh encoding.
+struct SnapshotSaveStats {
+  std::uint64_t records_reused = 0;
+  std::uint64_t records_rewritten = 0;
 };
 
 /// Writes/reads a whole container. Loading needs every detector named by the
@@ -62,7 +96,18 @@ struct FleetSnapshot {
 /// "ron" stacks). Throws precondition_error on I/O failure, bad magic or
 /// version, absurd or inconsistent lengths, checksum mismatches, unsorted or
 /// duplicate device records, or trailing bytes.
+///
+/// The plain save requires every device record to be populated
+/// (Device::dirty == true — it has no cache to fall back on). The
+/// cache-aware overload streams clean devices' records from `cache`
+/// verbatim, refreshes the cache from dirty devices, prunes departed ids,
+/// and reports the reuse split via `stats` when non-null. A clean device
+/// with no cache entry is a precondition_error: the producer must mark
+/// everything dirty on its first (cold-cache) cut.
 void save_fleet_snapshot(const std::string& path, const FleetSnapshot& snapshot);
+void save_fleet_snapshot(const std::string& path, const FleetSnapshot& snapshot,
+                         FleetSnapshotRecordCache& cache,
+                         SnapshotSaveStats* stats = nullptr);
 FleetSnapshot load_fleet_snapshot(const std::string& path);
 
 }  // namespace emts::io

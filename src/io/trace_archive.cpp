@@ -66,9 +66,15 @@ core::TraceSet load_trace_archive(const std::string& path) {
                "load_trace_archive: implausible sizes in " + path);
   // The declared shape must account for every remaining byte — checked
   // before the read loop so a header claiming gigabytes against a kilobyte
-  // file is rejected without allocating a single trace.
-  EMTS_REQUIRE(header.trace_count * header.trace_length * sizeof(double) ==
-                   util::stream_remaining(in),
+  // file is rejected without allocating a single trace. The product of two
+  // <2^32 factors times 8 can wrap u64, so it is computed checked.
+  std::uint64_t sample_count = 0;
+  std::uint64_t payload_bytes = 0;
+  EMTS_REQUIRE(util::checked_mul_u64(header.trace_count, header.trace_length,
+                                     &sample_count) &&
+                   util::checked_mul_u64(sample_count, sizeof(double), &payload_bytes),
+               "load_trace_archive: declared shape overflows in " + path);
+  EMTS_REQUIRE(payload_bytes == util::stream_remaining(in),
                "load_trace_archive: declared shape disagrees with file size in " + path);
 
   core::TraceSet set;

@@ -65,6 +65,24 @@ void encode_trace_frame(const std::string& device_id, double sample_rate,
   append_scalar(out, util::fnv1a64(out.data() + payload_start, payload_size));
 }
 
+void encode_hello_frame(const std::string& auth_token, std::string& out) {
+  EMTS_REQUIRE(!auth_token.empty() && auth_token.size() <= kMaxAuthTokenBytes,
+               "wire: auth token must be 1..4096 bytes");
+  const std::size_t payload_size = sizeof(std::uint32_t) + auth_token.size();
+
+  append_scalar(out, kMagic);
+  append_scalar(out, kVersion);
+  append_scalar(out, kFrameHello);
+  append_scalar(out, std::uint16_t{0});
+  append_scalar(out, static_cast<std::uint32_t>(payload_size));
+
+  const std::size_t payload_start = out.size();
+  append_scalar(out, static_cast<std::uint32_t>(auth_token.size()));
+  append_raw(out, auth_token.data(), auth_token.size());
+
+  append_scalar(out, util::fnv1a64(out.data() + payload_start, payload_size));
+}
+
 void FrameDecoder::feed(const char* data, std::size_t size) {
   // Compact once the consumed prefix dominates, so a long-lived connection
   // never grows the buffer beyond a few frames.
@@ -76,27 +94,11 @@ void FrameDecoder::feed(const char* data, std::size_t size) {
   buffer_.insert(buffer_.end(), data, data + size);
 }
 
-bool FrameDecoder::next(TraceFrame& out) {
-  const std::size_t available = buffered();
-  if (available < 12) return false;  // header not yet complete
-  const char* head = buffer_.data() + consumed_;
+namespace {
 
-  EMTS_REQUIRE(read_scalar<std::uint32_t>(head) == kMagic, "wire: bad frame magic");
-  EMTS_REQUIRE(read_scalar<std::uint8_t>(head + 4) == kVersion,
-               "wire: unsupported frame version");
-  EMTS_REQUIRE(read_scalar<std::uint8_t>(head + 5) == kFrameTrace,
-               "wire: unknown frame type");
-  const std::uint32_t payload_size = read_scalar<std::uint32_t>(head + 8);
-  EMTS_REQUIRE(payload_size <= kMaxFramePayload, "wire: implausible frame payload size");
-
-  if (available < 12 + static_cast<std::size_t>(payload_size) + 8) return false;
-  const char* payload = head + 12;
-  const std::uint64_t declared_sum = read_scalar<std::uint64_t>(payload + payload_size);
-  EMTS_REQUIRE(util::fnv1a64(payload, payload_size) == declared_sum,
-               "wire: frame checksum mismatch");
-
-  // Parse the payload; every sub-length must land exactly on the declared
-  // payload size, or the frame lies about its own shape.
+void parse_trace_payload(const char* payload, std::uint32_t payload_size, TraceFrame& out) {
+  // Every sub-length must land exactly on the declared payload size, or the
+  // frame lies about its own shape.
   EMTS_REQUIRE(payload_size >= sizeof(std::uint32_t), "wire: truncated frame payload");
   const std::uint32_t id_bytes = read_scalar<std::uint32_t>(payload);
   EMTS_REQUIRE(id_bytes >= 1 && id_bytes <= kMaxDeviceIdBytes,
@@ -118,9 +120,61 @@ bool FrameDecoder::next(TraceFrame& out) {
                "wire: frame sample count disagrees with payload size");
   out.trace.resize(sample_count);
   std::memcpy(out.trace.data(), cursor, sample_count * sizeof(double));
+}
+
+void parse_hello_payload(const char* payload, std::uint32_t payload_size, std::string& out) {
+  EMTS_REQUIRE(payload_size >= sizeof(std::uint32_t), "wire: truncated frame payload");
+  const std::uint32_t token_bytes = read_scalar<std::uint32_t>(payload);
+  EMTS_REQUIRE(token_bytes >= 1 && token_bytes <= kMaxAuthTokenBytes,
+               "wire: implausible auth token size");
+  EMTS_REQUIRE(sizeof(std::uint32_t) + token_bytes == payload_size,
+               "wire: hello token size disagrees with payload size");
+  out.assign(payload + sizeof(std::uint32_t), token_bytes);
+}
+
+}  // namespace
+
+bool FrameDecoder::next(Frame& out) {
+  const std::size_t available = buffered();
+  if (available < 12) return false;  // header not yet complete
+  const char* head = buffer_.data() + consumed_;
+
+  EMTS_REQUIRE(read_scalar<std::uint32_t>(head) == kMagic, "wire: bad frame magic");
+  EMTS_REQUIRE(read_scalar<std::uint8_t>(head + 4) == kVersion,
+               "wire: unsupported frame version");
+  const std::uint8_t frame_type = read_scalar<std::uint8_t>(head + 5);
+  EMTS_REQUIRE(frame_type == kFrameTrace || frame_type == kFrameHello,
+               "wire: unknown frame type");
+  const std::uint32_t payload_size = read_scalar<std::uint32_t>(head + 8);
+  EMTS_REQUIRE(payload_size <= kMaxFramePayload, "wire: implausible frame payload size");
+
+  if (available < 12 + static_cast<std::size_t>(payload_size) + 8) return false;
+  const char* payload = head + 12;
+  const std::uint64_t declared_sum = read_scalar<std::uint64_t>(payload + payload_size);
+  EMTS_REQUIRE(util::fnv1a64(payload, payload_size) == declared_sum,
+               "wire: frame checksum mismatch");
+
+  if (frame_type == kFrameTrace) {
+    out.kind = FrameKind::kTrace;
+    parse_trace_payload(payload, payload_size, out.trace);
+  } else {
+    out.kind = FrameKind::kHello;
+    parse_hello_payload(payload, payload_size, out.auth_token);
+  }
 
   consumed_ += 12 + payload_size + 8;
   ++frames_decoded_;
+  return true;
+}
+
+bool FrameDecoder::next(TraceFrame& out) {
+  Frame frame;
+  if (!next(frame)) return false;
+  // Trace-only callers have no auth state to update; a HELLO here means the
+  // peer is speaking the authenticated dialect at an endpoint that does not.
+  EMTS_REQUIRE(frame.kind == FrameKind::kTrace,
+               "wire: unexpected HELLO frame on a trace-only stream");
+  out = std::move(frame.trace);
   return true;
 }
 

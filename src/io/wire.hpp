@@ -6,17 +6,24 @@
 //
 //   u32   magic 'E''M''W''F' (little-endian 0x46574d45)
 //   u8    version (1)
-//   u8    frame type (1 = trace)
+//   u8    frame type (1 = trace, 2 = hello)
 //   u16   reserved (0)
 //   u32   payload byte count
 //   bytes payload
 //   u64   FNV-1a 64 checksum of the payload bytes
 //
-// Trace payload:
+// Trace payload (type 1):
 //   string device_id (u32 byte count + bytes)
 //   f64    sample rate, Hz
 //   u32    sample count
 //   f64    samples
+//
+// Hello payload (type 2 — connection auth for the TCP transport):
+//   string auth token (u32 byte count + bytes, 1..4096)
+//
+// A HELLO carries the client's shared-secret token and, when the daemon is
+// configured with one, must be the first frame on a TCP connection; trace
+// frames before a successful HELLO close the connection without ingesting.
 //
 // Every declared length is hard-capped and cross-checked (the payload length
 // must agree exactly with the sample count), so a corrupt or adversarial
@@ -37,6 +44,10 @@ namespace emts::io::wire {
 inline constexpr std::uint32_t kMagic = 0x46574d45u;  // 'EMWF' little-endian
 inline constexpr std::uint8_t kVersion = 1;
 inline constexpr std::uint8_t kFrameTrace = 1;
+inline constexpr std::uint8_t kFrameHello = 2;
+
+/// Auth tokens ride in a u32-prefixed string like device ids, same cap.
+inline constexpr std::uint32_t kMaxAuthTokenBytes = 4096;
 
 /// Hard cap on a frame's declared payload (16 MiB ~ 2M samples): the decoder
 /// refuses anything larger before buffering or allocating.
@@ -52,12 +63,29 @@ struct TraceFrame {
   core::Trace trace;
 };
 
+/// Kind tag for the generic decode path (values match the wire frame type).
+enum class FrameKind : std::uint8_t {
+  kTrace = kFrameTrace,
+  kHello = kFrameHello,
+};
+
+/// One decoded frame of any kind; exactly the member named by `kind` is
+/// meaningful.
+struct Frame {
+  FrameKind kind = FrameKind::kTrace;
+  TraceFrame trace;        // kind == kTrace
+  std::string auth_token;  // kind == kHello
+};
+
 /// Appends one encoded trace frame to `out` (reuse the buffer across calls
 /// to amortize its allocation). The span form frames samples straight out of
 /// a mapped archive without an intermediate Trace copy.
 void encode_trace_frame(const TraceFrame& frame, std::string& out);
 void encode_trace_frame(const std::string& device_id, double sample_rate,
                         const double* samples, std::size_t count, std::string& out);
+
+/// Appends one encoded HELLO auth frame (token 1..4096 bytes) to `out`.
+void encode_hello_frame(const std::string& auth_token, std::string& out);
 
 /// Incremental frame parser for a socket byte stream. feed() appends raw
 /// bytes; next() pops complete frames in arrival order. The decoder owns a
@@ -68,12 +96,17 @@ class FrameDecoder {
   /// Bytes are copied into the internal buffer.
   void feed(const char* data, std::size_t size);
 
-  /// Extracts the next complete frame into `out`. Returns false when the
-  /// buffered bytes do not yet hold a full frame (feed more). Throws
-  /// precondition_error on a malformed stream — bad magic, unsupported
-  /// version or frame type, absurd or inconsistent declared lengths, or a
-  /// checksum mismatch — after which the connection must be dropped (the
-  /// stream has no recoverable framing).
+  /// Extracts the next complete frame of any kind into `out`. Returns false
+  /// when the buffered bytes do not yet hold a full frame (feed more).
+  /// Throws precondition_error on a malformed stream — bad magic,
+  /// unsupported version or frame type, absurd or inconsistent declared
+  /// lengths, or a checksum mismatch — after which the connection must be
+  /// dropped (the stream has no recoverable framing).
+  bool next(Frame& out);
+
+  /// Trace-only convenience for callers that do not speak auth (benches,
+  /// replay paths): like next(Frame&), but a HELLO frame in the stream is a
+  /// precondition_error.
   bool next(TraceFrame& out);
 
   /// Bytes buffered but not yet consumed by next().

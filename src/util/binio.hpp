@@ -36,4 +36,14 @@ std::string read_string(std::istream& in);
 /// that claims a multi-gigabyte payload is rejected instead of honored.
 std::size_t stream_remaining(std::istream& in);
 
+/// a*b into *out without wrapping; returns false when the product overflows
+/// u64. Shape checks that multiply attacker-controlled header fields must go
+/// through this — a wrapped product can make a crafted header "agree" with a
+/// tiny file and hand out out-of-bounds payload pointers.
+inline bool checked_mul_u64(std::uint64_t a, std::uint64_t b, std::uint64_t* out) {
+  if (a != 0 && b > UINT64_MAX / a) return false;
+  *out = a * b;
+  return true;
+}
+
 }  // namespace emts::util

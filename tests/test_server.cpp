@@ -29,6 +29,12 @@
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
+#if defined(__has_feature)
+#define EMTS_HAS_TSAN_FEATURE __has_feature(thread_sanitizer)
+#else
+#define EMTS_HAS_TSAN_FEATURE 0
+#endif
+
 namespace emts::fleet {
 namespace {
 
@@ -415,6 +421,136 @@ TEST_F(ServerTest, WallClockCadenceWritesSnapshotsWhileIdle) {
   EXPECT_GE(server.counters().snapshots_written, 2u);
 }
 
+TEST_F(ServerTest, CadenceHonoredUnderGapFreeStreaming) {
+  // Regression: snapshots used to wait for an idle poll round, so a client
+  // that never pauses starved the daemon of snapshots forever. A due cut
+  // overshooting its deadline by a poll interval must now be forced onto a
+  // busy round.
+#if defined(__SANITIZE_THREAD__) || EMTS_HAS_TSAN_FEATURE
+  // Under TSan a single busy poll round can outlast the whole cadence budget
+  // (thousands of buffered frames × instrumented spectral pushes under BLOCK),
+  // so the wall-clock deadlines below measure the sanitizer, not the daemon.
+  GTEST_SKIP() << "wall-clock cadence assertions are meaningless under TSan";
+#endif
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.snapshot_path = snapshot_path_;
+  options.snapshot_every_ms = 20;
+  options.poll_timeout_ms = 5;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const int fd = connect_to(socket_path_);
+  const std::string one = encode_frames("chip-00", make_set(1, 11));
+  std::atomic<bool> stream_stop{false};
+  std::thread streamer{[&] {
+    // Frames every ~0.5 ms against a 5 ms poll: virtually every round has
+    // bytes pending, so an idle-only daemon would never cut.
+    while (!stream_stop) {
+      send_all(fd, one.data(), one.size());
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }};
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  struct stat first {};
+  while (::stat(snapshot_path_.c_str(), &first) != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "first cut starved";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  struct stat second {};
+  while (::stat(snapshot_path_.c_str(), &second) != 0 || second.st_ino == first.st_ino) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "second cut starved";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  stream_stop = true;
+  streamer.join();
+  ::close(fd);
+  stop = true;
+  serve.join();
+
+  EXPECT_GE(server.counters().snapshots_written, 3u);  // >= 2 cadence cuts + shutdown
+  EXPECT_GE(server.counters().snapshots_forced, 1u);
+  EXPECT_GT(server.counters().frames_accepted, 0u);
+  // Whatever instant the forced cut landed on, the artifact is complete.
+  const io::FleetSnapshot snap = io::load_fleet_snapshot(snapshot_path_);
+  ASSERT_EQ(snap.devices.size(), 1u);
+}
+
+TEST_F(ServerTest, RefusesToStealALiveSocket) {
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  IngestServer incumbent{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { incumbent.run(stop, snapshot_request); }};
+  const int probe = connect_to(socket_path_);  // incumbent is demonstrably live
+  ::close(probe);
+
+  // A second daemon must refuse to unlink a socket something answers on.
+  FleetMonitor other_fleet{fleet_options()};
+  EXPECT_THROW((IngestServer{other_fleet, options}), emts::precondition_error);
+
+  // And the incumbent is unharmed: traffic still flows through it.
+  const core::TraceSet batch = make_set(3, 12);
+  const int fd = connect_to(socket_path_);
+  const std::string bytes = encode_frames("chip-00", batch);
+  send_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 3) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  serve.join();
+  EXPECT_EQ(fleet.stats().traces_processed, 3u);
+}
+
+TEST_F(ServerTest, ReclaimsAStaleSocketFile) {
+  // A crashed daemon leaves its socket file behind with nothing listening;
+  // connect() refuses, so a new daemon may reclaim the path.
+  const int old_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(old_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ASSERT_EQ(::bind(old_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  ::close(old_fd);  // bound but never listened: every connect() is refused
+  ASSERT_TRUE(std::filesystem::exists(socket_path_));
+
+  FleetMonitor fleet{fleet_options()};
+  fleet.add_device("chip-00", fitted());
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  IngestServer server{fleet, options};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> snapshot_request{false};
+  std::thread serve{[&] { server.run(stop, snapshot_request); }};
+
+  const core::TraceSet batch = make_set(2, 13);
+  const int fd = connect_to(socket_path_);
+  const std::string bytes = encode_frames("chip-00", batch);
+  send_all(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fleet.stats().traces_processed < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  serve.join();
+  EXPECT_EQ(fleet.stats().traces_processed, 2u);
+}
+
 TEST(ServerOptionsTest, RefusesUnusableSocketPath) {
   FleetMonitor fleet{fleet_options()};
   ServerOptions options;
@@ -452,6 +588,58 @@ TEST(SnapshotCadence, RejectsGarbage) {
   // Overflow in the digits or in the seconds-to-millis conversion.
   EXPECT_THROW(parse_snapshot_cadence("99999999999999999999"), emts::precondition_error);
   EXPECT_THROW(parse_snapshot_cadence("18446744073709551615s"), emts::precondition_error);
+}
+
+TEST(SnapshotCadence, RejectsZeroInEveryUnit) {
+  // "0" parses as a number but silently disables the cadence the user just
+  // asked for — a usage error, in every spelling.
+  EXPECT_THROW(parse_snapshot_cadence("0"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("0s"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("0ms"), emts::precondition_error);
+  EXPECT_THROW(parse_snapshot_cadence("000"), emts::precondition_error);
+}
+
+// ---------- TCP endpoint / allowlist parsing ----------
+
+TEST(TcpEndpointParse, ParsesHostAndPort) {
+  const TcpEndpoint endpoint = parse_tcp_endpoint("127.0.0.1:7600");
+  EXPECT_EQ(endpoint.addr, 0x7f000001u);
+  EXPECT_EQ(endpoint.port, 7600u);
+}
+
+TEST(TcpEndpointParse, RejectsMalformedEndpoints) {
+  EXPECT_THROW(parse_tcp_endpoint(""), emts::precondition_error);
+  EXPECT_THROW(parse_tcp_endpoint("127.0.0.1"), emts::precondition_error);       // no port
+  EXPECT_THROW(parse_tcp_endpoint(":7600"), emts::precondition_error);           // no host
+  EXPECT_THROW(parse_tcp_endpoint("localhost:7600"), emts::precondition_error);  // not numeric
+  EXPECT_THROW(parse_tcp_endpoint("127.0.0.1:0"), emts::precondition_error);
+  EXPECT_THROW(parse_tcp_endpoint("127.0.0.1:65536"), emts::precondition_error);
+  EXPECT_THROW(parse_tcp_endpoint("127.0.0.1:x"), emts::precondition_error);
+  EXPECT_THROW(parse_tcp_endpoint("299.0.0.1:7600"), emts::precondition_error);
+}
+
+TEST(CidrParse, HostAndBlockRulesMatchAsExpected) {
+  const CidrRule host = parse_cidr("10.1.2.3");
+  EXPECT_TRUE(cidr_match(host, 0x0a010203u));
+  EXPECT_FALSE(cidr_match(host, 0x0a010204u));
+
+  const CidrRule block = parse_cidr("10.1.0.0/16");
+  EXPECT_TRUE(cidr_match(block, 0x0a010203u));
+  EXPECT_TRUE(cidr_match(block, 0x0a01ffffu));
+  EXPECT_FALSE(cidr_match(block, 0x0a020000u));
+
+  const CidrRule all = parse_cidr("0.0.0.0/0");
+  EXPECT_TRUE(cidr_match(all, 0xffffffffu));
+  EXPECT_TRUE(cidr_match(all, 0u));
+}
+
+TEST(CidrParse, RejectsMalformedRules) {
+  EXPECT_THROW(parse_cidr(""), emts::precondition_error);
+  EXPECT_THROW(parse_cidr("10.1.2"), emts::precondition_error);
+  EXPECT_THROW(parse_cidr("10.1.2.3/33"), emts::precondition_error);
+  EXPECT_THROW(parse_cidr("10.1.2.3/"), emts::precondition_error);
+  EXPECT_THROW(parse_cidr("10.1.2.3/x"), emts::precondition_error);
+  EXPECT_THROW(parse_cidr("banana/8"), emts::precondition_error);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -332,8 +333,8 @@ TEST_F(SnapshotFile, FleetContainerRoundTrips) {
     // loaded and original score the same trace to the same double.
     emts::Rng rng{17};
     const core::Trace probe = golden_trace(rng);
-    EXPECT_EQ(loaded.devices[d].evaluator.detectors()[0]->score(probe),
-              snapshot.devices[d].evaluator.detectors()[0]->score(probe));
+    EXPECT_EQ(loaded.devices[d].evaluator->detectors()[0]->score(probe),
+              snapshot.devices[d].evaluator->detectors()[0]->score(probe));
   }
 }
 
@@ -502,6 +503,158 @@ TEST(FleetSnapshot, CapturesLayoutAndSortsDevices) {
   ASSERT_EQ(snapshot.devices.size(), 2u);
   EXPECT_EQ(snapshot.devices[0].device_id, "alpha");
   EXPECT_EQ(snapshot.devices[1].device_id, "zeta");
+}
+
+// ---------- incremental snapshots = full snapshots, cheaper ----------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(SnapshotFile, IncrementalRewritesOnlyTheDirtyRecordAndMatchesFullBytes) {
+  fleet::FleetOptions options;
+  options.shards = 2;
+  options.monitor = small_options();
+  fleet::FleetMonitor fleet{options};
+  std::vector<std::string> ids;
+  for (int d = 0; d < 64; ++d) {
+    char id[16];
+    std::snprintf(id, sizeof id, "dev-%02d", d);
+    ids.emplace_back(id);
+    fleet.add_device(ids.back(), fitted());
+  }
+  const core::TraceSet warmup = make_set(3, false, 30);
+  for (const std::string& id : ids) fleet.submit_batch(id, warmup);
+  fleet.flush();
+
+  FleetSnapshotRecordCache cache;
+  SnapshotSaveStats stats;
+  // Cold cache: the priming cut encodes everything.
+  save_fleet_snapshot(path_, fleet.snapshot(fleet::SnapshotMode::kFull), cache, &stats);
+  EXPECT_EQ(stats.records_rewritten, 64u);
+  EXPECT_EQ(stats.records_reused, 0u);
+
+  // Move exactly one device; the next incremental cut re-encodes only it.
+  fleet.submit_batch(ids[17], make_set(2, false, 31));
+  fleet.flush();
+  save_fleet_snapshot(path_, fleet.snapshot(fleet::SnapshotMode::kIncremental), cache,
+                      &stats);
+  EXPECT_EQ(stats.records_rewritten, 1u);
+  EXPECT_EQ(stats.records_reused, 63u);
+
+  // The incremental container is byte-identical to a full rewrite of the
+  // same fleet state — no delta format, no drift.
+  const std::string full_path = path_ + ".full";
+  save_fleet_snapshot(full_path, fleet.snapshot(fleet::SnapshotMode::kFull));
+  EXPECT_EQ(slurp(path_), slurp(full_path));
+  std::filesystem::remove(full_path);
+
+  // And it restores exactly like any other EMFS container.
+  fleet::FleetMonitor restored{options};
+  restored.restore(load_fleet_snapshot(path_));
+  ASSERT_EQ(restored.device_count(), ids.size());
+  const fleet::FleetStats expect = fleet.stats();
+  const fleet::FleetStats got = restored.stats();
+  ASSERT_EQ(got.sessions.size(), expect.sessions.size());
+  for (std::size_t s = 0; s < got.sessions.size(); ++s) {
+    EXPECT_EQ(got.sessions[s].device_id, expect.sessions[s].device_id);
+    EXPECT_EQ(got.sessions[s].state, expect.sessions[s].state);
+    EXPECT_EQ(got.sessions[s].last_score, expect.sessions[s].last_score);
+    expect_stats_eq(got.sessions[s].monitor, expect.sessions[s].monitor,
+                    /*compare_latency=*/false);
+  }
+}
+
+TEST_F(SnapshotFile, DrainAndAcknowledgeDirtyTheDeviceWithoutNewTraces) {
+  fleet::FleetOptions options;
+  options.monitor = small_options();
+  fleet::FleetMonitor fleet{options};
+  fleet.add_device("solo", fitted());
+  fleet.submit_batch("solo", make_set(4, false, 32));
+  fleet.submit_batch("solo", make_set(4, true, 33));  // anomalies + latched alarm
+  fleet.flush();
+
+  FleetSnapshotRecordCache cache;
+  SnapshotSaveStats stats;
+  save_fleet_snapshot(path_, fleet.snapshot(fleet::SnapshotMode::kFull), cache, &stats);
+
+  // Quiescent fleet: an incremental cut reuses the record wholesale.
+  save_fleet_snapshot(path_, fleet.snapshot(fleet::SnapshotMode::kIncremental), cache,
+                      &stats);
+  EXPECT_EQ(stats.records_reused, 1u);
+  EXPECT_EQ(stats.records_rewritten, 0u);
+
+  // Draining events mutates the session without moving traces_ingested; the
+  // dirty tracking must notice or a restore would replay drained events.
+  ASSERT_FALSE(fleet.drain_events().empty());
+  save_fleet_snapshot(path_, fleet.snapshot(fleet::SnapshotMode::kIncremental), cache,
+                      &stats);
+  EXPECT_EQ(stats.records_rewritten, 1u);
+
+  // Acknowledging a latched alarm likewise.
+  fleet.acknowledge_alarm("solo");
+  save_fleet_snapshot(path_, fleet.snapshot(fleet::SnapshotMode::kIncremental), cache,
+                      &stats);
+  EXPECT_EQ(stats.records_rewritten, 1u);
+
+  const std::string full_path = path_ + ".full";
+  save_fleet_snapshot(full_path, fleet.snapshot(fleet::SnapshotMode::kFull));
+  EXPECT_EQ(slurp(path_), slurp(full_path));
+  std::filesystem::remove(full_path);
+}
+
+TEST_F(SnapshotFile, PlaceholderRecordsDemandTheCachePath) {
+  fleet::FleetOptions options;
+  options.monitor = small_options();
+  fleet::FleetMonitor fleet{options};
+  fleet.add_device("solo", fitted());
+  fleet.submit_batch("solo", make_set(5, false, 34));
+  fleet.flush();
+
+  FleetSnapshotRecordCache cache;
+  save_fleet_snapshot(path_, fleet.snapshot(fleet::SnapshotMode::kFull), cache);
+
+  const io::FleetSnapshot placeholders = fleet.snapshot(fleet::SnapshotMode::kIncremental);
+  ASSERT_EQ(placeholders.devices.size(), 1u);
+  ASSERT_FALSE(placeholders.devices[0].dirty);
+  EXPECT_FALSE(placeholders.devices[0].evaluator.has_value());
+
+  // The plain save has no cache to materialize a clean record from.
+  const std::string other = path_ + ".other";
+  EXPECT_THROW(save_fleet_snapshot(other, placeholders), emts::precondition_error);
+  // Neither does a cache that never saw the device.
+  FleetSnapshotRecordCache cold;
+  EXPECT_THROW(save_fleet_snapshot(other, placeholders, cold), emts::precondition_error);
+  std::filesystem::remove(other);
+  // And a restore cannot conjure monitor state out of a placeholder.
+  fleet::FleetMonitor fresh{options};
+  EXPECT_THROW(fresh.restore(placeholders), emts::precondition_error);
+
+  // The warm cache, though, still writes a complete loadable container.
+  SnapshotSaveStats stats;
+  save_fleet_snapshot(path_, placeholders, cache, &stats);
+  EXPECT_EQ(stats.records_reused, 1u);
+  EXPECT_EQ(stats.records_rewritten, 0u);
+  fleet::FleetMonitor restored{options};
+  restored.restore(load_fleet_snapshot(path_));
+  EXPECT_EQ(restored.device_count(), 1u);
+}
+
+TEST_F(SnapshotFile, CacheAwareSavePrunesDepartedDevices) {
+  const FleetSnapshot three = sample_snapshot();
+  FleetSnapshotRecordCache cache;
+  save_fleet_snapshot(path_, three, cache);
+  EXPECT_EQ(cache.records.size(), 3u);
+
+  FleetSnapshot two = three;
+  two.devices.erase(two.devices.begin() + 1);  // chip-01 departs
+  save_fleet_snapshot(path_, two, cache);
+  EXPECT_EQ(cache.records.size(), 2u);
+  EXPECT_EQ(cache.records.count("chip-01"), 0u);
+  EXPECT_EQ(load_fleet_snapshot(path_).devices.size(), 2u);
 }
 
 }  // namespace

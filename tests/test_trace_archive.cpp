@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "io/mmap_archive.hpp"
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -152,6 +154,35 @@ TEST_F(TraceArchiveTest, RejectsImplausibleTraceLength) {
   const std::uint64_t huge = 1ull << 40;
   patch_bytes(path_, 16, &huge, sizeof huge);
   EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsShapeProductThatWrapsU64) {
+  // Each factor is individually under the 2^32 plausibility cap, but
+  // 2^31 * 2^30 * 8 = 2^64 wraps to exactly 0 in u64 — so an unchecked
+  // shape check would accept a 32-byte header-only file and hand out
+  // pointers to 2^64 bytes of samples that do not exist.
+  save_trace_archive(path_, random_set(1, 1, 10));
+  std::filesystem::resize_file(path_, 32);  // header only: payload bytes = 0
+  const std::uint64_t count = 1ull << 31;
+  const std::uint64_t length = 1ull << 30;
+  patch_bytes(path_, 8, &count, sizeof count);
+  patch_bytes(path_, 16, &length, sizeof length);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+  EXPECT_THROW(MappedTraceArchive{path_}, emts::precondition_error);
+}
+
+TEST_F(TraceArchiveTest, RejectsShapeTimesEightThatWrapsU64) {
+  // The count*length product fits u64; only the *8 byte conversion wraps
+  // (2^31 * 2^30 = 2^61, times 8 = 2^64 ≡ 0). Both multiplications must be
+  // checked, not just the first.
+  save_trace_archive(path_, random_set(1, 1, 11));
+  std::filesystem::resize_file(path_, 32);
+  const std::uint64_t count = (1ull << 31) - 1;
+  const std::uint64_t length = (1ull << 32) - 1;
+  patch_bytes(path_, 8, &count, sizeof count);
+  patch_bytes(path_, 16, &length, sizeof length);
+  EXPECT_THROW(load_trace_archive(path_), emts::precondition_error);
+  EXPECT_THROW(MappedTraceArchive{path_}, emts::precondition_error);
 }
 
 }  // namespace

@@ -203,6 +203,72 @@ TEST(WireFrame, NonPositiveSampleRateThrows) {
   EXPECT_THROW(decoder.next(frame), emts::precondition_error);
 }
 
+TEST(WireHello, RoundTripsThroughGenericDecode) {
+  std::string bytes;
+  encode_hello_frame("sesame-123", bytes);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.kind, FrameKind::kHello);
+  EXPECT_EQ(frame.auth_token, "sesame-123");
+  EXPECT_FALSE(decoder.next(frame));
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+}
+
+TEST(WireHello, InterleavesWithTraceFramesByteAtATime) {
+  // The auth handshake rides the same stream as the traffic it unlocks, and
+  // the transport may fragment it anywhere.
+  std::string bytes;
+  encode_hello_frame("token", bytes);
+  bytes += encode("dev", 1e6, ramp_trace(16));
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Frame frame;
+  for (const char byte : bytes) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].kind, FrameKind::kHello);
+  EXPECT_EQ(frames[0].auth_token, "token");
+  EXPECT_EQ(frames[1].kind, FrameKind::kTrace);
+  EXPECT_EQ(frames[1].trace.device_id, "dev");
+  EXPECT_EQ(frames[1].trace.trace.size(), 16u);
+}
+
+TEST(WireHello, TraceOnlyDecodeRejectsHello) {
+  // Benches and replay paths speak the trace-only dialect; a HELLO there is
+  // a protocol violation, not a frame to skip silently.
+  std::string bytes;
+  encode_hello_frame("token", bytes);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  TraceFrame frame;
+  EXPECT_THROW(decoder.next(frame), emts::precondition_error);
+}
+
+TEST(WireHello, EncodeRejectsBadTokens) {
+  std::string out;
+  EXPECT_THROW(encode_hello_frame("", out), emts::precondition_error);
+  EXPECT_THROW(encode_hello_frame(std::string(kMaxAuthTokenBytes + 1, 'x'), out),
+               emts::precondition_error);
+}
+
+TEST(WireHello, TokenLengthDisagreeingWithPayloadThrows) {
+  std::string bytes;
+  encode_hello_frame("abcdef", bytes);
+  const std::uint32_t wrong = 3;  // plausible, but short of the payload size
+  std::memcpy(bytes.data() + 12, &wrong, sizeof wrong);
+  fix_checksum(bytes);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_THROW(decoder.next(frame), emts::precondition_error);
+}
+
 TEST(WireFrame, DeviceIdLengthBeyondPayloadThrows) {
   std::string bytes = encode("dev", 1e6, ramp_trace(8));
   const std::uint32_t wrong = 4096;  // within the id cap, beyond this payload

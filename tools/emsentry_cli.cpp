@@ -27,6 +27,9 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <time.h>
@@ -71,12 +74,16 @@ void print_usage(std::FILE* stream) {
                "  emsentry_cli fleet <fleet.manifest> [--model <model.emca>] [--shards N]\n"
                "                [--queue N] [--policy block|drop-oldest|reject] [--pin]\n"
                "                [--stats] [--json]\n"
-               "  emsentry_cli serve <fleet.manifest> --socket <path> [--model <model.emca>]\n"
+               "  emsentry_cli serve <fleet.manifest> [--socket <path>]\n"
+               "                [--listen <host:port>] [--allow <cidr>]...\n"
+               "                [--auth-secret <token>] [--model <model.emca>]\n"
                "                [--shards N] [--queue N] [--policy block|drop-oldest|reject]\n"
                "                [--pin] [--restore <snap.emfs>] [--snapshot-path <snap.emfs>]\n"
-               "                [--snapshot-every N[s|ms]] [--stats-path <stats.json>]\n"
+               "                [--snapshot-every N[s|ms]] [--incremental-snapshots]\n"
+               "                [--full-snapshot-every N] [--stats-path <stats.json>]\n"
                "                [--stats-every N]\n"
                "  emsentry_cli replay-client <archive.emta> --socket <path> --device <id>\n"
+               "                [--connect <host:port>] [--auth-secret <token>]\n"
                "                [--rate TRACES_PER_SEC] [--first N] [--count N]\n"
                "  emsentry_cli snr <signal.emta> <noise.emta>\n"
                "  emsentry_cli info <archive.emta>\n"
@@ -92,9 +99,16 @@ void print_usage(std::FILE* stream) {
                "`replay-client` streams at the daemon.\n"
                "\n"
                "serve runs until SIGINT/SIGTERM (clean shutdown: drain, flush, final\n"
-               "snapshot + stats). SIGUSR1 writes a snapshot once ingest is idle.\n"
-               "--snapshot-every takes a frame count (bare N) or wall-clock cadence\n"
-               "(Ns / Nms), honored on idle ingest rounds.\n"
+               "snapshot + stats) and needs --socket, --listen, or both. SIGUSR1\n"
+               "writes a snapshot. --snapshot-every takes a frame count (bare N) or\n"
+               "wall-clock cadence (Ns / Nms, zero is a usage error), honored on idle\n"
+               "ingest rounds or forced after one poll interval of overshoot.\n"
+               "--listen accepts EMWF over TCP (TCP_NODELAY); --allow (repeatable)\n"
+               "restricts TCP peers to IPv4 hosts/CIDR blocks, --auth-secret makes\n"
+               "every TCP client lead with a matching HELLO frame (replay-client\n"
+               "--connect/--auth-secret speaks both). --incremental-snapshots rewrites\n"
+               "only devices whose state moved since the last cut (full rewrite every\n"
+               "--full-snapshot-every cuts, default 16).\n"
                "--restore starts from an EMFS snapshot instead of the manifest models;\n"
                "shard/queue/policy default to the snapshot's layout unless overridden.\n"
                "--pin pins each shard worker to a core (Linux, best-effort; only\n"
@@ -578,6 +592,35 @@ int cmd_serve(const std::vector<std::string>& args) {
     };
     if (a == "--socket") {
       server_options.socket_path = next();
+    } else if (a == "--listen") {
+      server_options.listen_address = next();
+      // Malformed endpoints are argument errors (exit 2), caught here rather
+      // than as a runtime throw out of the server constructor.
+      try {
+        fleet::parse_tcp_endpoint(server_options.listen_address);
+      } catch (const precondition_error& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return usage_error();
+      }
+    } else if (a == "--allow") {
+      const std::string& rule = next();
+      try {
+        fleet::parse_cidr(rule);
+      } catch (const precondition_error& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return usage_error();
+      }
+      server_options.allow.push_back(rule);
+    } else if (a == "--auth-secret") {
+      server_options.auth_secret = next();
+    } else if (a == "--incremental-snapshots") {
+      server_options.incremental_snapshots = true;
+    } else if (a == "--full-snapshot-every") {
+      server_options.full_snapshot_every = std::stoull(next());
+      if (server_options.full_snapshot_every == 0) {
+        std::fprintf(stderr, "--full-snapshot-every must be >= 1\n");
+        return usage_error();
+      }
     } else if (a == "--model") {
       model_path = next();
     } else if (a == "--restore") {
@@ -628,8 +671,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       return usage_error();
     }
   }
-  if (server_options.socket_path.empty()) {
-    std::fprintf(stderr, "serve needs --socket <path>\n");
+  if (server_options.socket_path.empty() && server_options.listen_address.empty()) {
+    std::fprintf(stderr, "serve needs --socket <path>, --listen <host:port>, or both\n");
     return usage_error();
   }
   if (manifest_path.empty() && restore_path.empty()) {
@@ -680,9 +723,15 @@ int cmd_serve(const std::vector<std::string>& args) {
                  " contend for cores instead of scaling\n",
                  fleet_monitor.shard_count(), hardware_threads);
   }
+  std::string endpoints;
+  if (!server_options.socket_path.empty()) endpoints = server_options.socket_path;
+  if (!server_options.listen_address.empty()) {
+    if (!endpoints.empty()) endpoints += " + ";
+    endpoints += "tcp:" + server_options.listen_address;
+  }
   std::printf("serving %zu devices over %zu shards on %s (policy %s, queue %zu)\n",
               fleet_monitor.device_count(), fleet_monitor.shard_count(),
-              server_options.socket_path.c_str(),
+              endpoints.c_str(),
               fleet::backpressure_label(fleet_options.backpressure),
               fleet_options.queue_capacity);
   std::fflush(stdout);
@@ -706,6 +755,8 @@ int cmd_serve(const std::vector<std::string>& args) {
 int cmd_replay_client(const std::vector<std::string>& args) {
   std::string archive_path;
   std::string socket_path;
+  std::string connect_address;
+  std::string auth_secret;
   std::string device_id;
   double rate = 0.0;  // traces/sec; 0 = as fast as the socket takes them
   std::uint64_t first = 0;
@@ -719,6 +770,16 @@ int cmd_replay_client(const std::vector<std::string>& args) {
     };
     if (a == "--socket") {
       socket_path = next();
+    } else if (a == "--connect") {
+      connect_address = next();
+      try {
+        fleet::parse_tcp_endpoint(connect_address);
+      } catch (const precondition_error& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return usage_error();
+      }
+    } else if (a == "--auth-secret") {
+      auth_secret = next();
     } else if (a == "--device") {
       device_id = next();
     } else if (a == "--rate") {
@@ -738,8 +799,10 @@ int cmd_replay_client(const std::vector<std::string>& args) {
       return usage_error();
     }
   }
-  if (archive_path.empty() || socket_path.empty() || device_id.empty()) {
-    std::fprintf(stderr, "replay-client needs <archive.emta>, --socket and --device\n");
+  if (archive_path.empty() || device_id.empty() ||
+      (socket_path.empty() == connect_address.empty())) {
+    std::fprintf(stderr, "replay-client needs <archive.emta>, --device, and exactly one"
+                         " of --socket or --connect\n");
     return usage_error();
   }
 
@@ -755,19 +818,39 @@ int cmd_replay_client(const std::vector<std::string>& args) {
   // the write error below reports it instead.
   std::signal(SIGPIPE, SIG_IGN);
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  EMTS_REQUIRE(socket_path.size() < sizeof addr.sun_path,
-               "socket path too long: " + socket_path);
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  EMTS_REQUIRE(fd >= 0, "replay-client: socket() failed");
+  const bool tcp = !connect_address.empty();
+  const std::string& endpoint_label = tcp ? connect_address : socket_path;
+  sockaddr_un unix_addr{};
+  sockaddr_in tcp_addr{};
+  const sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
+  int fd = -1;
+  if (tcp) {
+    const fleet::TcpEndpoint endpoint = fleet::parse_tcp_endpoint(connect_address);
+    tcp_addr.sin_family = AF_INET;
+    tcp_addr.sin_addr.s_addr = htonl(endpoint.addr);
+    tcp_addr.sin_port = htons(endpoint.port);
+    addr = reinterpret_cast<const sockaddr*>(&tcp_addr);
+    addr_len = sizeof tcp_addr;
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EMTS_REQUIRE(fd >= 0, "replay-client: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  } else {
+    unix_addr.sun_family = AF_UNIX;
+    EMTS_REQUIRE(socket_path.size() < sizeof unix_addr.sun_path,
+                 "socket path too long: " + socket_path);
+    std::strncpy(unix_addr.sun_path, socket_path.c_str(), sizeof unix_addr.sun_path - 1);
+    addr = reinterpret_cast<const sockaddr*>(&unix_addr);
+    addr_len = sizeof unix_addr;
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EMTS_REQUIRE(fd >= 0, "replay-client: socket() failed");
+  }
   // Retry the connect briefly: the natural sequencing is `serve &` then
   // replay-client, and the daemon may still be binding.
   bool connected = false;
   for (int attempt = 0; attempt < 50; ++attempt) {
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+    if (::connect(fd, addr, addr_len) == 0) {
       connected = true;
       break;
     }
@@ -776,10 +859,25 @@ int cmd_replay_client(const std::vector<std::string>& args) {
   }
   if (!connected) {
     ::close(fd);
-    EMTS_REQUIRE(false, "replay-client: cannot connect to " + socket_path);
+    EMTS_REQUIRE(false, "replay-client: cannot connect to " + endpoint_label);
   }
 
   std::string frame;
+  if (!auth_secret.empty()) {
+    // Authenticate before the first trace: the daemon closes unauthenticated
+    // TCP connections at their first trace frame.
+    io::wire::encode_hello_frame(auth_secret, frame);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t put = ::write(fd, frame.data() + off, frame.size() - off);
+      if (put < 0 && errno == EINTR) continue;
+      if (put <= 0) {
+        ::close(fd);
+        EMTS_REQUIRE(false, "replay-client: HELLO write failed (daemon gone?)");
+      }
+      off += static_cast<std::size_t>(put);
+    }
+  }
   std::uint64_t bytes_sent = 0;
   const std::uint64_t t0 = util::monotonic_ns();
   const double ns_per_trace = rate > 0.0 ? 1e9 / rate : 0.0;
@@ -823,7 +921,7 @@ int cmd_replay_client(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(to_send),
               static_cast<unsigned long long>(bytes_sent), archive_path.c_str(),
               static_cast<unsigned long long>(first),
-              static_cast<unsigned long long>(first + to_send), socket_path.c_str(),
+              static_cast<unsigned long long>(first + to_send), endpoint_label.c_str(),
               elapsed_s,
               elapsed_s > 0.0 ? static_cast<double>(to_send) / elapsed_s : 0.0);
   return 0;
