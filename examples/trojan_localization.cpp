@@ -1,31 +1,37 @@
 // Trojan localization — beyond detecting *that* a Trojan runs, the EM
 // side-channel can say *where*. The paper lists "location awareness" among
 // EM's advantages over other side channels (Sec. III-A); this example
-// exploits it: a virtual micro-coil scans the die, the anomaly map
-// (suspect minus golden) is matched against each module's supply-loop field
-// pattern, and the best match names the offending placement region.
+// exploits it with the sensor-array subsystem: an on-die grid of micro-coils
+// records every window, each coil's anomaly energy above its golden baseline
+// forms a spatial pattern, and array::Localizer matches that pattern against
+// the sensitivity matrix to name the offending floorplan region.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "sim/scan.hpp"
+#include "array/calibration.hpp"
+#include "array/capture.hpp"
+#include "array/grid.hpp"
+#include "array/localizer.hpp"
+#include "array/monitor.hpp"
+#include "sim/chip.hpp"
+#include "sim/engine.hpp"
 
 using namespace emts;
 
 namespace {
 
-void print_map(const sim::ScanMap& golden, const sim::ScanMap& suspect) {
-  // ASCII heat map of |suspect - golden| (top row = top of die).
+void print_map(const array::SensorGrid& grid, const std::vector<double>& anomaly) {
+  // ASCII heat map of the per-coil anomaly energy (top row = top of die).
   double peak = 1e-300;
-  for (std::size_t i = 0; i < golden.rms.size(); ++i) {
-    peak = std::max(peak, std::abs(suspect.rms[i] - golden.rms[i]));
-  }
+  for (const double a : anomaly) peak = std::max(peak, a);
   const char shades[] = " .:-=+*#%@";
-  for (std::size_t row = 0; row < golden.ny; ++row) {
-    const std::size_t iy = golden.ny - 1 - row;
+  for (std::size_t row = 0; row < grid.ny(); ++row) {
+    const std::size_t iy = grid.ny() - 1 - row;
     std::string line;
-    for (std::size_t ix = 0; ix < golden.nx; ++ix) {
-      const double d = std::abs(suspect.at(ix, iy) - golden.at(ix, iy)) / peak;
+    for (std::size_t ix = 0; ix < grid.nx(); ++ix) {
+      const double d = anomaly[iy * grid.nx() + ix] / peak;
       line += shades[std::min<std::size_t>(static_cast<std::size_t>(d * 9.99), 9)];
     }
     std::printf("  |%s|\n", line.c_str());
@@ -36,35 +42,41 @@ void print_map(const sim::ScanMap& golden, const sim::ScanMap& suspect) {
 
 int main() {
   sim::Chip chip{sim::make_default_config()};
-  sim::ScanSpec spec;
-  spec.nx = 28;
-  spec.ny = 28;
+  array::GridSpec spec;
+  spec.nx = 5;
+  spec.ny = 5;
+  const array::SensorGrid grid{chip.floorplan(), spec};
+  const array::ArrayCapture capture{grid};
+  const auto& engine = sim::CaptureEngine::shared();
 
-  std::printf("near-field scan of the golden chip...\n");
-  const auto golden = sim::near_field_scan(chip, spec, true, 0);
+  std::printf("calibrating the %zux%zu sensor grid on the golden chip...\n", grid.nx(),
+              grid.ny());
+  const array::ArrayCalibration calibration = array::calibrate_array(capture, engine, chip);
+  const array::Localizer localizer{grid};
 
   bool all_correct = true;
-  for (trojan::TrojanKind kind :
-       {trojan::TrojanKind::kT2Leakage, trojan::TrojanKind::kT4PowerHog}) {
+  for (trojan::TrojanKind kind : trojan::kAllTrojanKinds) {
     chip.arm(kind);
-    const auto suspect = sim::near_field_scan(chip, spec, true, 0);
+    const array::BundleSet bundles = capture.capture_batch(engine, chip, 48, 10000);
     chip.disarm_all();
 
-    const auto result = sim::localize_anomaly(golden, suspect, chip.floorplan(),
-                                              chip.config().die);
-    std::printf("\n%s activated — anomaly map (die, top view):\n", trojan::kind_label(kind));
-    print_map(golden, suspect);
-    std::printf("  matched module : %s (score %.3g, runner-up %.3g)\n",
-                result.module_name.c_str(), result.match_score, result.runner_up_score);
-    std::printf("  raw peak       : (%.0f um, %.0f um), contrast %.1f\n",
-                1e6 * result.peak_x, 1e6 * result.peak_y, result.contrast);
+    array::ArrayMonitor monitor{grid, calibration};
+    monitor.push_bundles(bundles);
+    const array::LocalizationReport report = localizer.localize(monitor.anomaly_energy());
 
-    const std::string expected = kind == trojan::TrojanKind::kT2Leakage
-                                     ? layout::module_names::kTrojan2
-                                     : layout::module_names::kTrojan4;
-    const bool correct = result.module_name == expected;
-    std::printf("  verdict        : %s\n", correct ? "correctly localized" : "MISLOCALIZED");
-    all_correct &= correct;
+    std::printf("\n%s activated — anomaly map (die, top view):\n", trojan::kind_label(kind));
+    print_map(grid, report.anomaly);
+
+    const std::string expected = sim::trojan_host_module(kind);
+    const bool alarmed = monitor.any_alarm();
+    const bool correct = report.localized && report.module_name == expected;
+    std::printf("  matched module : %s (score %.3f)\n", report.module_name.c_str(),
+                report.score);
+    std::printf("  grid cell      : (%zu, %zu) at (%.0f um, %.0f um)\n", report.cell.ix,
+                report.cell.iy, 1e6 * report.cell.x, 1e6 * report.cell.y);
+    std::printf("  verdict        : %s, %s\n", alarmed ? "alarmed" : "NO ALARM",
+                correct ? "correctly localized" : "MISLOCALIZED");
+    all_correct &= alarmed && correct;
   }
 
   return all_correct ? 0 : 1;

@@ -1,0 +1,43 @@
+#include "array/calibration.hpp"
+
+#include "util/assert.hpp"
+
+namespace emts::array {
+
+double residual_energy(const core::Trace& trace, const core::Trace& golden_mean) {
+  EMTS_REQUIRE(!trace.empty() && trace.size() == golden_mean.size(),
+               "residual_energy: trace shape does not match the golden mean");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double d = trace[i] - golden_mean[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(trace.size());
+}
+
+ArrayCalibration calibrate_array(const ArrayCapture& capture, const sim::CaptureEngine& engine,
+                                 const sim::Chip& golden_chip,
+                                 const ArrayCalibrationOptions& options) {
+  EMTS_REQUIRE(!golden_chip.armed_kind().has_value(),
+               "calibrate_array: refusing to calibrate on a chip with an armed Trojan");
+  EMTS_REQUIRE(options.windows >= 2, "calibrate_array: need at least 2 golden windows");
+
+  const BundleSet golden =
+      capture.capture_batch(engine, golden_chip, options.windows, options.first_index, true);
+
+  ArrayCalibration calibration;
+  calibration.grid = capture.grid().spec();
+  calibration.sample_rate = golden.sample_rate;
+  calibration.sensors.reserve(golden.sensor_count());
+  for (const core::TraceSet& set : golden.per_sensor) {
+    SensorCalibration sensor{core::TrustEvaluator::calibrate(set, options.evaluator),
+                             set.mean_trace(), 0.0};
+    double sum = 0.0;
+    for (const core::Trace& t : set.traces) sum += residual_energy(t, sensor.golden_mean);
+    sensor.baseline_residual = sum / static_cast<double>(set.size());
+    calibration.sensors.push_back(std::move(sensor));
+  }
+  return calibration;
+}
+
+}  // namespace emts::array

@@ -1,0 +1,61 @@
+// Per-coil golden fitting for the array. Each sensor gets the full detector
+// stack (core::TrustEvaluator — "calibrate once, monitor many", now per
+// coil) plus the two numbers localization needs: the golden mean trace and
+// the baseline residual energy of golden captures around it. With the fixed
+// challenge workload every golden window carries the same deterministic
+// signal, so a runtime capture's residual energy above that baseline is the
+// power a Trojan injected at this coil — proportional to the square of its
+// coupling, which is what the Localizer matches against the sensitivity
+// matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/capture.hpp"
+#include "array/grid.hpp"
+#include "core/evaluator.hpp"
+#include "core/trace.hpp"
+#include "sim/chip.hpp"
+#include "sim/engine.hpp"
+
+namespace emts::array {
+
+/// One coil's fitted state.
+struct SensorCalibration {
+  core::TrustEvaluator evaluator;  // per-coil detector stack
+  core::Trace golden_mean;         // element-wise mean golden capture
+  double baseline_residual = 0.0;  // mean golden residual energy (V^2)
+};
+
+/// The whole array's fitted state — what the EMAA artifact round-trips.
+struct ArrayCalibration {
+  GridSpec grid{};          // spec the grid was instantiated from
+  double sample_rate = 0.0;  // Hz
+  std::vector<SensorCalibration> sensors;  // grid row-major order
+
+  std::size_t sensor_count() const { return sensors.size(); }
+};
+
+struct ArrayCalibrationOptions {
+  /// Golden capture windows per coil.
+  std::size_t windows = 64;
+  /// First trace index of the calibration campaign.
+  std::uint64_t first_index = 0;
+  /// Detector stack fitted per coil.
+  core::TrustEvaluator::Options evaluator{};
+};
+
+/// Mean squared deviation of a capture from the golden mean (V^2 per
+/// sample) — the localization observable.
+double residual_energy(const core::Trace& trace, const core::Trace& golden_mean);
+
+/// Records a golden calibration campaign through every coil and fits each
+/// coil's detector stack + localization baseline. The chip must be golden
+/// (no armed Trojan) — calibrating on infected silicon is the classic
+/// golden-chip mistake and is refused.
+ArrayCalibration calibrate_array(const ArrayCapture& capture, const sim::CaptureEngine& engine,
+                                 const sim::Chip& golden_chip,
+                                 const ArrayCalibrationOptions& options = {});
+
+}  // namespace emts::array

@@ -1,0 +1,85 @@
+#include "array/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace emts::array {
+
+namespace {
+
+double l2_norm(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+Localizer::Localizer(const SensorGrid& grid) : grid_{grid} {
+  templates_.reserve(grid.module_count());
+  for (std::size_t m = 0; m < grid.module_count(); ++m) {
+    std::vector<double> column = grid.sensitivity().column_magnitudes(m);
+    const double norm = l2_norm(column);
+    if (norm > 0.0) {
+      for (double& x : column) x /= norm;
+    } else {
+      column.clear();  // couples nowhere: never a localization candidate
+    }
+    templates_.push_back(std::move(column));
+  }
+}
+
+LocalizationReport Localizer::localize(const std::vector<double>& anomaly_energy) const {
+  EMTS_REQUIRE(anomaly_energy.size() == grid_.sensor_count(),
+               "Localizer: anomaly vector length does not match the grid");
+  LocalizationReport report;
+  report.anomaly = anomaly_energy;
+  report.module_scores.assign(grid_.module_count(), 0.0);
+
+  const double anomaly_norm = l2_norm(anomaly_energy);
+  if (anomaly_norm <= 0.0) return report;  // golden stream: nothing to name
+
+  std::size_t best = 0;
+  double best_score = -1.0;
+  for (std::size_t m = 0; m < templates_.size(); ++m) {
+    if (templates_[m].empty()) continue;
+    double dot = 0.0;
+    for (std::size_t s = 0; s < anomaly_energy.size(); ++s) {
+      dot += anomaly_energy[s] * templates_[m][s];
+    }
+    const double score = dot / anomaly_norm;
+    report.module_scores[m] = score;
+    if (score > best_score) {
+      best_score = score;
+      best = m;
+    }
+  }
+  if (best_score < 0.0) return report;  // no module couples anywhere
+
+  const ModuleRef& module = grid_.modules()[best];
+  report.localized = true;
+  report.module_index = best;
+  report.module_name = module.name;
+  report.module_x = module.cx;
+  report.module_y = module.cy;
+  report.score = best_score;
+  report.cell = grid_.nearest_site(module.cx, module.cy);
+  return report;
+}
+
+std::size_t cell_distance(const SensorGrid& grid, const std::string& module_a,
+                          const std::string& module_b) {
+  const ModuleRef& a = grid.modules()[grid.module_index(module_a)];
+  const ModuleRef& b = grid.modules()[grid.module_index(module_b)];
+  const SensorSite cell_a = grid.nearest_site(a.cx, a.cy);
+  const SensorSite cell_b = grid.nearest_site(b.cx, b.cy);
+  const std::size_t dx =
+      cell_a.ix > cell_b.ix ? cell_a.ix - cell_b.ix : cell_b.ix - cell_a.ix;
+  const std::size_t dy =
+      cell_a.iy > cell_b.iy ? cell_a.iy - cell_b.iy : cell_b.iy - cell_a.iy;
+  return std::max(dx, dy);
+}
+
+}  // namespace emts::array

@@ -1,0 +1,60 @@
+// Trojan localization over the sensor array. On alarm, the per-sensor
+// anomaly-energy vector (ArrayMonitor::anomaly_energy — linear in the
+// offender's coupling into each coil) is matched against the sensitivity
+// matrix: each floorplan module's |coupling| pattern over the array is a
+// spatial template, and the module whose template best correlates with the
+// anomaly (normalized least squares over unit vectors = cosine similarity)
+// names the offending floorplan region. This is EM's structural edge over
+// power side channels: the answer is a *place*, not just a verdict.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "array/grid.hpp"
+
+namespace emts::array {
+
+struct LocalizationReport {
+  /// False when the anomaly vector carries no energy (golden stream) — no
+  /// region is named and the fields below are meaningless.
+  bool localized = false;
+  std::size_t module_index = 0;  // grid module order
+  std::string module_name;       // floorplan region named
+  double module_x = 0.0;         // named module's placement centre, m
+  double module_y = 0.0;
+  /// Winning normalized correlation in [0, 1] (1 = anomaly pattern is
+  /// exactly the module's coupling template).
+  double score = 0.0;
+  /// Grid cell nearest the named module — the array's spatial resolution.
+  SensorSite cell{};
+  std::vector<double> module_scores;  // per module, grid module order
+  std::vector<double> anomaly;        // the matched per-sensor input
+};
+
+class Localizer {
+ public:
+  /// Precomputes each module's unit-norm |coupling| template from the grid's
+  /// sensitivity matrix.
+  explicit Localizer(const SensorGrid& grid);
+
+  const SensorGrid& grid() const { return grid_; }
+
+  /// Matches a per-sensor anomaly-energy vector (grid row-major, one entry
+  /// per coil) against every module template and names the best match.
+  LocalizationReport localize(const std::vector<double>& anomaly_energy) const;
+
+ private:
+  const SensorGrid& grid_;
+  std::vector<std::vector<double>> templates_;  // unit L2 norm; empty if the
+                                                // module couples nowhere
+};
+
+/// Distance between two modules in grid cells (Chebyshev metric over the
+/// cells nearest their placement centres) — the "within one grid cell"
+/// localization figure of merit.
+std::size_t cell_distance(const SensorGrid& grid, const std::string& module_a,
+                          const std::string& module_b);
+
+}  // namespace emts::array

@@ -1,0 +1,45 @@
+#include "fleet/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace emts::fleet {
+
+std::vector<ManifestEntry> parse_manifest(const std::string& path) {
+  std::ifstream in(path);
+  EMTS_REQUIRE(in.good(), "cannot open manifest " + path);
+  std::vector<ManifestEntry> entries;
+  std::unordered_map<std::string, std::size_t> first_line;  // device_id -> line
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    ManifestEntry entry;
+    if (!(fields >> entry.device_id)) continue;     // blank line
+    if (entry.device_id.front() == '#') continue;   // comment
+    entry.line_no = line_no;
+    EMTS_REQUIRE(static_cast<bool>(fields >> entry.archive_path),
+                 path + ":" + std::to_string(line_no) + ": expected `device_id archive.emta"
+                 " [model.emca]`");
+    fields >> entry.model_path;  // optional
+    std::string extra;
+    EMTS_REQUIRE(!(fields >> extra),
+                 path + ":" + std::to_string(line_no) + ": trailing fields after model path");
+    const auto [it, inserted] = first_line.emplace(entry.device_id, line_no);
+    if (!inserted) {
+      precondition_failure("unique device_id",
+                           path + ":" + std::to_string(line_no) + ": duplicate device_id `" +
+                               entry.device_id + "` (first listed at line " +
+                               std::to_string(it->second) + ")");
+    }
+    entries.push_back(std::move(entry));
+  }
+  EMTS_REQUIRE(!entries.empty(), "manifest " + path + " lists no devices");
+  return entries;
+}
+
+}  // namespace emts::fleet

@@ -1,0 +1,26 @@
+// Fleet manifest: the text file that names the devices a fleet hosts. One
+// device per line, `<device_id> <archive.emta> [<model.emca>]`; blank lines
+// and #-comments are skipped. Both the batch replayer (`emsentry_cli fleet`)
+// and the ingest daemon (`serve`) read this format, so the parser lives here
+// rather than in the tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emts::fleet {
+
+struct ManifestEntry {
+  std::string device_id;
+  std::string archive_path;
+  std::string model_path;  // empty: caller supplies a fleet-wide default
+  std::size_t line_no = 0;  // 1-based line in the manifest file
+};
+
+/// Parses a manifest file. Throws precondition_error (with `path:line`
+/// context) on an unreadable file, a malformed line, a duplicate device_id —
+/// fleet device ids are unique keys, so a repeat would silently shadow the
+/// earlier registration — or an empty device list.
+std::vector<ManifestEntry> parse_manifest(const std::string& path);
+
+}  // namespace emts::fleet

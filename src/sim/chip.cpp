@@ -34,7 +34,16 @@ const char* aes_unit_module_name(aes::AesUnit unit) {
   return "?";
 }
 
-const char* trojan_module_name(trojan::TrojanKind kind) {
+aes::Key default_key() {
+  // The FIPS-197 Appendix B key; any key works, this one keeps examples
+  // cross-checkable against the standard.
+  return aes::Key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                  0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+}
+
+}  // namespace
+
+const char* trojan_host_module(trojan::TrojanKind kind) {
   namespace mn = layout::module_names;
   switch (kind) {
     case trojan::TrojanKind::kT1AmLeak:
@@ -50,15 +59,6 @@ const char* trojan_module_name(trojan::TrojanKind kind) {
   }
   return "?";
 }
-
-aes::Key default_key() {
-  // The FIPS-197 Appendix B key; any key works, this one keeps examples
-  // cross-checkable against the standard.
-  return aes::Key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-                  0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
-}
-
-}  // namespace
 
 ChipConfig make_default_config() {
   ChipConfig config;
@@ -227,7 +227,7 @@ std::vector<power::CurrentTrace> Chip::module_currents(bool encrypting,
   context.key = config_.key;
   context.trace_index = trace_index;
   for (const auto& t : trojans_) {
-    t->contribute(context, trace_of(trojan_module_name(t->kind())));
+    t->contribute(context, trace_of(trojan_host_module(t->kind())));
   }
 
   return currents;

@@ -59,6 +59,10 @@ struct ChipConfig {
 /// from the physics. See DESIGN.md §4.
 ChipConfig make_default_config();
 
+/// Floorplan module hosting a Trojan's payload (layout::module_names entry)
+/// — the ground truth localization is judged against.
+const char* trojan_host_module(trojan::TrojanKind kind);
+
 /// Which pickup recorded a trace.
 enum class Pickup { kOnChipSensor, kExternalProbe };
 

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -35,10 +36,17 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "array/artifact.hpp"
+#include "array/calibration.hpp"
+#include "array/capture.hpp"
+#include "array/grid.hpp"
+#include "array/localizer.hpp"
+#include "array/monitor.hpp"
 #include "baseline/ron.hpp"
 #include "core/evaluator.hpp"
 #include "core/monitor.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/manifest.hpp"
 #include "fleet/server.hpp"
 #include "fleet/stats_json.hpp"
 #include "io/calibration.hpp"
@@ -85,6 +93,12 @@ void print_usage(std::FILE* stream) {
                "  emsentry_cli replay-client <archive.emta> --socket <path> --device <id>\n"
                "                [--connect <host:port>] [--auth-secret <token>]\n"
                "                [--rate TRACES_PER_SEC] [--first N] [--count N]\n"
+               "  emsentry_cli array calibrate <out.emaa> [--grid NxM] [--turns N]\n"
+               "                [--windows N] [--first N] [--threads N]\n"
+               "  emsentry_cli array monitor --model <model.emaa> [--windows N]\n"
+               "                [--first N] [--trojan T1|T2|T3|T4|A2] [--json]\n"
+               "  emsentry_cli array localize --model <model.emaa> [--windows N]\n"
+               "                [--first N] [--trojan T1|T2|T3|T4|A2] [--json]\n"
                "  emsentry_cli snr <signal.emta> <noise.emta>\n"
                "  emsentry_cli info <archive.emta>\n"
                "  emsentry_cli help | --help | -h\n"
@@ -103,8 +117,10 @@ void print_usage(std::FILE* stream) {
                "writes a snapshot. --snapshot-every takes a frame count (bare N) or\n"
                "wall-clock cadence (Ns / Nms, zero is a usage error), honored on idle\n"
                "ingest rounds or forced after one poll interval of overshoot.\n"
-               "--listen accepts EMWF over TCP (TCP_NODELAY); --allow (repeatable)\n"
-               "restricts TCP peers to IPv4 hosts/CIDR blocks, --auth-secret makes\n"
+               "--listen accepts EMWF over TCP (TCP_NODELAY). Both --listen and\n"
+               "--allow take numeric IPv4 only — no hostnames (no DNS lookups) and\n"
+               "no IPv6. --allow (repeatable) restricts TCP peers to dotted-quad\n"
+               "hosts/CIDR blocks, --auth-secret makes\n"
                "every TCP client lead with a matching HELLO frame (replay-client\n"
                "--connect/--auth-secret speaks both). --incremental-snapshots rewrites\n"
                "only devices whose state moved since the last cut (full rewrite every\n"
@@ -116,6 +132,14 @@ void print_usage(std::FILE* stream) {
                "\n"
                "--json emits stats schema_version 3 — field-by-field reference in\n"
                "docs/STATS_SCHEMA.md; binary container layouts in docs/FORMATS.md.\n"
+               "\n"
+               "array drives the on-die N x M sensor grid: `calibrate` fits one\n"
+               "detector stack per coil on a golden campaign and writes an EMAA\n"
+               "artifact; `monitor` replays suspect windows through every coil;\n"
+               "`localize` additionally names the floorplan module whose coupling\n"
+               "pattern best matches the per-coil anomaly energy. With --trojan the\n"
+               "ground-truth host module is compared and --json reports hit/miss\n"
+               "plus the grid-cell distance to it.\n"
                "\n"
                "exit codes:\n"
                "  0  success; verdict trusted / no device alarmed\n"
@@ -386,35 +410,17 @@ int cmd_monitor(const std::vector<std::string>& args) {
 
 // ---------- fleet ----------
 
-struct FleetManifestEntry {
-  std::string device_id;
-  std::string archive_path;
-  std::string model_path;  // empty: fall back to --model
-};
-
-std::vector<FleetManifestEntry> parse_fleet_manifest(const std::string& path) {
-  std::ifstream in(path);
-  EMTS_REQUIRE(in.good(), "cannot open manifest " + path);
-  std::vector<FleetManifestEntry> entries;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::istringstream fields(line);
-    FleetManifestEntry entry;
-    if (!(fields >> entry.device_id)) continue;     // blank line
-    if (entry.device_id.front() == '#') continue;   // comment
-    EMTS_REQUIRE(static_cast<bool>(fields >> entry.archive_path),
-                 path + ":" + std::to_string(line_no) + ": expected `device_id archive.emta"
-                 " [model.emca]`");
-    fields >> entry.model_path;  // optional
-    std::string extra;
-    EMTS_REQUIRE(!(fields >> extra),
-                 path + ":" + std::to_string(line_no) + ": trailing fields after model path");
-    entries.push_back(std::move(entry));
+// A bad manifest (unreadable, malformed line, duplicate device_id) is an
+// argument error — exit 2 with the parser's `path:line` message, not the
+// generic runtime-error exit.
+bool load_manifest(const std::string& path, std::vector<fleet::ManifestEntry>* entries) {
+  try {
+    *entries = fleet::parse_manifest(path);
+    return true;
+  } catch (const precondition_error& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return false;
   }
-  EMTS_REQUIRE(!entries.empty(), "manifest " + path + " lists no devices");
-  return entries;
 }
 
 int cmd_fleet(const std::vector<std::string>& args) {
@@ -469,13 +475,14 @@ int cmd_fleet(const std::vector<std::string>& args) {
     return usage_error();
   }
 
-  const std::vector<FleetManifestEntry> entries = parse_fleet_manifest(manifest_path);
+  std::vector<fleet::ManifestEntry> entries;
+  if (!load_manifest(manifest_path, &entries)) return 2;
   fleet::FleetMonitor fleet_monitor{options};
 
   std::vector<core::TraceSet> streams;
   streams.reserve(entries.size());
   std::size_t longest = 0;
-  for (const FleetManifestEntry& entry : entries) {
+  for (const fleet::ManifestEntry& entry : entries) {
     const std::string& model = entry.model_path.empty() ? model_path : entry.model_path;
     EMTS_REQUIRE(!model.empty(),
                  "device " + entry.device_id + " has no model (give one in the manifest"
@@ -705,7 +712,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::printf("restored %zu devices from %s\n", restored->devices.size(),
                 restore_path.c_str());
   } else {
-    for (const FleetManifestEntry& entry : parse_fleet_manifest(manifest_path)) {
+    std::vector<fleet::ManifestEntry> entries;
+    if (!load_manifest(manifest_path, &entries)) return 2;
+    for (const fleet::ManifestEntry& entry : entries) {
       const std::string& model = entry.model_path.empty() ? model_path : entry.model_path;
       EMTS_REQUIRE(!model.empty(),
                    "device " + entry.device_id + " has no model (give one in the manifest"
@@ -927,6 +936,254 @@ int cmd_replay_client(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---------- array ----------
+
+bool parse_grid_spec(const std::string& text, array::GridSpec* spec) {
+  const std::size_t x = text.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= text.size()) return false;
+  try {
+    spec->nx = std::stoul(text.substr(0, x));
+    spec->ny = std::stoul(text.substr(x + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return spec->nx >= 2 && spec->ny >= 2;
+}
+
+int cmd_array_calibrate(const std::vector<std::string>& args) {
+  if (args.empty()) return usage_error();
+  const std::string out_path = args[0];
+
+  array::GridSpec grid_spec;
+  array::ArrayCalibrationOptions options;
+  sim::EngineOptions engine_options;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      EMTS_REQUIRE(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--grid") {
+      const std::string& g = next();
+      if (!parse_grid_spec(g, &grid_spec)) {
+        std::fprintf(stderr, "--grid takes NxM with N, M >= 2 (got %s)\n", g.c_str());
+        return usage_error();
+      }
+    } else if (a == "--turns") {
+      grid_spec.turns = std::stoul(next());
+    } else if (a == "--windows") {
+      options.windows = std::stoul(next());
+    } else if (a == "--first") {
+      options.first_index = std::stoull(next());
+    } else if (a == "--threads") {
+      engine_options.threads = std::stoul(next());
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage_error();
+    }
+  }
+
+  const sim::Chip chip{sim::make_default_config()};
+  const array::SensorGrid grid{chip.floorplan(), grid_spec};
+  const array::ArrayCapture capture{grid};
+  const sim::CaptureEngine engine{engine_options};
+  const array::ArrayCalibration calibration = array::calibrate_array(capture, engine, chip, options);
+  array::save_array_calibration(out_path, calibration);
+
+  std::printf("calibrated %zux%zu sensor grid (%zu coils x %zu modules) on %zu golden"
+              " windows -> %s\n",
+              grid.nx(), grid.ny(), grid.sensor_count(), grid.module_count(), options.windows,
+              out_path.c_str());
+  return 0;
+}
+
+// Shared monitor/localize driver: replay `windows` captures (optionally with
+// an armed Trojan) through the artifact's per-coil sessions.
+struct ArrayRun {
+  array::ArrayCalibration calibration;
+  std::optional<trojan::TrojanKind> armed;
+  std::size_t windows = 0;
+  std::unique_ptr<sim::Chip> chip;
+  std::unique_ptr<array::SensorGrid> grid;
+  std::unique_ptr<array::ArrayMonitor> monitor;
+};
+
+int run_array_monitor(const std::vector<std::string>& args, ArrayRun* run) {
+  std::string model_path;
+  std::size_t windows = 64;
+  // Default replay range sits past the calibration campaign, so a fresh
+  // monitor scores out-of-sample windows.
+  std::uint64_t first = 4096;
+  bool has_trojan = false;
+  trojan::TrojanKind kind{};
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      EMTS_REQUIRE(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--model") {
+      model_path = next();
+    } else if (a == "--windows") {
+      windows = std::stoul(next());
+    } else if (a == "--first") {
+      first = std::stoull(next());
+    } else if (a == "--json") {
+      // handled by the caller; accepted here so both subcommands share flags
+    } else if (a == "--trojan") {
+      EMTS_REQUIRE(parse_trojan(next(), &kind), "unknown trojan label");
+      has_trojan = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage_error();
+    }
+  }
+  if (model_path.empty()) {
+    std::fprintf(stderr, "array monitor/localize needs --model <model.emaa>\n");
+    return usage_error();
+  }
+  EMTS_REQUIRE(windows >= 1, "--windows must be >= 1");
+
+  run->calibration = array::load_array_calibration(model_path);
+  run->windows = windows;
+  run->chip = std::make_unique<sim::Chip>(sim::make_default_config());
+  EMTS_REQUIRE(run->calibration.sample_rate == run->chip->sample_rate(),
+               "artifact sample rate does not match the chip configuration");
+  if (has_trojan) {
+    run->chip->arm(kind);
+    run->armed = kind;
+  }
+  run->grid =
+      std::make_unique<array::SensorGrid>(run->chip->floorplan(), run->calibration.grid);
+
+  const array::ArrayCapture capture{*run->grid};
+  const array::BundleSet bundles =
+      capture.capture_batch(sim::CaptureEngine::shared(), *run->chip, windows, first);
+  run->monitor = std::make_unique<array::ArrayMonitor>(*run->grid, run->calibration);
+  run->monitor->push_bundles(bundles);
+  return -1;  // no exit yet: the subcommand renders the result
+}
+
+bool array_json_requested(const std::vector<std::string>& args) {
+  for (const std::string& a : args) {
+    if (a == "--json") return true;
+  }
+  return false;
+}
+
+int cmd_array_monitor(const std::vector<std::string>& args) {
+  ArrayRun run;
+  const int early_exit = run_array_monitor(args, &run);
+  if (early_exit >= 0) return early_exit;
+  const bool json = array_json_requested(args);
+
+  const auto states = run.monitor->states();
+  std::size_t session_alarms = 0;
+  std::size_t spectral_alarms = 0;
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    if (states[s] == core::MonitorState::kAlarm) ++session_alarms;
+    if (run.monitor->spectral_alarmed(s)) ++spectral_alarms;
+  }
+  const bool alarm = run.monitor->any_alarm();
+
+  if (json) {
+    std::printf("{\"schema\":\"array-monitor/1\",\"grid\":\"%zux%zu\",\"windows\":%zu,"
+                "\"alarm\":%s,\"session_alarms\":%zu,\"spectral_alarms\":%zu}\n",
+                run.grid->nx(), run.grid->ny(), run.windows, alarm ? "true" : "false",
+                session_alarms, spectral_alarms);
+    return alarm ? 1 : 0;
+  }
+  std::printf("array monitor: %zux%zu grid, %zu windows%s\n", run.grid->nx(), run.grid->ny(),
+              run.windows,
+              run.armed ? (std::string(", trojan ") + trojan::kind_label(*run.armed) +
+                           " armed")
+                              .c_str()
+                        : "");
+  std::printf("  coils alarmed: %zu per-trace sessions, %zu spectral latches\n",
+              session_alarms, spectral_alarms);
+  std::printf("  verdict: %s\n", alarm ? "ALARM" : "trusted");
+  return alarm ? 1 : 0;
+}
+
+int cmd_array_localize(const std::vector<std::string>& args) {
+  ArrayRun run;
+  const int early_exit = run_array_monitor(args, &run);
+  if (early_exit >= 0) return early_exit;
+  const bool json = array_json_requested(args);
+
+  const bool alarm = run.monitor->any_alarm();
+  // Localization is the on-alarm follow-up: a trusted stream names no region
+  // (the residual noise floor is not an anomaly pattern worth matching).
+  array::LocalizationReport report;
+  if (alarm) {
+    const array::Localizer localizer{*run.grid};
+    report = localizer.localize(run.monitor->anomaly_energy());
+  }
+
+  std::string expected;
+  bool hit = false;
+  std::size_t cells = 0;
+  if (run.armed) {
+    expected = sim::trojan_host_module(*run.armed);
+    if (report.localized) {
+      hit = report.module_name == expected;
+      cells = array::cell_distance(*run.grid, report.module_name, expected);
+    }
+  }
+
+  if (json) {
+    std::printf("{\"schema\":\"array-localize/1\",\"grid\":\"%zux%zu\",\"windows\":%zu,"
+                "\"alarm\":%s,\"localized\":%s",
+                run.grid->nx(), run.grid->ny(), run.windows, alarm ? "true" : "false",
+                report.localized ? "true" : "false");
+    if (report.localized) {
+      std::printf(",\"module\":\"%s\",\"score\":%.6f,\"cell\":{\"ix\":%zu,\"iy\":%zu}",
+                  report.module_name.c_str(), report.score, report.cell.ix, report.cell.iy);
+    }
+    if (run.armed) {
+      std::printf(",\"expected\":\"%s\"", expected.c_str());
+      if (report.localized) {
+        std::printf(",\"hit\":%s,\"cell_distance\":%zu", hit ? "true" : "false", cells);
+      }
+    }
+    std::printf("}\n");
+    return alarm ? 1 : 0;
+  }
+
+  std::printf("array localize: %zux%zu grid, %zu windows%s\n", run.grid->nx(), run.grid->ny(),
+              run.windows,
+              run.armed ? (std::string(", trojan ") + trojan::kind_label(*run.armed) +
+                           " armed")
+                              .c_str()
+                        : "");
+  std::printf("  verdict: %s\n", alarm ? "ALARM" : "trusted");
+  if (!alarm) {
+    std::printf("  localization: skipped (no alarm to localize)\n");
+  } else if (!report.localized) {
+    std::printf("  localization: no anomaly energy above the golden baseline\n");
+  } else {
+    std::printf("  localization: %s (score %.3f) at cell (%zu, %zu)\n",
+                report.module_name.c_str(), report.score, report.cell.ix, report.cell.iy);
+    if (run.armed) {
+      std::printf("  ground truth : %s — %s (%zu cell%s away)\n", expected.c_str(),
+                  hit ? "hit" : "miss", cells, cells == 1 ? "" : "s");
+    }
+  }
+  return alarm ? 1 : 0;
+}
+
+int cmd_array(const std::vector<std::string>& args) {
+  if (args.empty()) return usage_error();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (args[0] == "calibrate") return cmd_array_calibrate(rest);
+  if (args[0] == "monitor") return cmd_array_monitor(rest);
+  if (args[0] == "localize") return cmd_array_localize(rest);
+  std::fprintf(stderr, "unknown array subcommand %s\n", args[0].c_str());
+  return usage_error();
+}
+
 int cmd_snr(const std::vector<std::string>& args) {
   if (args.size() != 2) return usage_error();
   const auto signal = io::load_trace_archive(args[0]);
@@ -972,6 +1229,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "calibrate") return cmd_calibrate(args);
     if (command == "monitor") return cmd_monitor(args);
+    if (command == "array") return cmd_array(args);
     if (command == "fleet") return cmd_fleet(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "replay-client") return cmd_replay_client(args);
